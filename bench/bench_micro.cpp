@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: PT
+// encode/decode throughput, flow reconstruction, page-fault tracking,
+// twin diff commits, LZ compression, vector-clock merges, CPG queries.
+// Not a paper table; used to keep the simulator fast enough to sweep.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "cpg/recorder.h"
+#include "memtrack/thread_memory.h"
+#include "ptsim/decoder.h"
+#include "ptsim/encoder.h"
+#include "ptsim/flow.h"
+#include "ptsim/sink.h"
+#include "snapshot/compress.h"
+#include "vclock/vector_clock.h"
+
+namespace {
+
+using namespace inspector;
+
+void BM_PtEncodeConditional(benchmark::State& state) {
+  ptsim::CountingSink sink;
+  ptsim::PacketEncoder enc(sink);
+  enc.on_enable(0x1000);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    enc.on_conditional((i++ & 3) != 0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PtEncodeConditional);
+
+void BM_PtEncodeIndirect(benchmark::State& state) {
+  ptsim::CountingSink sink;
+  ptsim::PacketEncoder enc(sink);
+  enc.on_enable(0x400000);
+  std::uint64_t target = 0x400000;
+  for (auto _ : state) {
+    target = 0x400000 + ((target * 2654435761u) & 0xFFFF);
+    enc.on_indirect(target);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PtEncodeIndirect);
+
+std::vector<std::uint8_t> sample_trace(int branches) {
+  ptsim::VectorSink sink;
+  ptsim::PacketEncoder enc(sink);
+  enc.on_enable(0x1000);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < branches; ++i) enc.on_conditional((rng() & 1) != 0);
+  enc.flush();
+  return sink.take();
+}
+
+void BM_PtDecodePackets(benchmark::State& state) {
+  const auto trace = sample_trace(100000);
+  for (auto _ : state) {
+    ptsim::PacketDecoder dec(trace);
+    std::uint64_t bits = 0;
+    while (auto p = dec.next()) {
+      if (p->type == ptsim::PacketType::kTnt) bits += p->tnt.count;
+    }
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_PtDecodePackets);
+
+void BM_PageFaultTracking(benchmark::State& state) {
+  memtrack::SharedMemory shm;
+  memtrack::ThreadMemory tm(shm);
+  const auto pages = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    tm.begin_subcomputation();
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      tm.write_word(p * memtrack::kPageSize, p);
+    }
+    benchmark::DoNotOptimize(tm.commit());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pages));
+}
+BENCHMARK(BM_PageFaultTracking)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CommitDiff(benchmark::State& state) {
+  memtrack::SharedMemory shm;
+  memtrack::ThreadMemory tm(shm);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tm.begin_subcomputation();
+    for (std::uint64_t w = 0; w < 64; ++w) tm.write_word(0x1000 + w * 8, w);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tm.commit());
+  }
+}
+BENCHMARK(BM_CommitDiff);
+
+void BM_LzCompressPtTrace(benchmark::State& state) {
+  const auto trace = sample_trace(200000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot::compress(trace));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_LzCompressPtTrace);
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  vclock::VectorClock a(width), b(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    a.set(i, i * 3);
+    b.set(i, i * 5 % 7);
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VectorClockMerge)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_RecorderSubcomputation(benchmark::State& state) {
+  for (auto _ : state) {
+    cpg::Recorder rec;
+    rec.thread_started(0, 0);
+    std::unordered_set<std::uint64_t> reads = {1, 2, 3};
+    std::unordered_set<std::uint64_t> writes = {4};
+    for (int i = 0; i < 100; ++i) {
+      rec.on_branch(0, {0x1000, 0x1040, true, false});
+      rec.end_subcomputation(
+          0, reads, writes,
+          {inspector::sync::SyncEventKind::kMutexLock, 1});
+    }
+    rec.thread_exiting(0, {}, {});
+    benchmark::DoNotOptimize(std::move(rec).finalize());
+  }
+}
+BENCHMARK(BM_RecorderSubcomputation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Figure 7 (table): "Runtime statistics for all benchmarks with 16
+// threads" -- dataset/parameters, page faults, faults per second.
+#include <iostream>
+
+#include "core/inspector.h"
+#include "core/report.h"
+#include "workloads/registry.h"
+
+int main() {
+  std::cout << "Table (fig 7): runtime statistics, 16 threads\n\n";
+
+  inspector::core::Table table({"application", "dataset/parameters",
+                                "page_faults", "faults/sec", "commits",
+                                "threads"});
+  inspector::core::Inspector insp;
+
+  for (const auto& entry : inspector::workloads::all_workloads()) {
+    inspector::workloads::WorkloadConfig config;
+    config.threads = 16;
+    const auto result = insp.run(entry.make(config));
+    const auto& s = result.stats;
+    const double seconds = static_cast<double>(s.sim_time_ns) * 1e-9;
+
+    table.add_row({entry.name, entry.paper_dataset,
+                   inspector::core::format_sci(
+                       static_cast<double>(s.page_faults)),
+                   inspector::core::format_sci(
+                       static_cast<double>(s.page_faults) / seconds),
+                   std::to_string(s.commits),
+                   std::to_string(s.threads_spawned)});
+  }
+  std::cout << table
+            << "\npaper shape: canneal has the most page faults, kmeans "
+               "second; word_count has the highest fault rate; "
+               "blackscholes/linear_regression/reverse_index/string_match "
+               "the fewest faults. Absolute counts are smaller than the "
+               "paper's because inputs are size-reduced (EXPERIMENTS.md).\n";
+  return 0;
+}

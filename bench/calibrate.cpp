@@ -1,0 +1,52 @@
+// Calibration harness: all 12 workloads at a given thread count,
+// printing the fig-5/6/7/9 quantities side by side. Used to verify the
+// shapes the paper reports (see EXPERIMENTS.md); not itself one of the
+// paper's tables.
+//
+//   ./calibrate [threads]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/inspector.h"
+#include "core/report.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  const std::uint32_t threads =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 16;
+
+  inspector::core::Table table(
+      {"workload", "native_us", "insp_us", "overhead", "work_ovh", "faults",
+       "faults/s", "branches", "pt_bytes", "lib%", "pt%", "threads"});
+
+  inspector::core::Inspector insp;
+  for (const auto& entry : inspector::workloads::all_workloads()) {
+    inspector::workloads::WorkloadConfig config;
+    config.threads = threads;
+    auto program = entry.make(config);
+    auto cmp = insp.compare(program);
+    const auto& t = cmp.traced.stats;
+    const double insp_sec = static_cast<double>(t.sim_time_ns) * 1e-9;
+    const double lib = static_cast<double>(t.breakdown.threading_lib_ns);
+    const double pt = static_cast<double>(t.breakdown.pt_ns);
+    const double total_extra = lib + pt;
+    table.add_row({
+        entry.name,
+        std::to_string(cmp.native.stats.sim_time_ns / 1000),
+        std::to_string(t.sim_time_ns / 1000),
+        inspector::core::format_overhead(cmp.time_overhead()),
+        inspector::core::format_overhead(cmp.work_overhead()),
+        std::to_string(t.page_faults),
+        inspector::core::format_sci(static_cast<double>(t.page_faults) /
+                                    insp_sec),
+        std::to_string(t.branches),
+        std::to_string(t.pt_bytes),
+        inspector::core::format_fixed(100.0 * lib / total_extra, 0),
+        inspector::core::format_fixed(100.0 * pt / total_extra, 0),
+        std::to_string(t.threads_spawned),
+    });
+  }
+  std::cout << table << '\n';
+  return 0;
+}

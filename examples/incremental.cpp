@@ -1,0 +1,64 @@
+// Bonus workflow (§I): incremental computation from provenance
+// (the iThreads/Incoop lineage the paper cites).
+//
+// Run histogram once, record its CPG, then pretend a few input pages
+// changed (one worker's chunk). Change propagation over the CPG tells
+// us exactly which sub-computations must re-run; everything else can be
+// reused. The experiment shows the reuse fraction for localized edits.
+#include <cstdint>
+#include <iostream>
+#include <unordered_set>
+
+#include "analysis/incremental.h"
+#include "core/inspector.h"
+#include "core/report.h"
+#include "memtrack/shared_memory.h"
+#include "workloads/registry.h"
+
+int main() {
+  std::cout << "Workflow: incremental re-execution from the CPG\n\n";
+
+  inspector::workloads::WorkloadConfig config;
+  config.threads = 8;
+  config.scale = 0.4;
+  const auto program = inspector::workloads::make_histogram(config);
+  inspector::core::Inspector insp;
+  const auto result = insp.run(program);
+  const auto& graph = *result.graph;
+
+  // Input pages, in address order.
+  std::vector<std::uint64_t> input_pages;
+  for (const auto& w : program.input) {
+    input_pages.push_back(inspector::memtrack::page_id_of(w.addr));
+  }
+
+  inspector::core::Table table(
+      {"changed_pages", "dirty_nodes", "total_nodes", "reuse"});
+  for (std::size_t changed : {1u, 4u, 16u, 64u}) {
+    std::unordered_set<std::uint64_t> delta;
+    for (std::size_t i = 0; i < changed && i < input_pages.size(); ++i) {
+      delta.insert(input_pages[i]);
+    }
+    const auto inv = inspector::analysis::invalidate(graph, delta);
+    table.add_row({std::to_string(delta.size()),
+                   std::to_string(inv.dirty.size()),
+                   std::to_string(graph.nodes().size()),
+                   inspector::core::format_fixed(
+                       100.0 * inv.reuse_fraction(graph.nodes().size()), 1) +
+                       "%"});
+  }
+  std::cout << table << "\n";
+
+  // Whole-input change: everything that touches input re-runs.
+  std::unordered_set<std::uint64_t> all(input_pages.begin(),
+                                        input_pages.end());
+  const auto full = inspector::analysis::invalidate(graph, all);
+  std::cout << "whole-input change: " << full.dirty.size() << "/"
+            << graph.nodes().size()
+            << " sub-computations re-run (the non-reader remainder is "
+               "spawn/join bookkeeping)\n\n"
+            << "Localized edits invalidate only the owning worker's chain "
+               "plus the downstream merge -- the CPG is the memoization "
+               "index an incremental scheduler needs.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Critical-path and graph-shape analysis of a CPG.
+//
+// The longest chain of dependent sub-computations bounds how much an
+// incremental or replicated re-execution (the paper's §I workflows:
+// incremental computation, state machine replication) can parallelize:
+// everything on the critical path must re-run sequentially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpg/graph.h"
+
+namespace inspector::analysis {
+
+struct CriticalPath {
+  /// Node ids along one longest dependency chain, in execution order.
+  std::vector<cpg::NodeId> nodes;
+  /// Chain length (== nodes.size()).
+  std::size_t length = 0;
+  /// Total nodes in the graph, for the parallelism ratio.
+  std::size_t total_nodes = 0;
+
+  /// Average available parallelism: total / critical-path length.
+  [[nodiscard]] double parallelism() const {
+    return length == 0 ? 0.0
+                       : static_cast<double>(total_nodes) /
+                             static_cast<double>(length);
+  }
+};
+
+/// Longest path through the recorded control+sync edges (DAG dynamic
+/// programming over a topological order).
+[[nodiscard]] CriticalPath critical_path(const cpg::Graph& graph);
+
+/// Per-thread summary used by the reports: sub-computations, thunks,
+/// pages read/written.
+struct ThreadSummary {
+  cpg::ThreadId thread = 0;
+  std::size_t subcomputations = 0;
+  std::uint64_t thunks = 0;
+  std::uint64_t pages_read = 0;
+  std::uint64_t pages_written = 0;
+};
+
+[[nodiscard]] std::vector<ThreadSummary> per_thread_summary(
+    const cpg::Graph& graph);
+
+}  // namespace inspector::analysis

@@ -1,0 +1,39 @@
+#include "analysis/incremental.h"
+
+#include <algorithm>
+
+namespace inspector::analysis {
+
+bool InvalidationResult::node_dirty(cpg::NodeId id) const {
+  return std::binary_search(dirty.begin(), dirty.end(), id);
+}
+
+InvalidationResult invalidate(
+    const cpg::Graph& graph,
+    const std::unordered_set<std::uint64_t>& changed_input_pages) {
+  InvalidationResult result;
+  result.dirty_pages = changed_input_pages;
+  std::unordered_set<cpg::ThreadId> dirty_threads;  // register carry-over
+  for (cpg::NodeId id : graph.topological_order()) {
+    const auto& node = graph.node(id);
+    bool dirty = dirty_threads.contains(node.thread);
+    if (!dirty) {
+      for (std::uint64_t page : node.read_set) {
+        if (result.dirty_pages.contains(page)) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (!dirty) continue;
+    dirty_threads.insert(node.thread);
+    result.dirty.push_back(id);
+    for (std::uint64_t page : node.write_set) {
+      result.dirty_pages.insert(page);
+    }
+  }
+  std::sort(result.dirty.begin(), result.dirty.end());
+  return result;
+}
+
+}  // namespace inspector::analysis

@@ -1,0 +1,82 @@
+#include "analysis/numa.h"
+
+#include <algorithm>
+
+namespace inspector::analysis {
+
+std::uint64_t PageAffinity::total_touches() const {
+  std::uint64_t total = 0;
+  for (const auto& [page, per_thread] : touches) {
+    for (const auto& [thread, count] : per_thread) total += count;
+  }
+  return total;
+}
+
+PageAffinity page_affinity(const cpg::Graph& graph) {
+  PageAffinity affinity;
+  for (const auto& node : graph.nodes()) {
+    for (std::uint64_t page : node.read_set) {
+      ++affinity.touches[page][node.thread];
+    }
+    for (std::uint64_t page : node.write_set) {
+      ++affinity.touches[page][node.thread];
+    }
+  }
+  return affinity;
+}
+
+ThreadPlacement round_robin_threads(std::size_t thread_count,
+                                    std::uint32_t nodes) {
+  ThreadPlacement placement(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    placement[t] = static_cast<std::uint32_t>(t % nodes);
+  }
+  return placement;
+}
+
+std::map<std::uint64_t, std::uint32_t> propose_placement(
+    const PageAffinity& affinity, const ThreadPlacement& threads,
+    std::uint32_t nodes) {
+  std::map<std::uint64_t, std::uint32_t> placement;
+  for (const auto& [page, per_thread] : affinity.touches) {
+    std::vector<std::uint64_t> node_touches(nodes, 0);
+    for (const auto& [thread, count] : per_thread) {
+      if (thread < threads.size()) {
+        node_touches[threads[thread]] += count;
+      }
+    }
+    placement[page] = static_cast<std::uint32_t>(
+        std::max_element(node_touches.begin(), node_touches.end()) -
+        node_touches.begin());
+  }
+  return placement;
+}
+
+LayoutScore score_layout(
+    const PageAffinity& affinity, const ThreadPlacement& threads,
+    const std::map<std::uint64_t, std::uint32_t>& page_nodes) {
+  LayoutScore score;
+  for (const auto& [page, per_thread] : affinity.touches) {
+    const auto it = page_nodes.find(page);
+    const std::uint32_t page_node = it == page_nodes.end() ? 0 : it->second;
+    for (const auto& [thread, count] : per_thread) {
+      score.total += count;
+      const std::uint32_t thread_node =
+          thread < threads.size() ? threads[thread] : 0;
+      if (thread_node != page_node) score.remote += count;
+    }
+  }
+  return score;
+}
+
+LayoutScore score_single_node(const PageAffinity& affinity,
+                              const ThreadPlacement& threads,
+                              std::uint32_t home) {
+  std::map<std::uint64_t, std::uint32_t> all_home;
+  for (const auto& [page, per_thread] : affinity.touches) {
+    all_home[page] = home;
+  }
+  return score_layout(affinity, threads, all_home);
+}
+
+}  // namespace inspector::analysis

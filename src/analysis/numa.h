@@ -1,0 +1,63 @@
+// NUMA placement analysis from the CPG (§VIII case study 3).
+//
+// The CPG's page-granular read/write sets are exactly the per-thread
+// access pattern a NUMA memory manager needs. This module aggregates
+// page-touch counts by thread, proposes a placement (each page on the
+// node whose threads touch it most), and scores layouts by remote
+// accesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cpg/graph.h"
+
+namespace inspector::analysis {
+
+/// Touches of each page by each thread (reads + writes, counted once
+/// per sub-computation, i.e. per fault -- the paper's tracking unit).
+struct PageAffinity {
+  std::map<std::uint64_t, std::map<cpg::ThreadId, std::uint64_t>> touches;
+
+  [[nodiscard]] std::uint64_t total_touches() const;
+};
+
+[[nodiscard]] PageAffinity page_affinity(const cpg::Graph& graph);
+
+/// A thread -> NUMA-node assignment.
+using ThreadPlacement = std::vector<std::uint32_t>;  // indexed by ThreadId
+
+/// Round-robin thread placement over `nodes` sockets.
+[[nodiscard]] ThreadPlacement round_robin_threads(std::size_t thread_count,
+                                                  std::uint32_t nodes);
+
+/// Page -> node placement derived from affinity: each page goes to the
+/// node whose threads touch it most (ties to the lower node id).
+[[nodiscard]] std::map<std::uint64_t, std::uint32_t> propose_placement(
+    const PageAffinity& affinity, const ThreadPlacement& threads,
+    std::uint32_t nodes);
+
+struct LayoutScore {
+  std::uint64_t total = 0;
+  std::uint64_t remote = 0;  ///< touches from a thread on another node
+
+  [[nodiscard]] double remote_share() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(remote) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Score a page placement: how many touches cross sockets.
+[[nodiscard]] LayoutScore score_layout(
+    const PageAffinity& affinity, const ThreadPlacement& threads,
+    const std::map<std::uint64_t, std::uint32_t>& page_nodes);
+
+/// Score the naive baseline: every page on node `home` (first touch by
+/// the main thread).
+[[nodiscard]] LayoutScore score_single_node(const PageAffinity& affinity,
+                                            const ThreadPlacement& threads,
+                                            std::uint32_t home);
+
+}  // namespace inspector::analysis

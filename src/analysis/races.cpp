@@ -1,0 +1,84 @@
+#include "analysis/races.h"
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+
+namespace inspector::analysis {
+
+std::ostream& operator<<(std::ostream& os, const RaceReport& report) {
+  return os << (report.write_write ? "W/W" : "R/W") << " race on page "
+            << report.page << " between node " << report.first << " and "
+            << report.second;
+}
+
+namespace {
+
+/// First common element of two sorted vectors, or nullopt.
+std::optional<std::uint64_t> first_intersection(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b,
+    const std::vector<std::uint64_t>& ignored) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      if (!std::binary_search(ignored.begin(), ignored.end(), *ia)) {
+        return *ia;
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<RaceReport> find_races(const cpg::Graph& graph,
+                                   const RaceOptions& options) {
+  std::vector<std::uint64_t> ignored = options.ignored_pages;
+  std::sort(ignored.begin(), ignored.end());
+
+  std::vector<RaceReport> races;
+  const auto& nodes = graph.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const auto& a = nodes[i];
+      const auto& b = nodes[j];
+      if (a.thread == b.thread) continue;  // ordered by control flow
+      // Cheap set checks before the vector-clock comparison.
+      const auto ww = first_intersection(a.write_set, b.write_set, ignored);
+      const auto rw = ww ? std::nullopt
+                         : first_intersection(a.write_set, b.read_set,
+                                              ignored);
+      const auto wr = (ww || rw)
+                          ? std::nullopt
+                          : first_intersection(a.read_set, b.write_set,
+                                               ignored);
+      if (!ww && !rw && !wr) continue;
+      if (!graph.concurrent(a.id, b.id)) continue;
+      RaceReport report;
+      report.first = a.id;
+      report.second = b.id;
+      report.page = ww ? *ww : (rw ? *rw : *wr);
+      report.write_write = ww.has_value();
+      races.push_back(report);
+      if (options.limit != 0 && races.size() >= options.limit) {
+        return races;
+      }
+    }
+  }
+  return races;
+}
+
+bool race_free(const cpg::Graph& graph) {
+  RaceOptions options;
+  options.limit = 1;
+  return find_races(graph, options).empty();
+}
+
+}  // namespace inspector::analysis

@@ -1,0 +1,47 @@
+// Happens-before race detection over the CPG.
+//
+// Two sub-computations race when they are concurrent under the
+// happens-before partial order (vector clocks incomparable) and their
+// page access sets conflict (write/write or read/write overlap). This
+// is the FastTrack-style check the paper's debugging case study builds
+// on, at INSPECTOR's page granularity -- so a report means "these two
+// unordered code regions touched the same page", which catches true
+// races and also flags false sharing (itself actionable; cf. Sheriff).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "cpg/graph.h"
+
+namespace inspector::analysis {
+
+struct RaceReport {
+  cpg::NodeId first = cpg::kInvalidNode;
+  cpg::NodeId second = cpg::kInvalidNode;
+  std::uint64_t page = 0;
+  bool write_write = false;  ///< else read/write
+
+  bool operator==(const RaceReport&) const = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const RaceReport& report);
+
+struct RaceOptions {
+  /// Report at most this many races (0 = unlimited).
+  std::size_t limit = 0;
+  /// Ignore conflicts on pages in this set (e.g. known false-sharing
+  /// accumulators).
+  std::vector<std::uint64_t> ignored_pages;
+};
+
+/// All conflicting concurrent pairs. O(n^2) pairwise with early set
+/// intersection, adequate for the simulator's graph sizes.
+[[nodiscard]] std::vector<RaceReport> find_races(const cpg::Graph& graph,
+                                                 const RaceOptions& options = {});
+
+/// True when the graph is race-free (short-circuits on first hit).
+[[nodiscard]] bool race_free(const cpg::Graph& graph);
+
+}  // namespace inspector::analysis

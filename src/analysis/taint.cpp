@@ -1,0 +1,54 @@
+#include "analysis/taint.h"
+
+#include <algorithm>
+
+namespace inspector::analysis {
+
+bool TaintResult::node_tainted(cpg::NodeId id) const {
+  return std::binary_search(tainted_nodes.begin(), tainted_nodes.end(), id);
+}
+
+TaintResult propagate_taint(
+    const cpg::Graph& graph,
+    const std::unordered_set<std::uint64_t>& seed_pages,
+    const TaintOptions& options) {
+  TaintResult result;
+  result.tainted_pages = seed_pages;
+  std::unordered_set<cpg::ThreadId> tainted_threads;
+
+  for (cpg::NodeId id : graph.topological_order()) {
+    const auto& node = graph.node(id);
+    bool tainted = options.track_register_carryover &&
+                   tainted_threads.contains(node.thread);
+    if (!tainted) {
+      for (std::uint64_t page : node.read_set) {
+        if (result.tainted_pages.contains(page)) {
+          tainted = true;
+          break;
+        }
+      }
+    }
+    if (!tainted) continue;
+    tainted_threads.insert(node.thread);
+    result.tainted_nodes.push_back(id);
+    for (std::uint64_t page : node.write_set) {
+      result.tainted_pages.insert(page);
+    }
+  }
+  std::sort(result.tainted_nodes.begin(), result.tainted_nodes.end());
+  return result;
+}
+
+std::vector<cpg::NodeId> tainted_sinks(const cpg::Graph& graph,
+                                       const TaintResult& taint,
+                                       sync::SyncEventKind sink_kind) {
+  std::vector<cpg::NodeId> sinks;
+  for (const auto& node : graph.nodes()) {
+    if (node.end.kind == sink_kind && taint.node_tainted(node.id)) {
+      sinks.push_back(node.id);
+    }
+  }
+  return sinks;
+}
+
+}  // namespace inspector::analysis

@@ -1,0 +1,148 @@
+#include "core/inspector.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "cpg/offline.h"
+#include "ptsim/flow.h"
+
+namespace inspector::core {
+
+double Comparison::time_overhead() const {
+  if (native.stats.sim_time_ns == 0) return 0.0;
+  return static_cast<double>(traced.stats.sim_time_ns) /
+         static_cast<double>(native.stats.sim_time_ns);
+}
+
+double Comparison::work_overhead() const {
+  if (native.stats.work_ns == 0) return 0.0;
+  return static_cast<double>(traced.stats.work_ns) /
+         static_cast<double>(native.stats.work_ns);
+}
+
+runtime::ExecutorOptions Inspector::executor_options(
+    runtime::Mode mode) const {
+  runtime::ExecutorOptions opts;
+  opts.mode = mode;
+  opts.costs = options_.costs;
+  opts.capture_journal = options_.capture_journal;
+  opts.schedule_seed = options_.schedule_seed;
+  opts.schedule_jitter_ns = options_.schedule_jitter_ns;
+  opts.enable_pt = options_.enable_pt;
+  opts.enable_memtrack = options_.enable_memtrack;
+  opts.perf.aux_bytes = options_.aux_buffer_bytes;
+  opts.perf.mode = options_.aux_mode;
+  opts.drain_interval_quanta = options_.aux_drain_interval_quanta;
+  opts.snapshot_every_syncs = options_.snapshot_every_syncs;
+  opts.snapshot_ring_slots = options_.snapshot_ring_slots;
+  opts.snapshot_slot_bytes = options_.snapshot_slot_bytes;
+  return opts;
+}
+
+runtime::ExecutionResult Inspector::run(
+    const runtime::Program& program) const {
+  return runtime::execute(program, executor_options(runtime::Mode::kInspector));
+}
+
+runtime::ExecutionResult Inspector::run_native(
+    const runtime::Program& program) const {
+  return runtime::execute(program, executor_options(runtime::Mode::kNative));
+}
+
+Comparison Inspector::compare(const runtime::Program& program) const {
+  return Comparison{run_native(program), run(program)};
+}
+
+std::map<cpg::ThreadId, std::vector<cpg::BranchRecord>>
+Inspector::decode_branches(const runtime::ExecutionResult& result) {
+  std::map<cpg::ThreadId, std::vector<cpg::BranchRecord>> branches;
+  if (result.perf_session == nullptr || result.image == nullptr) {
+    return branches;
+  }
+  for (perf::Pid pid : result.perf_session->traced_pids()) {
+    const auto& trace = result.perf_session->trace_for(pid);
+    ptsim::FlowDecoder decoder(result.image->image, trace);
+    const ptsim::FlowResult flow = decoder.run();
+    auto& out = branches[pid];
+    for (const auto& e : flow.events) {
+      using K = ptsim::BranchEvent::Kind;
+      if (e.kind == K::kConditional) {
+        out.push_back({e.ip, e.target, e.taken, false});
+      } else if (e.kind == K::kIndirect) {
+        out.push_back({e.ip, e.target, true, true});
+      }
+    }
+  }
+  return branches;
+}
+
+cpg::Graph Inspector::rebuild_offline(
+    const runtime::ExecutionResult& result) {
+  if (result.journal == nullptr) {
+    throw std::runtime_error(
+        "rebuild_offline: run with Options::capture_journal = true");
+  }
+  return cpg::rebuild_from_journal(*result.journal,
+                                   decode_branches(result));
+}
+
+PtVerification Inspector::verify_pt(const runtime::ExecutionResult& result) {
+  PtVerification v;
+  if (!result.graph.has_value() || result.perf_session == nullptr ||
+      result.image == nullptr) {
+    v.detail = "no PT data in result (native run or PT disabled)";
+    return v;
+  }
+  std::ostringstream detail;
+  v.ok = true;
+  const cpg::Graph& graph = *result.graph;
+  auto& session = *result.perf_session;
+
+  for (perf::Pid pid : session.traced_pids()) {
+    const auto& trace = session.trace_for(pid);
+    ptsim::FlowDecoder decoder(result.image->image, trace);
+    ptsim::FlowResult flow = decoder.run();
+    v.gaps += flow.gaps;
+
+    // Recorded thunks of this thread, in execution order.
+    std::vector<cpg::BranchRecord> recorded;
+    for (cpg::NodeId id : graph.thread_nodes(pid)) {
+      for (const cpg::Thunk& t : graph.node(id).thunks) {
+        recorded.push_back(t.branch);
+      }
+    }
+    // Decoded control-flow events.
+    std::vector<cpg::BranchRecord> decoded;
+    for (const auto& e : flow.events) {
+      using K = ptsim::BranchEvent::Kind;
+      if (e.kind == K::kConditional) {
+        decoded.push_back({e.ip, e.target, e.taken, false});
+      } else if (e.kind == K::kIndirect) {
+        decoded.push_back({e.ip, e.target, true, true});
+      }
+    }
+    if (flow.gaps != 0) continue;  // lossy trace: skip the strict check
+
+    ++v.threads_checked;
+    const std::size_t n = std::min(recorded.size(), decoded.size());
+    if (recorded.size() != decoded.size()) {
+      ++v.mismatches;
+      v.ok = false;
+      detail << "pid " << pid << ": " << recorded.size()
+             << " recorded vs " << decoded.size() << " decoded branches\n";
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ++v.branches_checked;
+      if (!(recorded[i] == decoded[i])) {
+        ++v.mismatches;
+        v.ok = false;
+        detail << "pid " << pid << " branch " << i << " differs\n";
+        break;
+      }
+    }
+  }
+  v.detail = detail.str();
+  return v;
+}
+
+}  // namespace inspector::core

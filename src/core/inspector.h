@@ -1,0 +1,130 @@
+// INSPECTOR public API.
+//
+// The paper's library is LD_PRELOADed under an unmodified binary; here
+// the equivalent entry point takes a Program (the simulated binary) and
+// runs it under the full provenance stack -- threads-as-processes with
+// MMU tracking (§V-A), Intel PT control-flow tracing through the perf
+// layer (§V-B), and the optional live-snapshot facility (§VI) --
+// returning the Concurrent Provenance Graph plus every statistic the
+// evaluation reports.
+//
+// Quick start:
+//
+//   inspector::core::Inspector insp;                 // default options
+//   auto program = workloads::make_histogram({.threads = 8});
+//   auto run = insp.run(program);                    // traced execution
+//   const cpg::Graph& g = *run.graph;                // the CPG
+//   auto cmp = insp.compare(program);                // vs native pthreads
+//   std::cout << cmp.time_overhead();                // fig-5 number
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "runtime/executor.h"
+#include "runtime/program.h"
+
+namespace inspector::core {
+
+/// User-facing knobs; forwarded into the executor.
+struct Options {
+  /// Trace control flow via the simulated Intel PT PMU.
+  bool enable_pt = true;
+  /// Track data/schedule dependencies via MMU page protection.
+  bool enable_memtrack = true;
+  /// Take a consistent CPG snapshot every N sync events (0 = off, §VI).
+  std::uint32_t snapshot_every_syncs = 0;
+  std::uint32_t snapshot_ring_slots = 4;
+  std::size_t snapshot_slot_bytes = snapshot::kDefaultSlotBytes;
+  /// Capture the threading-library journal so the CPG can be rebuilt
+  /// offline from journal + perf.data (cpg/offline.h).
+  bool capture_journal = false;
+  /// Scheduling seed: different seeds explore different interleavings.
+  std::uint64_t schedule_seed = 0;
+  /// Per-slice jitter magnitude used when schedule_seed != 0.
+  std::uint64_t schedule_jitter_ns = 2'000;
+  /// Cost model for simulated time (defaults approximate the paper's
+  /// Xeon D-1540 testbed; see EXPERIMENTS.md).
+  runtime::CostModel costs;
+  /// AUX ring capacity per traced process.
+  std::size_t aux_buffer_bytes = 8 * 1024 * 1024;
+  /// AUX mode: full trace (gaps under overflow) or snapshot
+  /// (continuous overwrite).
+  ptsim::RingMode aux_mode = ptsim::RingMode::kFullTrace;
+  /// How often (in scheduler quanta) the perf tool drains the AUX
+  /// rings. Large values with small rings model a perf that cannot
+  /// keep up -> trace gaps.
+  std::uint32_t aux_drain_interval_quanta = 16;
+};
+
+/// Side-by-side native/INSPECTOR runs of the same program.
+struct Comparison {
+  runtime::ExecutionResult native;
+  runtime::ExecutionResult traced;
+
+  /// Fig-5 metric: INSPECTOR end-to-end time / native time.
+  [[nodiscard]] double time_overhead() const;
+  /// The work metric (total CPU across threads) of the tech report.
+  [[nodiscard]] double work_overhead() const;
+};
+
+/// Result of cross-checking the decoded PT trace against the recorded
+/// thunks (the two independent control-flow paths of the pipeline).
+struct PtVerification {
+  bool ok = false;
+  std::size_t threads_checked = 0;
+  std::uint64_t branches_checked = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t gaps = 0;  ///< overflow gaps (strict check skipped if > 0)
+  std::string detail;
+};
+
+class Inspector {
+ public:
+  Inspector() = default;
+  explicit Inspector(Options options) : options_(options) {}
+
+  /// Run `program` under the INSPECTOR library: returns the CPG, perf
+  /// session (PT traces), snapshots, and stats.
+  [[nodiscard]] runtime::ExecutionResult run(
+      const runtime::Program& program) const;
+
+  /// Run `program` under plain pthreads (the baseline).
+  [[nodiscard]] runtime::ExecutionResult run_native(
+      const runtime::Program& program) const;
+
+  /// Run both and pair them up.
+  [[nodiscard]] Comparison compare(const runtime::Program& program) const;
+
+  /// Decode every traced process's PT stream against the binary image
+  /// and compare with the thunks recorded in the CPG. Exercises the
+  /// full encoder -> AUX -> decoder -> flow-reconstruction pipeline.
+  [[nodiscard]] static PtVerification verify_pt(
+      const runtime::ExecutionResult& result);
+
+  /// Decode each traced process's PT stream into per-thread branch
+  /// records (the flow-decoder output the offline pipeline consumes).
+  [[nodiscard]] static std::map<cpg::ThreadId, std::vector<cpg::BranchRecord>>
+  decode_branches(const runtime::ExecutionResult& result);
+
+  /// Rebuild the CPG offline from the run's journal + decoded PT
+  /// streams (requires Options::capture_journal). The result is
+  /// bit-identical to the online graph -- the paper's post-processing
+  /// pipeline (§V-B). Throws std::runtime_error when the journal is
+  /// missing.
+  [[nodiscard]] static cpg::Graph rebuild_offline(
+      const runtime::ExecutionResult& result);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] runtime::ExecutorOptions executor_options(
+      runtime::Mode mode) const;
+
+  Options options_;
+};
+
+}  // namespace inspector::core

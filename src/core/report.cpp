@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace inspector::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("table row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(width[c], '-');
+    if (c + 1 != headers_.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_overhead(double x) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << x << 'x';
+  return os.str();
+}
+
+std::string format_sci(double x) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << x;
+  return os.str();
+}
+
+std::string format_mb(std::uint64_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << static_cast<double>(bytes) / (1024.0 * 1024.0) << " MB";
+  return os.str();
+}
+
+std::string format_fixed(double x, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << x;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+}  // namespace inspector::core

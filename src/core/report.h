@@ -1,0 +1,36 @@
+// Small fixed-width table formatter used by the benchmark harnesses to
+// print the paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace inspector::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers: "2.41x", "1.16E+06", "183 MB", "12.3".
+[[nodiscard]] std::string format_overhead(double x);
+[[nodiscard]] std::string format_sci(double x);
+[[nodiscard]] std::string format_mb(std::uint64_t bytes);
+[[nodiscard]] std::string format_fixed(double x, int decimals = 2);
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace inspector::core

@@ -1,0 +1,122 @@
+#include "cpg/diff.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace inspector::cpg {
+
+namespace {
+
+using Key = std::pair<ThreadId, std::uint64_t>;
+
+std::map<Key, const SubComputation*> index_nodes(const Graph& g) {
+  std::map<Key, const SubComputation*> idx;
+  for (const auto& n : g.nodes()) idx.emplace(Key{n.thread, n.alpha}, &n);
+  return idx;
+}
+
+std::vector<std::uint64_t> minus(const std::vector<std::uint64_t>& a,
+                                 const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// Sync edges as schedule-independent tuples.
+std::multiset<std::tuple<ThreadId, std::uint64_t, ThreadId, std::uint64_t,
+                         std::uint64_t>>
+sync_edge_set(const Graph& g) {
+  std::multiset<std::tuple<ThreadId, std::uint64_t, ThreadId, std::uint64_t,
+                           std::uint64_t>>
+      out;
+  for (const auto& e : g.edges()) {
+    if (e.kind != EdgeKind::kSync) continue;
+    const auto& from = g.node(e.from);
+    const auto& to = g.node(e.to);
+    out.insert({from.thread, from.alpha, to.thread, to.alpha, e.object});
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphDiff diff_graphs(const Graph& a, const Graph& b) {
+  GraphDiff diff;
+
+  // Schedule divergence: first position where the event streams differ.
+  const auto& sa = a.schedule();
+  const auto& sb = b.schedule();
+  const std::size_t n = std::min(sa.size(), sb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sa[i].thread != sb[i].thread || sa[i].object != sb[i].object ||
+        sa[i].kind != sb[i].kind) {
+      diff.first_schedule_divergence = i;
+      break;
+    }
+  }
+  if (!diff.first_schedule_divergence.has_value() && sa.size() != sb.size()) {
+    diff.first_schedule_divergence = n;
+  }
+
+  // Node presence + set changes.
+  const auto ia = index_nodes(a);
+  const auto ib = index_nodes(b);
+  for (const auto& [key, node] : ia) {
+    if (!ib.contains(key)) diff.only_in_a.push_back(key);
+  }
+  for (const auto& [key, node] : ib) {
+    if (!ia.contains(key)) diff.only_in_b.push_back(key);
+  }
+  for (const auto& [key, na] : ia) {
+    auto it = ib.find(key);
+    if (it == ib.end()) continue;
+    const auto* nb = it->second;
+    GraphDiff::SetChange change;
+    change.thread = key.first;
+    change.alpha = key.second;
+    change.reads_added = minus(nb->read_set, na->read_set);
+    change.reads_removed = minus(na->read_set, nb->read_set);
+    change.writes_added = minus(nb->write_set, na->write_set);
+    change.writes_removed = minus(na->write_set, nb->write_set);
+    if (!change.reads_added.empty() || !change.reads_removed.empty() ||
+        !change.writes_added.empty() || !change.writes_removed.empty()) {
+      diff.set_changes.push_back(std::move(change));
+    }
+  }
+
+  // Sync-edge differences.
+  const auto ea = sync_edge_set(a);
+  const auto eb = sync_edge_set(b);
+  for (const auto& e : ea) {
+    if (!eb.contains(e)) ++diff.sync_edges_only_a;
+  }
+  for (const auto& e : eb) {
+    if (!ea.contains(e)) ++diff.sync_edges_only_b;
+  }
+  return diff;
+}
+
+std::string GraphDiff::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const GraphDiff& diff) {
+  if (diff.identical()) return os << "CPGs identical";
+  if (diff.first_schedule_divergence.has_value()) {
+    os << "schedules diverge at event #" << *diff.first_schedule_divergence
+       << "; ";
+  }
+  os << diff.only_in_a.size() << " node(s) only in A, "
+     << diff.only_in_b.size() << " only in B; " << diff.set_changes.size()
+     << " node(s) with changed page sets; sync edges only-A="
+     << diff.sync_edges_only_a << " only-B=" << diff.sync_edges_only_b;
+  return os;
+}
+
+}  // namespace inspector::cpg

@@ -1,0 +1,63 @@
+// CPG diffing: compare the provenance of two runs of the same program.
+//
+// The §VIII debugging workflow's sharpest tool: when two schedules
+// compute different results, diffing their CPGs pinpoints where the
+// executions diverged -- the first schedule event that differs, the
+// sub-computations whose dependencies changed, and the pages whose
+// dataflow shifted.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+
+namespace inspector::cpg {
+
+struct GraphDiff {
+  /// Index of the first schedule event that differs (thread/object/kind
+  /// mismatch), or nullopt when one schedule is a prefix of the other.
+  std::optional<std::size_t> first_schedule_divergence;
+
+  /// Nodes present in one graph but not the other, keyed by
+  /// (thread, alpha).
+  std::vector<std::pair<ThreadId, std::uint64_t>> only_in_a;
+  std::vector<std::pair<ThreadId, std::uint64_t>> only_in_b;
+
+  /// Nodes present in both whose read/write sets differ (the dataflow
+  /// consequences of the schedule change).
+  struct SetChange {
+    ThreadId thread = 0;
+    std::uint64_t alpha = 0;
+    std::vector<std::uint64_t> reads_added;    // in b, not a
+    std::vector<std::uint64_t> reads_removed;  // in a, not b
+    std::vector<std::uint64_t> writes_added;
+    std::vector<std::uint64_t> writes_removed;
+  };
+  std::vector<SetChange> set_changes;
+
+  /// Sync edges (by endpoint thread/alpha + object) present in exactly
+  /// one graph: the interleaving difference itself.
+  std::size_t sync_edges_only_a = 0;
+  std::size_t sync_edges_only_b = 0;
+
+  [[nodiscard]] bool identical() const {
+    return !first_schedule_divergence.has_value() && only_in_a.empty() &&
+           only_in_b.empty() && set_changes.empty() &&
+           sync_edges_only_a == 0 && sync_edges_only_b == 0;
+  }
+
+  /// Human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Structural diff of two CPGs (typically: same program, different
+/// schedule seeds).
+[[nodiscard]] GraphDiff diff_graphs(const Graph& a, const Graph& b);
+
+std::ostream& operator<<(std::ostream& os, const GraphDiff& diff);
+
+}  // namespace inspector::cpg

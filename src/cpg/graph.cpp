@@ -1,0 +1,302 @@
+#include "cpg/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace inspector::cpg {
+
+bool SubComputation::reads_page(std::uint64_t page) const {
+  return std::binary_search(read_set.begin(), read_set.end(), page);
+}
+
+bool SubComputation::writes_page(std::uint64_t page) const {
+  return std::binary_search(write_set.begin(), write_set.end(), page);
+}
+
+std::ostream& operator<<(std::ostream& os, const SubComputation& node) {
+  return os << "L" << node.thread << "[" << node.alpha << "] clock="
+            << node.clock << " |R|=" << node.read_set.size()
+            << " |W|=" << node.write_set.size()
+            << " thunks=" << node.thunks.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const Edge& edge) {
+  const char* kind = edge.kind == EdgeKind::kControl ? "control"
+                     : edge.kind == EdgeKind::kSync  ? "sync"
+                                                     : "data";
+  return os << edge.from << " -[" << kind << "]-> " << edge.to;
+}
+
+Graph::Graph(std::vector<SubComputation> nodes, std::vector<Edge> edges,
+             std::vector<sync::SyncEvent> schedule)
+    : nodes_(std::move(nodes)),
+      edges_(std::move(edges)),
+      schedule_(std::move(schedule)) {
+  build_indices();
+}
+
+void Graph::build_indices() {
+  ThreadId max_thread = 0;
+  for (const auto& n : nodes_) max_thread = std::max(max_thread, n.thread);
+  by_thread_.assign(nodes_.empty() ? 0 : max_thread + 1, {});
+  for (const auto& n : nodes_) by_thread_[n.thread].push_back(n.id);
+  for (auto& v : by_thread_) {
+    std::sort(v.begin(), v.end(), [this](NodeId a, NodeId b) {
+      return nodes_[a].alpha < nodes_[b].alpha;
+    });
+  }
+  out_.assign(nodes_.size(), {});
+  in_.assign(nodes_.size(), {});
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    out_[edges_[i].from].push_back(i);
+    in_[edges_[i].to].push_back(i);
+  }
+}
+
+std::span<const NodeId> Graph::thread_nodes(ThreadId tid) const {
+  if (tid >= by_thread_.size()) return {};
+  return by_thread_[tid];
+}
+
+std::optional<NodeId> Graph::find(ThreadId tid, std::uint64_t alpha) const {
+  for (NodeId id : thread_nodes(tid)) {
+    if (nodes_[id].alpha == alpha) return id;
+  }
+  return std::nullopt;
+}
+
+bool Graph::happens_before(NodeId a, NodeId b) const {
+  const auto& na = node(a);
+  const auto& nb = node(b);
+  if (na.thread == nb.thread) return na.alpha < nb.alpha;
+  return na.clock.happens_before(nb.clock);
+}
+
+bool Graph::concurrent(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return !happens_before(a, b) && !happens_before(b, a);
+}
+
+namespace {
+bool sorted_intersect(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::vector<Edge> Graph::data_dependencies(NodeId reader) const {
+  const auto& r = node(reader);
+  std::vector<Edge> result;
+  for (const auto& w : nodes_) {
+    if (w.id == reader) continue;
+    if (!happens_before(w.id, reader)) continue;
+    if (!sorted_intersect(w.write_set, r.read_set)) continue;
+    // One edge per shared page, so consumers can attribute flow per page.
+    for (std::uint64_t page : r.read_set) {
+      if (w.writes_page(page)) {
+        result.push_back({w.id, reader, EdgeKind::kData, page});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Edge> Graph::latest_writers(NodeId reader) const {
+  const auto& r = node(reader);
+  std::vector<Edge> result;
+  for (std::uint64_t page : r.read_set) {
+    // Maximal writers of `page` under happens-before among those that
+    // precede `reader`.
+    std::vector<NodeId> candidates;
+    for (const auto& w : nodes_) {
+      if (w.id != reader && happens_before(w.id, reader) &&
+          w.writes_page(page)) {
+        candidates.push_back(w.id);
+      }
+    }
+    for (NodeId c : candidates) {
+      const bool superseded =
+          std::any_of(candidates.begin(), candidates.end(),
+                      [&](NodeId d) { return d != c && happens_before(c, d); });
+      if (!superseded) result.push_back({c, reader, EdgeKind::kData, page});
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> Graph::writers_of_page(std::uint64_t page) const {
+  std::vector<NodeId> result;
+  for (const auto& n : nodes_) {
+    if (n.writes_page(page)) result.push_back(n.id);
+  }
+  return result;
+}
+
+std::vector<NodeId> Graph::readers_of_page(std::uint64_t page) const {
+  std::vector<NodeId> result;
+  for (const auto& n : nodes_) {
+    if (n.reads_page(page)) result.push_back(n.id);
+  }
+  return result;
+}
+
+std::vector<NodeId> Graph::backward_slice(NodeId start) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<NodeId> frontier{start};
+  visited[start] = true;
+  std::vector<NodeId> slice;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    slice.push_back(cur);
+    // Recorded control/sync predecessors.
+    for (std::uint32_t e : in_edges(cur)) {
+      const NodeId pred = edges_[e].from;
+      if (!visited[pred]) {
+        visited[pred] = true;
+        frontier.push_back(pred);
+      }
+    }
+    // Data predecessors: latest writers of each page read.
+    for (const Edge& e : latest_writers(cur)) {
+      if (!visited[e.from]) {
+        visited[e.from] = true;
+        frontier.push_back(e.from);
+      }
+    }
+  }
+  std::sort(slice.begin(), slice.end());
+  return slice;
+}
+
+std::vector<NodeId> Graph::forward_slice(NodeId start) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<NodeId> frontier{start};
+  visited[start] = true;
+  std::vector<NodeId> slice;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    slice.push_back(cur);
+    // Recorded control/sync successors.
+    for (std::uint32_t e : out_edges(cur)) {
+      const NodeId succ = edges_[e].to;
+      if (!visited[succ]) {
+        visited[succ] = true;
+        frontier.push_back(succ);
+      }
+    }
+    // Data successors: readers (under happens-before) of pages this
+    // node wrote.
+    for (std::uint64_t page : nodes_[cur].write_set) {
+      for (NodeId reader : readers_of_page(page)) {
+        if (!visited[reader] && happens_before(cur, reader)) {
+          visited[reader] = true;
+          frontier.push_back(reader);
+        }
+      }
+    }
+  }
+  std::sort(slice.begin(), slice.end());
+  return slice;
+}
+
+std::vector<NodeId> Graph::topological_order() const {
+  std::vector<std::uint32_t> indegree(nodes_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.to];
+  std::deque<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId cur = ready.front();
+    ready.pop_front();
+    order.push_back(cur);
+    for (std::uint32_t e : out_edges(cur)) {
+      if (--indegree[edges_[e].to] == 0) ready.push_back(edges_[e].to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("CPG contains a cycle");
+  }
+  return order;
+}
+
+bool Graph::validate(std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  for (const auto& e : edges_) {
+    if (e.from >= nodes_.size() || e.to >= nodes_.size()) {
+      return fail("edge references unknown node");
+    }
+    const auto& from = node(e.from);
+    const auto& to = node(e.to);
+    switch (e.kind) {
+      case EdgeKind::kControl:
+        if (from.thread != to.thread) {
+          return fail("control edge crosses threads");
+        }
+        if (from.alpha + 1 != to.alpha) {
+          return fail("control edge skips a sub-computation");
+        }
+        break;
+      case EdgeKind::kSync:
+      case EdgeKind::kData:
+        if (!happens_before(e.from, e.to)) {
+          return fail("edge source does not happen-before destination");
+        }
+        break;
+    }
+  }
+  try {
+    (void)topological_order();
+  } catch (const std::logic_error&) {
+    return fail("graph has a cycle");
+  }
+  return true;
+}
+
+GraphStats Graph::stats() const {
+  GraphStats s;
+  s.nodes = nodes_.size();
+  s.threads = by_thread_.size();
+  for (const auto& e : edges_) {
+    if (e.kind == EdgeKind::kControl) ++s.control_edges;
+    if (e.kind == EdgeKind::kSync) ++s.sync_edges;
+  }
+  for (const auto& n : nodes_) {
+    s.thunks += n.thunks.size();
+    s.read_pages += n.read_set.size();
+    s.write_pages += n.write_set.size();
+  }
+  return s;
+}
+
+std::span<const std::uint32_t> Graph::out_edges(NodeId id) const {
+  return out_.at(id);
+}
+
+std::span<const std::uint32_t> Graph::in_edges(NodeId id) const {
+  return in_.at(id);
+}
+
+}  // namespace inspector::cpg

@@ -1,0 +1,120 @@
+// The Concurrent Provenance Graph (INSPECTOR §IV-A): a DAG whose
+// vertices are sub-computations and whose edges record control,
+// synchronization, and data dependencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cpg/node.h"
+
+namespace inspector::cpg {
+
+/// Aggregate statistics over a CPG (used by reports and tests).
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t control_edges = 0;
+  std::size_t sync_edges = 0;
+  std::size_t threads = 0;
+  std::uint64_t thunks = 0;
+  std::uint64_t read_pages = 0;   ///< sum of read-set sizes
+  std::uint64_t write_pages = 0;  ///< sum of write-set sizes
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<SubComputation> nodes, std::vector<Edge> edges,
+        std::vector<sync::SyncEvent> schedule);
+
+  [[nodiscard]] const std::vector<SubComputation>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const SubComputation& node(NodeId id) const {
+    return nodes_.at(id);
+  }
+  /// Control + sync edges recorded at build time (data edges are
+  /// derived on demand; see queries below).
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  /// The recorded synchronization schedule (§IV-A II).
+  [[nodiscard]] const std::vector<sync::SyncEvent>& schedule() const noexcept {
+    return schedule_;
+  }
+
+  /// Nodes of thread `tid`, in execution (alpha) order.
+  [[nodiscard]] std::span<const NodeId> thread_nodes(ThreadId tid) const;
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return by_thread_.size();
+  }
+
+  /// The node L_t[alpha], if it exists.
+  [[nodiscard]] std::optional<NodeId> find(ThreadId tid,
+                                           std::uint64_t alpha) const;
+
+  // --- happens-before queries (vector-clock comparison, §IV-B) --------
+  [[nodiscard]] bool happens_before(NodeId a, NodeId b) const;
+  [[nodiscard]] bool concurrent(NodeId a, NodeId b) const;
+
+  // --- data-dependence queries (§IV-A III) -----------------------------
+  /// All update-use (read-after-write) dependencies of `reader`: edges
+  /// from every sub-computation that happens-before `reader` and whose
+  /// write set intersects `reader`'s read set.
+  [[nodiscard]] std::vector<Edge> data_dependencies(NodeId reader) const;
+
+  /// For each page `reader` reads, the *latest* writer under
+  /// happens-before (the writer no other happens-before writer of the
+  /// same page succeeds). This is the dataflow a slicing query follows.
+  [[nodiscard]] std::vector<Edge> latest_writers(NodeId reader) const;
+
+  /// All nodes that wrote `page`, in no particular order.
+  [[nodiscard]] std::vector<NodeId> writers_of_page(std::uint64_t page) const;
+  [[nodiscard]] std::vector<NodeId> readers_of_page(std::uint64_t page) const;
+
+  /// Backward provenance slice: every node reachable from `start` going
+  /// against control, sync, and latest-writer data edges. This is the
+  /// "why is the state like this" query of the debugging case study
+  /// (§VIII).
+  [[nodiscard]] std::vector<NodeId> backward_slice(NodeId start) const;
+
+  /// Forward impact slice: every node reachable from `start` along
+  /// control, sync, and read-after-write data edges -- everything whose
+  /// result may depend on `start`. The change-propagation query of the
+  /// incremental-computation workflow (§I, iThreads).
+  [[nodiscard]] std::vector<NodeId> forward_slice(NodeId start) const;
+
+  /// Topological order consistent with happens-before; throws
+  /// std::logic_error when the recorded graph has a cycle (which would
+  /// indicate a recorder bug -- the CPG is a DAG by construction).
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Verify DAG-ness and clock consistency: every recorded edge's
+  /// source must happen-before (or equal, for same-thread control
+  /// edges) its destination. Returns false with a reason when violated.
+  [[nodiscard]] bool validate(std::string* reason = nullptr) const;
+
+  [[nodiscard]] GraphStats stats() const;
+
+  /// Outgoing recorded (control/sync) edges per node.
+  [[nodiscard]] std::span<const std::uint32_t> out_edges(NodeId id) const;
+  /// Incoming recorded (control/sync) edges per node.
+  [[nodiscard]] std::span<const std::uint32_t> in_edges(NodeId id) const;
+
+ private:
+  void build_indices();
+
+  std::vector<SubComputation> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<sync::SyncEvent> schedule_;
+
+  std::vector<std::vector<NodeId>> by_thread_;
+  // CSR-style adjacency into edges_ by edge index.
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+};
+
+}  // namespace inspector::cpg

@@ -1,0 +1,70 @@
+#include "cpg/offline.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cpg/recorder.h"
+
+namespace inspector::cpg {
+
+Graph rebuild_from_journal(
+    const Journal& journal,
+    const std::map<ThreadId, std::vector<BranchRecord>>& branches) {
+  Recorder recorder;
+  std::unordered_map<ThreadId, std::size_t> cursor;  // into branches[tid]
+
+  auto feed_branches = [&](ThreadId tid, std::uint32_t count) {
+    auto it = branches.find(tid);
+    const auto* stream =
+        it == branches.end() ? nullptr : &it->second;
+    std::size_t& pos = cursor[tid];
+    if (stream == nullptr || pos + count > stream->size()) {
+      throw std::runtime_error(
+          "offline rebuild: PT stream of thread " + std::to_string(tid) +
+          " is shorter than the journal requires (gap or wrong trace)");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      recorder.on_branch(tid, (*stream)[pos++]);
+    }
+  };
+
+  for (const auto& op : journal.ops) {
+    switch (op.kind) {
+      case JournalOp::Kind::kThreadStart:
+        recorder.thread_started(op.tid, static_cast<ThreadId>(op.aux));
+        break;
+      case JournalOp::Kind::kEndSub: {
+        feed_branches(op.tid, op.branch_count);
+        const std::unordered_set<std::uint64_t> reads(op.read_set.begin(),
+                                                      op.read_set.end());
+        const std::unordered_set<std::uint64_t> writes(op.write_set.begin(),
+                                                       op.write_set.end());
+        recorder.end_subcomputation(op.tid, reads, writes,
+                                    EndReason{op.event, op.aux});
+        break;
+      }
+      case JournalOp::Kind::kRelease:
+        recorder.on_release(op.tid, op.aux);
+        break;
+      case JournalOp::Kind::kAcquire:
+        recorder.on_acquire(op.tid, op.aux);
+        break;
+      case JournalOp::Kind::kEvent:
+        recorder.record_schedule_event(op.tid, op.aux, op.event);
+        break;
+      case JournalOp::Kind::kThreadExit: {
+        feed_branches(op.tid, op.branch_count);
+        const std::unordered_set<std::uint64_t> reads(op.read_set.begin(),
+                                                      op.read_set.end());
+        const std::unordered_set<std::uint64_t> writes(op.write_set.begin(),
+                                                       op.write_set.end());
+        recorder.thread_exiting(op.tid, reads, writes);
+        break;
+      }
+    }
+  }
+  return std::move(recorder).finalize();
+}
+
+}  // namespace inspector::cpg

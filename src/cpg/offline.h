@@ -1,0 +1,29 @@
+// Offline CPG reconstruction: journal + decoded PT branches -> Graph.
+//
+// This is the paper's actual pipeline shape (§V-B): the run produces a
+// perf.data (PT byte streams) and the threading library's side-band
+// journal; afterwards, a post-processing step decodes the trace against
+// the binary image and merges it with the journal to build the same
+// Concurrent Provenance Graph the online recorder would have built.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "cpg/journal.h"
+#include "cpg/node.h"
+
+namespace inspector::cpg {
+
+/// Rebuild the CPG by replaying `journal` through a fresh recorder,
+/// attaching each sub-computation's branches from the per-thread branch
+/// streams (`branches[tid]`, in retirement order -- the flow decoder's
+/// output). Throws std::runtime_error when a thread's stream is shorter
+/// than the journal demands (trace gap or wrong trace).
+[[nodiscard]] Graph rebuild_from_journal(
+    const Journal& journal,
+    const std::map<ThreadId, std::vector<BranchRecord>>& branches);
+
+}  // namespace inspector::cpg

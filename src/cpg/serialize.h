@@ -1,0 +1,30 @@
+// CPG serialization: the format the snapshot ring stores and the
+// perf-script-style text dump the paper's extended perf interface
+// exposes (§V, "exports the CPG as an extended interface in the perf
+// utility").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+
+namespace inspector::cpg {
+
+/// Compact binary encoding (little-endian, varint-free for simplicity).
+/// Layout: magic "CPG1", node count, nodes, edge count, edges, schedule.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Graph& graph);
+
+/// Inverse of serialize(). Throws std::runtime_error on a malformed or
+/// truncated buffer.
+[[nodiscard]] Graph deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Human-readable dump, one node per line plus edges; the shape a
+/// `perf script` post-processor would print.
+[[nodiscard]] std::string to_text(const Graph& graph);
+
+/// Graphviz dot, for the examples' visual output.
+[[nodiscard]] std::string to_dot(const Graph& graph);
+
+}  // namespace inspector::cpg

@@ -1,0 +1,55 @@
+#include "memtrack/shared_memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace inspector::memtrack {
+
+PageData& SharedMemory::page(std::uint64_t page_id) {
+  auto it = pages_.find(page_id);
+  if (it == pages_.end()) {
+    auto fresh = std::make_unique<PageData>();
+    fresh->fill(0);
+    it = pages_.emplace(page_id, std::move(fresh)).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::uint64_t> SharedMemory::page_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pages_.size());
+  for (const auto& [id, page] : pages_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const PageData* SharedMemory::find_page(std::uint64_t page_id) const {
+  auto it = pages_.find(page_id);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t SharedMemory::read_word(std::uint64_t addr) const {
+  assert(addr % 8 == 0 && "word access must be 8-byte aligned");
+  const PageData* p = find_page(page_id_of(addr));
+  if (p == nullptr) return 0;
+  std::uint64_t value = 0;
+  std::memcpy(&value, p->data() + page_offset(addr), 8);
+  return value;
+}
+
+void SharedMemory::write_word(std::uint64_t addr, std::uint64_t value) {
+  assert(addr % 8 == 0 && "word access must be 8-byte aligned");
+  std::memcpy(page(page_id_of(addr)).data() + page_offset(addr), &value, 8);
+}
+
+std::uint8_t SharedMemory::read_byte(std::uint64_t addr) const {
+  const PageData* p = find_page(page_id_of(addr));
+  return p == nullptr ? 0 : (*p)[page_offset(addr)];
+}
+
+void SharedMemory::write_byte(std::uint64_t addr, std::uint8_t value) {
+  page(page_id_of(addr))[page_offset(addr)] = value;
+}
+
+}  // namespace inspector::memtrack

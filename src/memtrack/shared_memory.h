@@ -1,0 +1,57 @@
+// The shared backing store: INSPECTOR's memory-mapped file (§V-A).
+//
+// In the real system the globals and heap live in memory-mapped files
+// that every thread-as-process maps MAP_PRIVATE; this class is that
+// file. Pages are materialized lazily and zero-filled, like anonymous
+// mappings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace inspector::memtrack {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr std::uint64_t kPageShift = 12;
+
+[[nodiscard]] constexpr std::uint64_t page_id_of(std::uint64_t addr) noexcept {
+  return addr >> kPageShift;
+}
+[[nodiscard]] constexpr std::uint64_t page_offset(std::uint64_t addr) noexcept {
+  return addr & (kPageSize - 1);
+}
+
+using PageData = std::array<std::uint8_t, kPageSize>;
+
+/// Sparse page-granular byte store shared between all threads.
+class SharedMemory {
+ public:
+  /// The page backing `page_id`, created zero-filled on first use.
+  [[nodiscard]] PageData& page(std::uint64_t page_id);
+
+  /// The page if it exists, else nullptr (avoids materializing pages on
+  /// read-only probes).
+  [[nodiscard]] const PageData* find_page(std::uint64_t page_id) const;
+
+  /// Direct (native-execution) accessors. `addr` is a byte address;
+  /// word accessors require 8-byte alignment.
+  [[nodiscard]] std::uint64_t read_word(std::uint64_t addr) const;
+  void write_word(std::uint64_t addr, std::uint64_t value);
+  [[nodiscard]] std::uint8_t read_byte(std::uint64_t addr) const;
+  void write_byte(std::uint64_t addr, std::uint8_t value);
+
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+  /// Ids of all materialized pages, sorted (for state comparison).
+  [[nodiscard]] std::vector<std::uint64_t> page_ids() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::unique_ptr<PageData>> pages_;
+};
+
+}  // namespace inspector::memtrack

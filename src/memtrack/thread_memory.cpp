@@ -1,0 +1,83 @@
+#include "memtrack/thread_memory.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace inspector::memtrack {
+
+void ThreadMemory::begin_subcomputation() {
+  // mprotect(PROT_NONE): drop private views so the next touch faults and
+  // re-snapshots from the shared store.
+  pages_.clear();
+  read_set_.clear();
+  write_set_.clear();
+  ++stats_.subcomputations;
+}
+
+ThreadMemory::PrivatePage& ThreadMemory::fault_in(std::uint64_t page_id) {
+  auto it = pages_.find(page_id);
+  if (it != pages_.end()) return it->second;
+
+  // First touch in this sub-computation: the hardware would raise
+  // SIGSEGV; the signal handler copies the shared page (the COW) and
+  // keeps a twin for the later diff.
+  PrivatePage page;
+  page.data = std::make_unique<PageData>();
+  if (const PageData* shared_page = shared_->find_page(page_id)) {
+    *page.data = *shared_page;
+  } else {
+    page.data->fill(0);
+  }
+  page.twin = std::make_unique<PageData>(*page.data);
+  return pages_.emplace(page_id, std::move(page)).first->second;
+}
+
+std::uint64_t ThreadMemory::read_word(std::uint64_t addr) {
+  assert(addr % 8 == 0 && "word access must be 8-byte aligned");
+  const std::uint64_t pid = page_id_of(addr);
+  // A page the thread already wrote is mapped read-write; reading it
+  // cannot fault, so (as in the real mprotect scheme) it is only in the
+  // write set.
+  if (!write_set_.contains(pid) && read_set_.insert(pid).second) {
+    ++stats_.read_faults;
+  }
+  PrivatePage& page = fault_in(pid);
+  std::uint64_t value = 0;
+  std::memcpy(&value, page.data->data() + page_offset(addr), 8);
+  return value;
+}
+
+void ThreadMemory::write_word(std::uint64_t addr, std::uint64_t value) {
+  assert(addr % 8 == 0 && "word access must be 8-byte aligned");
+  const std::uint64_t pid = page_id_of(addr);
+  if (write_set_.insert(pid).second) ++stats_.write_faults;
+  PrivatePage& page = fault_in(pid);
+  page.dirty = true;
+  std::memcpy(page.data->data() + page_offset(addr), &value, 8);
+}
+
+CommitResult ThreadMemory::commit() {
+  CommitResult result;
+  for (auto& [pid, page] : pages_) {
+    if (!page.dirty) continue;
+    ++result.dirty_pages;
+    // Byte-level diff against the twin; only changed bytes are applied,
+    // so disjoint writes by concurrent threads merge and overlapping
+    // writes resolve last-writer-wins by commit order (§V-A).
+    PageData& shared_page = shared_->page(pid);
+    for (std::uint64_t i = 0; i < kPageSize; ++i) {
+      const std::uint8_t now = (*page.data)[i];
+      if (now != (*page.twin)[i]) {
+        shared_page[i] = now;
+        ++result.bytes_changed;
+      }
+    }
+  }
+  ++stats_.commits;
+  stats_.pages_committed += result.dirty_pages;
+  stats_.bytes_changed += result.bytes_changed;
+  pages_.clear();
+  return result;
+}
+
+}  // namespace inspector::memtrack

@@ -1,0 +1,99 @@
+// Per-thread MMU simulation: page protection, fault-driven read/write
+// sets, copy-on-write private pages, and the twin-diff shared-memory
+// commit (INSPECTOR §V-A; mechanism from TreadMarks/Munin/Dthreads).
+//
+// Lifecycle, mirroring the paper:
+//   begin_subcomputation()   -- mprotect(PROT_NONE) the shared ranges:
+//                               every first touch per page will fault;
+//   read_word()/write_word() -- accesses; the first read of a page takes
+//                               a read fault and snapshots the page (the
+//                               "twin"); the first write takes a write
+//                               fault and marks the private copy dirty;
+//   commit()                 -- at the next synchronization point, diff
+//                               each dirty page against its twin and
+//                               apply the changed bytes to the shared
+//                               store (last-writer-wins), then drop the
+//                               private mapping so other threads'
+//                               updates become visible (RC model).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "memtrack/shared_memory.h"
+
+namespace inspector::memtrack {
+
+/// Counters the fig-7 table and fig-6 breakdown report.
+struct MemtrackStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t pages_committed = 0;   ///< dirty pages diffed+applied
+  std::uint64_t bytes_changed = 0;     ///< bytes that actually differed
+  std::uint64_t subcomputations = 0;
+
+  [[nodiscard]] std::uint64_t page_faults() const noexcept {
+    return read_faults + write_faults;
+  }
+};
+
+/// Result of one shared-memory commit.
+struct CommitResult {
+  std::uint64_t dirty_pages = 0;
+  std::uint64_t bytes_changed = 0;
+};
+
+/// The private address-space view of one thread-as-process.
+class ThreadMemory {
+ public:
+  explicit ThreadMemory(SharedMemory& shared) : shared_(&shared) {}
+
+  /// Re-protect all pages: subsequent first touches fault. Clears the
+  /// read/write sets of the previous sub-computation.
+  void begin_subcomputation();
+
+  /// Tracked accesses (words, 8-byte aligned).
+  [[nodiscard]] std::uint64_t read_word(std::uint64_t addr);
+  void write_word(std::uint64_t addr, std::uint64_t value);
+
+  /// Diff dirty pages against their twins and publish the deltas to the
+  /// shared store; drops every private page (updates from peers become
+  /// visible afterwards). Called at synchronization points.
+  CommitResult commit();
+
+  /// Pages read / written by the current sub-computation (page ids).
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& read_set()
+      const noexcept {
+    return read_set_;
+  }
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& write_set()
+      const noexcept {
+    return write_set_;
+  }
+
+  [[nodiscard]] const MemtrackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t private_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  struct PrivatePage {
+    std::unique_ptr<PageData> data;  ///< thread's working copy
+    std::unique_ptr<PageData> twin;  ///< snapshot taken at first touch
+    bool dirty = false;
+  };
+
+  PrivatePage& fault_in(std::uint64_t page_id);
+
+  SharedMemory* shared_;
+  std::unordered_map<std::uint64_t, PrivatePage> pages_;
+  std::unordered_set<std::uint64_t> read_set_;
+  std::unordered_set<std::uint64_t> write_set_;
+  MemtrackStats stats_;
+};
+
+}  // namespace inspector::memtrack

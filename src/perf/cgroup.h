@@ -1,0 +1,45 @@
+// Linux control-group model used for trace filtering (§V-B).
+//
+// "We create such a cgroup exclusively for the application using
+// INSPECTOR ... because our threading library causes applications using
+// threads to create multiple processes instead, whose process ids are
+// not known in advance." The key property modelled here: children join
+// their parent's cgroup automatically.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "perf/events.h"
+
+namespace inspector::perf {
+
+class Cgroup {
+ public:
+  explicit Cgroup(std::string name) : name_(std::move(name)) {}
+
+  /// Explicitly place `pid` in the group (the initial process).
+  void add(Pid pid) { members_.insert(pid); }
+
+  /// Fork inheritance: the child joins iff the parent is a member.
+  /// Returns true when the child joined.
+  bool on_fork(Pid parent, Pid child) {
+    if (!members_.contains(parent)) return false;
+    members_.insert(child);
+    return true;
+  }
+
+  void on_exit(Pid pid) { members_.erase(pid); }
+
+  [[nodiscard]] bool contains(Pid pid) const {
+    return members_.contains(pid);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::unordered_set<Pid> members_;
+};
+
+}  // namespace inspector::perf

@@ -1,0 +1,46 @@
+// perf.data-style container for a recorded session.
+//
+// `perf record` persists the side-band records and the AUX (PT) data to
+// perf.data for later decoding (§V-B: "After execution the result can
+// be further processed by using a set of tools"). This is that
+// container: side-band records plus one AUX blob per traced process,
+// written to a byte buffer or a file, readable back for offline
+// decoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/events.h"
+#include "perf/session.h"
+
+namespace inspector::perf {
+
+struct DataFile {
+  std::vector<Record> records;
+  struct AuxStream {
+    Pid pid = 0;
+    std::vector<std::uint8_t> data;
+  };
+  std::vector<AuxStream> aux;
+
+  /// The AUX data of `pid`, or nullptr.
+  [[nodiscard]] const std::vector<std::uint8_t>* stream_for(Pid pid) const;
+};
+
+/// Capture everything a session recorded (drains the rings first).
+[[nodiscard]] DataFile capture(PerfSession& session);
+
+/// Binary encoding ("IPF1" magic + versioned layout).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const DataFile& file);
+
+/// Inverse of serialize(). Throws std::runtime_error on malformed
+/// input.
+[[nodiscard]] DataFile deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Convenience file I/O. Throws std::runtime_error on I/O failure.
+void save(const DataFile& file, const std::string& path);
+[[nodiscard]] DataFile load(const std::string& path);
+
+}  // namespace inspector::perf

@@ -1,0 +1,257 @@
+#include "ptsim/decoder.h"
+
+#include <bit>
+#include <sstream>
+#include <string>
+
+namespace inspector::ptsim {
+
+namespace {
+
+constexpr std::uint8_t kIpBaseMask = 0x1F;
+constexpr std::uint8_t kTipBase = 0x0D;
+constexpr std::uint8_t kTipPgeBase = 0x11;
+constexpr std::uint8_t kTipPgdBase = 0x01;
+constexpr std::uint8_t kFupBase = 0x1D;
+
+constexpr int payload_bytes(IpCompression ipc) {
+  switch (ipc) {
+    case IpCompression::kSuppressed: return 0;
+    case IpCompression::kUpdate16: return 2;
+    case IpCompression::kUpdate32: return 4;
+    case IpCompression::kSext48: return 6;
+    case IpCompression::kUpdate48: return 6;
+    case IpCompression::kFull: return 8;
+  }
+  return 8;
+}
+
+}  // namespace
+
+DecodeError::DecodeError(std::string message, std::size_t offset)
+    : offset_(offset) {
+  std::ostringstream os;
+  os << "pt decode error at offset " << offset << ": " << message;
+  message_ = os.str();
+}
+
+std::uint8_t PacketDecoder::peek(std::size_t ahead) const {
+  return data_[pos_ + ahead];
+}
+
+bool PacketDecoder::sync_forward() {
+  // A PSB is 8 repetitions of 0x02 0x82; scan for the full 16-byte
+  // pattern so a TNT byte that happens to contain 0x02 cannot fool us.
+  while (pos_ + 2 * kPsbRepeat <= data_.size()) {
+    bool match = true;
+    for (int i = 0; i < kPsbRepeat && match; ++i) {
+      match = peek(2 * i) == kPsbPair[0] && peek(2 * i + 1) == kPsbPair[1];
+    }
+    if (match) return true;
+    ++pos_;
+    ++stats_.sync_skipped_bytes;
+  }
+  pos_ = data_.size();
+  return false;
+}
+
+Packet PacketDecoder::decode_ip_packet(PacketType type, IpCompression ipc) {
+  const int n = payload_bytes(ipc);
+  if (!have(1 + static_cast<std::size_t>(n))) {
+    throw DecodeError("truncated IP packet payload", pos_);
+  }
+  std::uint64_t raw = 0;
+  for (int i = 0; i < n; ++i) {
+    raw |= static_cast<std::uint64_t>(peek(1 + static_cast<std::size_t>(i)))
+           << (8 * i);
+  }
+  std::uint64_t ip = 0;
+  switch (ipc) {
+    case IpCompression::kSuppressed:
+      ip = 0;
+      break;
+    case IpCompression::kUpdate16:
+      ip = (last_ip_ & ~0xFFFFull) | raw;
+      break;
+    case IpCompression::kUpdate32:
+      ip = (last_ip_ & ~0xFFFFFFFFull) | raw;
+      break;
+    case IpCompression::kSext48: {
+      // Sign-extend bit 47.
+      const bool neg = (raw >> 47) & 1u;
+      ip = neg ? (raw | 0xFFFF000000000000ull) : raw;
+      break;
+    }
+    case IpCompression::kUpdate48:
+      ip = (last_ip_ & ~0xFFFFFFFFFFFFull) | raw;
+      break;
+    case IpCompression::kFull:
+      ip = raw;
+      break;
+  }
+  Packet p;
+  p.type = type;
+  p.ipc = ipc;
+  p.ip = ip;
+  p.size = static_cast<std::uint32_t>(1 + n);
+  pos_ += p.size;
+  if (ipc != IpCompression::kSuppressed) last_ip_ = ip;
+  return p;
+}
+
+Packet PacketDecoder::decode_short_tnt() {
+  const std::uint8_t byte = peek();
+  // Stop bit is the most significant set bit; TNT bits live in
+  // [stop-1 .. 1], oldest branch highest.
+  const int stop = std::bit_width(byte) - 1;  // bit index of stop bit
+  const int count = stop - 1;
+  if (count < 1) throw DecodeError("short TNT with no payload bits", pos_);
+  Packet p;
+  p.type = PacketType::kTnt;
+  p.tnt.count = static_cast<std::uint8_t>(count);
+  for (int i = 0; i < count; ++i) {
+    // Oldest branch (i == 0) sits at bit position `count`.
+    if ((byte >> (count - i)) & 1u) p.tnt.bits |= 1ull << i;
+  }
+  p.size = 1;
+  pos_ += 1;
+  stats_.tnt_bits += p.tnt.count;
+  return p;
+}
+
+Packet PacketDecoder::decode_extended() {
+  if (!have(2)) throw DecodeError("truncated extended opcode", pos_);
+  const std::uint8_t sub = peek(1);
+  Packet p;
+  switch (sub) {
+    case 0x82: {  // PSB
+      if (!have(2 * kPsbRepeat)) throw DecodeError("truncated PSB", pos_);
+      for (int i = 0; i < kPsbRepeat; ++i) {
+        if (peek(2 * i) != kPsbPair[0] || peek(2 * i + 1) != kPsbPair[1]) {
+          throw DecodeError("malformed PSB body", pos_);
+        }
+      }
+      p.type = PacketType::kPsb;
+      p.size = 2 * kPsbRepeat;
+      last_ip_ = 0;  // PSB resets IP compression
+      break;
+    }
+    case 0x23:
+      p.type = PacketType::kPsbEnd;
+      p.size = 2;
+      break;
+    case 0xF3:
+      p.type = PacketType::kOvf;
+      p.size = 2;
+      ++stats_.overflows;
+      last_ip_ = 0;
+      break;
+    case 0xA3: {  // long TNT
+      if (!have(8)) throw DecodeError("truncated long TNT", pos_);
+      std::uint64_t payload = 0;
+      for (int i = 0; i < 6; ++i) {
+        payload |= static_cast<std::uint64_t>(peek(2 + static_cast<std::size_t>(i)))
+                   << (8 * i);
+      }
+      if (payload == 0) throw DecodeError("long TNT with empty payload", pos_);
+      const int stop = std::bit_width(payload) - 1;
+      const int count = stop;  // bits 0..stop-1 are payload, oldest highest
+      p.type = PacketType::kTnt;
+      p.tnt.count = static_cast<std::uint8_t>(count);
+      for (int i = 0; i < count; ++i) {
+        if ((payload >> (count - 1 - i)) & 1u) p.tnt.bits |= 1ull << i;
+      }
+      p.size = 8;
+      stats_.tnt_bits += p.tnt.count;
+      break;
+    }
+    case 0x03: {  // CBR
+      if (!have(4)) throw DecodeError("truncated CBR", pos_);
+      p.type = PacketType::kCbr;
+      p.payload = peek(2);
+      p.size = 4;
+      break;
+    }
+    case 0x43: {  // PIP
+      if (!have(8)) throw DecodeError("truncated PIP", pos_);
+      std::uint64_t cr3 = 0;
+      for (int i = 0; i < 6; ++i) {
+        cr3 |= static_cast<std::uint64_t>(peek(2 + static_cast<std::size_t>(i)))
+               << (8 * i);
+      }
+      p.type = PacketType::kPip;
+      p.payload = cr3;
+      p.size = 8;
+      break;
+    }
+    default:
+      throw DecodeError("unknown extended opcode 0x" +
+                            std::to_string(static_cast<int>(sub)),
+                        pos_);
+  }
+  pos_ += p.size;
+  return p;
+}
+
+std::optional<Packet> PacketDecoder::next() {
+  if (at_end()) return std::nullopt;
+  const std::uint8_t byte = peek();
+  Packet p;
+  if (byte == 0x00) {  // PAD
+    p.type = PacketType::kPad;
+    p.size = 1;
+    pos_ += 1;
+  } else if (byte == 0x02) {
+    p = decode_extended();
+  } else if (byte == 0x99) {  // MODE
+    if (!have(2)) throw DecodeError("truncated MODE", pos_);
+    p.type = PacketType::kMode;
+    p.payload = peek(1);
+    p.size = 2;
+    pos_ += 2;
+  } else if (byte == 0x19) {  // TSC
+    if (!have(8)) throw DecodeError("truncated TSC", pos_);
+    std::uint64_t tsc = 0;
+    for (int i = 0; i < 7; ++i) {
+      tsc |= static_cast<std::uint64_t>(peek(1 + static_cast<std::size_t>(i)))
+             << (8 * i);
+    }
+    p.type = PacketType::kTsc;
+    p.payload = tsc;
+    p.size = 8;
+    pos_ += 8;
+  } else if ((byte & 1u) == 0) {  // short TNT (bit0 == 0, byte != 0)
+    p = decode_short_tnt();
+  } else {
+    const std::uint8_t base = byte & kIpBaseMask;
+    const auto ipc = static_cast<IpCompression>(byte >> 5);
+    switch (base) {
+      case kTipBase:
+        p = decode_ip_packet(PacketType::kTip, ipc);
+        break;
+      case kTipPgeBase:
+        p = decode_ip_packet(PacketType::kTipPge, ipc);
+        break;
+      case kTipPgdBase:
+        p = decode_ip_packet(PacketType::kTipPgd, ipc);
+        break;
+      case kFupBase:
+        p = decode_ip_packet(PacketType::kFup, ipc);
+        break;
+      default:
+        throw DecodeError("unknown opcode 0x" +
+                              std::to_string(static_cast<int>(byte)),
+                          pos_);
+    }
+  }
+  ++stats_.packets;
+  return p;
+}
+
+std::vector<Packet> PacketDecoder::decode_all() {
+  std::vector<Packet> out;
+  while (auto p = next()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,80 @@
+// Intel PT packet decoder.
+//
+// The software equivalent of the Intel Processor Trace Decoder Library
+// that perf integrates (§V-B): consumes the raw AUX byte stream and
+// yields packets, maintaining last-IP decompression state and re-syncing
+// at PSB boundaries (required for snapshot-mode buffers that start
+// mid-stream, §VI).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ptsim/packets.h"
+
+namespace inspector::ptsim {
+
+/// Decoder statistics (diagnostics and table-9 style reporting).
+struct DecoderStats {
+  std::uint64_t packets = 0;
+  std::uint64_t tnt_bits = 0;
+  std::uint64_t overflows = 0;
+  std::uint64_t sync_skipped_bytes = 0;  ///< bytes skipped to find a PSB
+};
+
+/// Streaming decoder over a byte buffer.
+class PacketDecoder {
+ public:
+  explicit PacketDecoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Scan forward to the next full PSB packet. Returns false when no PSB
+  /// exists in the remaining stream. Needed to start decoding a snapshot
+  /// ring whose oldest bytes were overwritten mid-packet.
+  bool sync_forward();
+
+  /// Decode the next packet. Returns std::nullopt at end of stream.
+  /// Throws DecodeError on malformed input.
+  std::optional<Packet> next();
+
+  /// Decode everything that remains.
+  std::vector<Packet> decode_all();
+
+  [[nodiscard]] const DecoderStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= data_.size(); }
+
+ private:
+  [[nodiscard]] std::uint8_t peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool have(std::size_t n) const noexcept {
+    return pos_ + n <= data_.size();
+  }
+  Packet decode_ip_packet(PacketType type, IpCompression ipc);
+  Packet decode_short_tnt();
+  Packet decode_extended();  // 0x02-prefixed opcodes
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t last_ip_ = 0;
+  DecoderStats stats_;
+};
+
+/// Error thrown on a malformed packet stream (truncated payload or
+/// unknown opcode). Carries the stream offset for diagnostics.
+class DecodeError : public std::exception {
+ public:
+  DecodeError(std::string message, std::size_t offset);
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string message_;
+  std::size_t offset_;
+};
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,199 @@
+#include "ptsim/encoder.h"
+
+#include <array>
+#include <cassert>
+
+namespace inspector::ptsim {
+
+namespace {
+
+// Opcode bases for single-byte IP packets: (ipbytes << 5) | base.
+constexpr std::uint8_t kTipBase = 0x0D;
+constexpr std::uint8_t kTipPgeBase = 0x11;
+constexpr std::uint8_t kTipPgdBase = 0x01;
+constexpr std::uint8_t kFupBase = 0x1D;
+
+constexpr std::uint8_t opcode_base(PacketType type) {
+  switch (type) {
+    case PacketType::kTip: return kTipBase;
+    case PacketType::kTipPge: return kTipPgeBase;
+    case PacketType::kTipPgd: return kTipPgdBase;
+    case PacketType::kFup: return kFupBase;
+    default: return 0;
+  }
+}
+
+constexpr int payload_bytes(IpCompression ipc) {
+  switch (ipc) {
+    case IpCompression::kSuppressed: return 0;
+    case IpCompression::kUpdate16: return 2;
+    case IpCompression::kUpdate32: return 4;
+    case IpCompression::kSext48: return 6;
+    case IpCompression::kUpdate48: return 6;
+    case IpCompression::kFull: return 8;
+  }
+  return 8;
+}
+
+// True when `ip` is canonical, i.e. bits [63:47] are a sign extension of
+// bit 47, so a 6-byte sign-extended payload reproduces it exactly.
+constexpr bool is_canonical_48(std::uint64_t ip) {
+  const std::uint64_t upper = ip >> 47;
+  return upper == 0 || upper == 0x1FFFF;
+}
+
+}  // namespace
+
+PacketEncoder::PacketEncoder(ByteSink& sink, EncoderOptions options)
+    : sink_(sink), options_(options) {}
+
+void PacketEncoder::emit(std::span<const std::uint8_t> bytes,
+                         PacketType type) {
+  sink_.write(bytes);
+  stats_.bytes += bytes.size();
+  ++stats_.packets;
+  // PSB itself must not recursively trigger another PSB.
+  if (type != PacketType::kPsb && type != PacketType::kPsbEnd) {
+    bytes_since_psb_ += bytes.size();
+  }
+}
+
+IpCompression PacketEncoder::choose_compression(std::uint64_t ip) const {
+  if ((ip >> 16) == (last_ip_ >> 16)) return IpCompression::kUpdate16;
+  if ((ip >> 32) == (last_ip_ >> 32)) return IpCompression::kUpdate32;
+  if ((ip >> 48) == (last_ip_ >> 48)) return IpCompression::kUpdate48;
+  if (is_canonical_48(ip)) return IpCompression::kSext48;
+  return IpCompression::kFull;
+}
+
+void PacketEncoder::emit_ip_packet(PacketType type, std::uint64_t ip) {
+  const IpCompression ipc = (type == PacketType::kTipPgd)
+                                ? IpCompression::kSuppressed
+                                : choose_compression(ip);
+  std::array<std::uint8_t, 9> buf{};
+  buf[0] = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(ipc) << 5) | opcode_base(type));
+  const int n = payload_bytes(ipc);
+  for (int i = 0; i < n; ++i) {
+    buf[1 + i] = static_cast<std::uint8_t>(ip >> (8 * i));
+  }
+  emit({buf.data(), static_cast<std::size_t>(1 + n)}, type);
+  if (ipc != IpCompression::kSuppressed) last_ip_ = ip;
+}
+
+void PacketEncoder::emit_tnt() {
+  if (tnt_count_ == 0) return;
+  if (tnt_count_ <= kShortTntMaxBits && !options_.use_long_tnt) {
+    // Short TNT: stop bit above the most recent branch bit; oldest
+    // branch occupies the highest payload position (SDM figure).
+    std::uint8_t byte = static_cast<std::uint8_t>(1u << (tnt_count_ + 1));
+    for (std::uint8_t i = 0; i < tnt_count_; ++i) {
+      if ((tnt_bits_ >> i) & 1u) {
+        byte |= static_cast<std::uint8_t>(1u << (tnt_count_ - i));
+      }
+    }
+    emit({&byte, 1}, PacketType::kTnt);
+  } else {
+    // Long TNT: 0x02 0xA3 + 6 payload bytes with stop bit.
+    std::uint64_t payload = 1ull << tnt_count_;  // stop bit
+    for (std::uint8_t i = 0; i < tnt_count_; ++i) {
+      if ((tnt_bits_ >> i) & 1u) payload |= 1ull << (tnt_count_ - 1 - i);
+    }
+    std::array<std::uint8_t, 8> buf{0x02, 0xA3};
+    for (int i = 0; i < 6; ++i) {
+      buf[2 + i] = static_cast<std::uint8_t>(payload >> (8 * i));
+    }
+    emit(buf, PacketType::kTnt);
+  }
+  stats_.tnt_bits += tnt_count_;
+  ++stats_.tnt_packets;
+  tnt_bits_ = 0;
+  tnt_count_ = 0;
+  maybe_psb();
+}
+
+void PacketEncoder::emit_psb_plus(std::uint64_t current_ip) {
+  // PSB+ sequence: PSB, [TSC,] CBR, MODE.Exec, FUP(current IP), PSBEND.
+  std::array<std::uint8_t, 16> psb{};
+  for (int i = 0; i < kPsbRepeat; ++i) {
+    psb[2 * i] = kPsbPair[0];
+    psb[2 * i + 1] = kPsbPair[1];
+  }
+  emit(psb, PacketType::kPsb);
+
+  if (timestamp_ != 0) {
+    std::array<std::uint8_t, 8> tsc{0x19};
+    for (int i = 0; i < 7; ++i) {
+      tsc[1 + i] = static_cast<std::uint8_t>(timestamp_ >> (8 * i));
+    }
+    emit(tsc, PacketType::kTsc);
+  }
+
+  const std::array<std::uint8_t, 4> cbr{0x02, 0x03, 0x10, 0x00};
+  emit(cbr, PacketType::kCbr);
+
+  const std::array<std::uint8_t, 2> mode{0x99, 0x01};  // 64-bit mode
+  emit(mode, PacketType::kMode);
+
+  // PSB resets IP compression on both sides.
+  last_ip_ = 0;
+  emit_ip_packet(PacketType::kFup, current_ip);
+
+  const std::array<std::uint8_t, 2> psbend{0x02, 0x23};
+  emit(psbend, PacketType::kPsbEnd);
+
+  ++stats_.psb_sequences;
+  bytes_since_psb_ = 0;
+}
+
+void PacketEncoder::maybe_psb() {
+  if (enabled_ && bytes_since_psb_ >= options_.psb_period_bytes) {
+    emit_psb_plus(last_ip_);
+  }
+}
+
+void PacketEncoder::on_enable(std::uint64_t ip) {
+  emit_psb_plus(ip);
+  emit_ip_packet(PacketType::kTipPge, ip);
+  enabled_ = true;
+}
+
+void PacketEncoder::on_disable() {
+  emit_tnt();
+  emit_ip_packet(PacketType::kTipPgd, 0);
+  enabled_ = false;
+}
+
+void PacketEncoder::on_conditional(bool taken) {
+  assert(enabled_ && "conditional branch while tracing disabled");
+  if (taken) tnt_bits_ |= 1ull << tnt_count_;
+  ++tnt_count_;
+  const std::uint8_t max_bits = options_.use_long_tnt
+                                    ? static_cast<std::uint8_t>(kLongTntMaxBits)
+                                    : static_cast<std::uint8_t>(kShortTntMaxBits);
+  if (tnt_count_ >= max_bits) emit_tnt();
+}
+
+void PacketEncoder::on_indirect(std::uint64_t target) {
+  assert(enabled_ && "indirect branch while tracing disabled");
+  emit_tnt();
+  emit_ip_packet(PacketType::kTip, target);
+  ++stats_.tip_packets;
+  maybe_psb();
+}
+
+void PacketEncoder::on_overflow(std::uint64_t resume_ip) {
+  // Pending TNT bits are lost -- that is the gap the paper's snapshot
+  // facility works around.
+  tnt_bits_ = 0;
+  tnt_count_ = 0;
+  const std::array<std::uint8_t, 2> ovf{0x02, 0xF3};
+  emit(ovf, PacketType::kOvf);
+  ++stats_.overflows;
+  last_ip_ = 0;
+  emit_ip_packet(PacketType::kFup, resume_ip);
+}
+
+void PacketEncoder::flush() { emit_tnt(); }
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,97 @@
+// Software Intel PT packet encoder.
+//
+// Stands in for the Broadwell PT hardware: the runtime feeds it the
+// branch events a traced program would retire, and it produces the same
+// byte stream the PMU would write into the perf AUX area -- TNT bits
+// accumulated and flushed as short/long TNT packets, indirect targets as
+// TIP packets with last-IP compression, periodic PSB+ sync sequences, and
+// OVF packets when the ring buffer cannot keep up (trace gaps, §V-B).
+#pragma once
+
+#include <cstdint>
+
+#include "ptsim/packets.h"
+#include "ptsim/sink.h"
+
+namespace inspector::ptsim {
+
+/// Encoder tuning knobs.
+struct EncoderOptions {
+  /// Emit a PSB+ sequence after roughly this many payload bytes
+  /// (hardware default is 2 KiB between PSBs).
+  std::uint32_t psb_period_bytes = 2048;
+  /// Accumulate up to 47 TNT bits in long TNT packets instead of
+  /// flushing every 6 bits. Real hardware prefers long TNT under load.
+  bool use_long_tnt = false;
+};
+
+/// Counters mirroring what `perf record -e intel_pt//` reports.
+struct EncoderStats {
+  std::uint64_t bytes = 0;          ///< total encoded bytes
+  std::uint64_t packets = 0;        ///< total packets emitted
+  std::uint64_t tnt_bits = 0;       ///< conditional branches encoded
+  std::uint64_t tnt_packets = 0;
+  std::uint64_t tip_packets = 0;    ///< indirect branches encoded
+  std::uint64_t psb_sequences = 0;
+  std::uint64_t overflows = 0;
+};
+
+/// Encodes a stream of branch events into Intel PT packets.
+///
+/// Thread-compatible (one encoder per traced thread/process, matching the
+/// per-process trace buffers the paper's cgroup setup provides).
+class PacketEncoder {
+ public:
+  explicit PacketEncoder(ByteSink& sink, EncoderOptions options = {});
+
+  /// Trace enable at `ip`: emits PSB+ then TIP.PGE (start of trace or
+  /// resume after a disable).
+  void on_enable(std::uint64_t ip);
+
+  /// Trace disable (thread blocked / filtered out): flushes TNT and
+  /// emits TIP.PGD with suppressed IP.
+  void on_disable();
+
+  /// Conditional branch retired.
+  void on_conditional(bool taken);
+
+  /// Indirect transfer retired (indirect jump/call, return): emits a TIP
+  /// packet carrying `target` with IP compression.
+  void on_indirect(std::uint64_t target);
+
+  /// Internal buffer overflow: drops pending TNT bits, emits OVF and a
+  /// FUP re-synchronizing at `resume_ip`. Produces the trace gaps §V-B
+  /// describes when perf cannot drain the AUX area fast enough.
+  void on_overflow(std::uint64_t resume_ip);
+
+  /// Flush buffered TNT bits (end of trace or before a sync point).
+  void flush();
+
+  /// Set the wall-clock value stamped into the next PSB+ sequence's TSC
+  /// packet (hardware samples the invariant TSC; the runtime passes its
+  /// simulated nanoseconds). Zero disables TSC emission.
+  void set_timestamp(std::uint64_t tsc) noexcept { timestamp_ = tsc; }
+
+  [[nodiscard]] const EncoderStats& stats() const noexcept { return stats_; }
+
+ private:
+  void emit(std::span<const std::uint8_t> bytes, PacketType type);
+  void emit_tnt();
+  void emit_ip_packet(PacketType type, std::uint64_t ip);
+  void emit_psb_plus(std::uint64_t current_ip);
+  [[nodiscard]] IpCompression choose_compression(std::uint64_t ip) const;
+  void maybe_psb();
+
+  ByteSink& sink_;
+  EncoderOptions options_;
+  EncoderStats stats_;
+
+  std::uint64_t last_ip_ = 0;       // IP-compression state
+  std::uint64_t timestamp_ = 0;     // TSC for the next PSB+ (0 = off)
+  std::uint64_t tnt_bits_ = 0;      // pending TNT payload (oldest = bit 0)
+  std::uint8_t tnt_count_ = 0;      // pending TNT bit count
+  std::uint64_t bytes_since_psb_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,141 @@
+#include "ptsim/image.h"
+
+#include <stdexcept>
+
+namespace inspector::ptsim {
+
+void Image::add_segment(Segment segment) {
+  segments_.push_back(std::move(segment));
+}
+
+void Image::add_block(BasicBlock block) {
+  if (block.size_bytes == 0) {
+    throw std::invalid_argument("basic block must have non-zero size");
+  }
+  // Reject overlap with the predecessor and successor by start address.
+  auto next = blocks_.lower_bound(block.start);
+  if (next != blocks_.end() && next->second.start < block.end()) {
+    throw std::invalid_argument("basic block overlaps successor");
+  }
+  if (next != blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.end() > block.start) {
+      throw std::invalid_argument("basic block overlaps predecessor");
+    }
+  }
+  blocks_.emplace(block.start, block);
+}
+
+const BasicBlock* Image::block_at(std::uint64_t ip) const noexcept {
+  auto it = blocks_.find(ip);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const BasicBlock* Image::block_containing(std::uint64_t ip) const noexcept {
+  auto it = blocks_.upper_bound(ip);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  return ip < it->second.end() ? &it->second : nullptr;
+}
+
+std::vector<BasicBlock> Image::blocks() const {
+  std::vector<BasicBlock> out;
+  out.reserve(blocks_.size());
+  for (const auto& [start, block] : blocks_) out.push_back(block);
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x31474D49;  // "IMG1"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+struct Cursor {
+  const std::vector<std::uint8_t>& in;
+  std::size_t pos = 0;
+  void need(std::size_t n) const {
+    if (pos + n > in.size()) throw std::runtime_error("image: truncated");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return in[pos++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                  in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return s;
+  }
+};
+}  // namespace
+
+std::vector<std::uint8_t> serialize_image(const Image& image) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kImageMagic);
+  const auto segments = image.segments();
+  put_u64(out, segments.size());
+  for (const auto& s : segments) {
+    put_u64(out, s.name.size());
+    out.insert(out.end(), s.name.begin(), s.name.end());
+    put_u64(out, s.base);
+    put_u64(out, s.size);
+  }
+  const auto blocks = image.blocks();
+  put_u64(out, blocks.size());
+  for (const auto& b : blocks) {
+    put_u64(out, b.start);
+    put_u32(out, b.size_bytes);
+    put_u32(out, b.instr_count);
+    out.push_back(static_cast<std::uint8_t>(b.term));
+    put_u64(out, b.taken_target);
+    put_u64(out, b.fall_target);
+  }
+  return out;
+}
+
+Image deserialize_image(const std::vector<std::uint8_t>& bytes) {
+  Cursor c{bytes};
+  if (c.u32() != kImageMagic) throw std::runtime_error("image: bad magic");
+  Image image;
+  const std::uint64_t segment_count = c.u64();
+  for (std::uint64_t i = 0; i < segment_count; ++i) {
+    Segment s;
+    s.name = c.str();
+    s.base = c.u64();
+    s.size = c.u64();
+    image.add_segment(std::move(s));
+  }
+  const std::uint64_t block_count = c.u64();
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    BasicBlock b;
+    b.start = c.u64();
+    b.size_bytes = c.u32();
+    b.instr_count = c.u32();
+    b.term = static_cast<TermKind>(c.u8());
+    b.taken_target = c.u64();
+    b.fall_target = c.u64();
+    image.add_block(b);
+  }
+  return image;
+}
+
+}  // namespace inspector::ptsim

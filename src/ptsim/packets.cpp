@@ -1,0 +1,58 @@
+#include "ptsim/packets.h"
+
+#include <ostream>
+
+namespace inspector::ptsim {
+
+std::string to_string(PacketType type) {
+  switch (type) {
+    case PacketType::kPad: return "PAD";
+    case PacketType::kTnt: return "TNT";
+    case PacketType::kTip: return "TIP";
+    case PacketType::kTipPge: return "TIP.PGE";
+    case PacketType::kTipPgd: return "TIP.PGD";
+    case PacketType::kFup: return "FUP";
+    case PacketType::kPsb: return "PSB";
+    case PacketType::kPsbEnd: return "PSBEND";
+    case PacketType::kOvf: return "OVF";
+    case PacketType::kCbr: return "CBR";
+    case PacketType::kMode: return "MODE";
+    case PacketType::kPip: return "PIP";
+    case PacketType::kTsc: return "TSC";
+  }
+  return "UNKNOWN";
+}
+
+std::ostream& operator<<(std::ostream& os, PacketType type) {
+  return os << to_string(type);
+}
+
+std::ostream& operator<<(std::ostream& os, const Packet& packet) {
+  os << to_string(packet.type);
+  switch (packet.type) {
+    case PacketType::kTnt:
+      os << '(';
+      for (std::uint8_t i = 0; i < packet.tnt.count; ++i) {
+        os << (packet.tnt.taken(i) ? 'T' : 'N');
+      }
+      os << ')';
+      break;
+    case PacketType::kTip:
+    case PacketType::kTipPge:
+    case PacketType::kTipPgd:
+    case PacketType::kFup:
+      os << "(0x" << std::hex << packet.ip << std::dec << ')';
+      break;
+    case PacketType::kCbr:
+    case PacketType::kMode:
+    case PacketType::kPip:
+    case PacketType::kTsc:
+      os << '(' << packet.payload << ')';
+      break;
+    default:
+      break;
+  }
+  return os;
+}
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,100 @@
+// Intel Processor Trace packet definitions (INSPECTOR §V-B).
+//
+// This module implements the on-the-wire formats of the Intel PT packets
+// the paper's perf/libipt pipeline consumes, per the Intel SDM Vol. 3,
+// chapter "Intel Processor Trace":
+//
+//   PAD      0x00
+//   TNT      short: 1 byte, header bit0 = 0, up to 6 taken/not-taken bits
+//            terminated by a stop bit; long: 0x02 0xA3 + 6 payload bytes,
+//            up to 47 TNT bits.
+//   TIP      (ipbytes << 5) | 0x0D  -- indirect branch target
+//   TIP.PGE  (ipbytes << 5) | 0x11  -- trace enable (packet generation on)
+//   TIP.PGD  (ipbytes << 5) | 0x01  -- trace disable
+//   FUP      (ipbytes << 5) | 0x1D  -- flow update (async event source IP)
+//   PSB      0x02 0x82, repeated 8x -- synchronization boundary
+//   PSBEND   0x02 0x23
+//   OVF      0x02 0xF3              -- internal buffer overflow (trace gap)
+//   CBR      0x02 0x03 + 2 bytes    -- core:bus ratio
+//   MODE     0x99 + 1 byte          -- execution mode
+//   PIP      0x02 0x43 + 6 bytes    -- CR3 (address-space) change
+//   TSC      0x19 + 7 bytes         -- timestamp
+//
+// Hardware generates these; here a software encoder does (see encoder.h),
+// which is the substitution DESIGN.md documents for the Broadwell PT PMU.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace inspector::ptsim {
+
+/// Discriminates decoded packet kinds.
+enum class PacketType : std::uint8_t {
+  kPad,
+  kTnt,      // short or long; payload in Packet::tnt
+  kTip,
+  kTipPge,
+  kTipPgd,
+  kFup,
+  kPsb,
+  kPsbEnd,
+  kOvf,
+  kCbr,
+  kMode,
+  kPip,
+  kTsc,
+};
+
+/// IP-compression modes for TIP/FUP packets (SDM "IP Compression").
+/// The value is stored in the 3 upper bits of the packet opcode byte and
+/// says how many target-IP bytes follow and how they combine with the
+/// decoder's last-IP state.
+enum class IpCompression : std::uint8_t {
+  kSuppressed = 0,  ///< no payload; IP unchanged (e.g. far transfer)
+  kUpdate16 = 1,    ///< 2 bytes replace last-IP[15:0]
+  kUpdate32 = 2,    ///< 4 bytes replace last-IP[31:0]
+  kSext48 = 3,      ///< 6 bytes, sign-extended to 64 bits
+  kUpdate48 = 4,    ///< 6 bytes replace last-IP[47:0]
+  kFull = 6,        ///< 8 bytes, full IP
+};
+
+/// Taken/not-taken payload of a TNT packet. Bits are ordered oldest
+/// branch first (bit index 0 = first conditional branch retired).
+struct TntPayload {
+  std::uint64_t bits = 0;   ///< bit i = branch i taken?
+  std::uint8_t count = 0;   ///< number of valid TNT bits (1..47)
+
+  [[nodiscard]] bool taken(std::uint8_t i) const noexcept {
+    return ((bits >> i) & 1u) != 0;
+  }
+  bool operator==(const TntPayload&) const = default;
+};
+
+/// One decoded Intel PT packet.
+struct Packet {
+  PacketType type = PacketType::kPad;
+  TntPayload tnt;                 // valid when type == kTnt
+  std::uint64_t ip = 0;           // decompressed IP for TIP*/FUP
+  IpCompression ipc = IpCompression::kSuppressed;
+  std::uint64_t payload = 0;      // CBR ratio, MODE bits, PIP cr3, TSC value
+  std::uint32_t size = 0;         // encoded size in bytes
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Number of repetitions of the 0x02 0x82 pair forming a PSB packet.
+inline constexpr int kPsbRepeat = 8;
+inline constexpr std::array<std::uint8_t, 2> kPsbPair{0x02, 0x82};
+
+/// Maximum TNT bits carried by a short / long TNT packet.
+inline constexpr int kShortTntMaxBits = 6;
+inline constexpr int kLongTntMaxBits = 47;
+
+[[nodiscard]] std::string to_string(PacketType type);
+std::ostream& operator<<(std::ostream& os, PacketType type);
+std::ostream& operator<<(std::ostream& os, const Packet& packet);
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,90 @@
+#include "ptsim/ring_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace inspector::ptsim {
+
+AuxRingBuffer::AuxRingBuffer(std::size_t capacity, RingMode mode)
+    : buf_(capacity), mode_(mode) {
+  if (capacity == 0) {
+    throw std::invalid_argument("AUX ring buffer capacity must be non-zero");
+  }
+}
+
+void AuxRingBuffer::copy_in(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = static_cast<std::size_t>(head_ % buf_.size());
+  std::size_t remaining = bytes.size();
+  const std::uint8_t* src = bytes.data();
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, buf_.size() - offset);
+    std::memcpy(buf_.data() + offset, src, chunk);
+    offset = (offset + chunk) % buf_.size();
+    src += chunk;
+    remaining -= chunk;
+  }
+  head_ += bytes.size();
+}
+
+void AuxRingBuffer::copy_out(std::uint64_t from,
+                             std::span<std::uint8_t> out) const {
+  std::size_t offset = static_cast<std::size_t>(from % buf_.size());
+  std::size_t remaining = out.size();
+  std::uint8_t* dst = out.data();
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, buf_.size() - offset);
+    std::memcpy(dst, buf_.data() + offset, chunk);
+    offset = (offset + chunk) % buf_.size();
+    dst += chunk;
+    remaining -= chunk;
+  }
+}
+
+void AuxRingBuffer::write(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > buf_.size()) {
+    // A single packet larger than the AUX area can never fit.
+    bytes_lost_ += bytes.size();
+    ++overflow_count_;
+    overflow_pending_ = true;
+    return;
+  }
+  if (mode_ == RingMode::kFullTrace) {
+    const std::size_t free = buf_.size() - readable();
+    if (bytes.size() > free) {
+      bytes_lost_ += bytes.size();
+      ++overflow_count_;
+      overflow_pending_ = true;
+      return;
+    }
+  } else {
+    // Snapshot mode: advance the tail past the bytes being overwritten.
+    const std::size_t free = buf_.size() - readable();
+    if (bytes.size() > free) {
+      tail_ += bytes.size() - free;
+    }
+  }
+  copy_in(bytes);
+  bytes_written_ += bytes.size();
+}
+
+std::vector<std::uint8_t> AuxRingBuffer::drain() {
+  std::vector<std::uint8_t> out(readable());
+  copy_out(tail_, out);
+  tail_ = head_;
+  return out;
+}
+
+std::vector<std::uint8_t> AuxRingBuffer::snapshot() const {
+  std::vector<std::uint8_t> out(readable());
+  copy_out(tail_, out);
+  return out;
+}
+
+bool AuxRingBuffer::take_overflow() noexcept {
+  const bool pending = overflow_pending_;
+  overflow_pending_ = false;
+  return pending;
+}
+
+}  // namespace inspector::ptsim

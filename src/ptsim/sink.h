@@ -1,0 +1,53 @@
+// Byte sinks for encoded Intel PT streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inspector::ptsim {
+
+/// Destination for encoded packet bytes. The AUX ring buffer (perf's
+/// trace area) and plain vectors (tests) both implement this.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  /// Append `bytes` to the sink. Implementations must accept any size.
+  virtual void write(std::span<const std::uint8_t> bytes) = 0;
+};
+
+/// Sink that appends to an in-memory vector; used by tests and by the
+/// snapshot compressor.
+class VectorSink final : public ByteSink {
+ public:
+  void write(std::span<const std::uint8_t> bytes) override {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t>&& take() noexcept {
+    return std::move(data_);
+  }
+  void clear() noexcept { data_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Sink that only counts bytes; used when a bench needs log volume
+/// without materializing the log.
+class CountingSink final : public ByteSink {
+ public:
+  void write(std::span<const std::uint8_t> bytes) override {
+    count_ += bytes.size();
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace inspector::ptsim

@@ -1,0 +1,128 @@
+#include "replay/replay.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace inspector::replay {
+
+namespace {
+
+using runtime::Op;
+using runtime::OpCode;
+using sync::SyncEventKind;
+
+/// The end-reason kind a node ending with this sync op must carry.
+SyncEventKind expected_end(OpCode code) {
+  switch (code) {
+    case OpCode::kMutexLock: return SyncEventKind::kMutexLock;
+    case OpCode::kMutexUnlock: return SyncEventKind::kMutexUnlock;
+    case OpCode::kSemWait: return SyncEventKind::kSemWait;
+    case OpCode::kSemPost: return SyncEventKind::kSemPost;
+    case OpCode::kBarrierWait: return SyncEventKind::kBarrierWait;
+    case OpCode::kCondWait: return SyncEventKind::kCondWait;
+    case OpCode::kCondSignal: return SyncEventKind::kCondSignal;
+    case OpCode::kCondBroadcast: return SyncEventKind::kCondBroadcast;
+    case OpCode::kSpawn: return SyncEventKind::kThreadCreate;
+    case OpCode::kJoin: return SyncEventKind::kThreadJoin;
+    default: return SyncEventKind::kThreadExit;
+  }
+}
+
+struct ReplayThread {
+  std::size_t script = 0;
+  std::size_t pc = 0;
+};
+
+}  // namespace
+
+ReplayResult replay_execution(const runtime::Program& program,
+                              const cpg::Graph& graph) {
+  ReplayResult result;
+  result.memory = std::make_shared<memtrack::SharedMemory>();
+  for (const auto& w : program.input) {
+    result.memory->write_word(w.addr, w.value);
+  }
+
+  // Commit order: nodes sorted by end_seq (the order their effects
+  // became visible in the original run).
+  std::vector<const cpg::SubComputation*> order;
+  order.reserve(graph.nodes().size());
+  for (const auto& n : graph.nodes()) order.push_back(&n);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) {
+              return a->end_seq < b->end_seq;
+            });
+
+  std::unordered_map<cpg::ThreadId, ReplayThread> threads;
+  threads[0] = ReplayThread{program.main_script, 0};
+  cpg::ThreadId next_tid = 1;
+  result.threads = 1;
+
+  for (const auto* node : order) {
+    auto it = threads.find(node->thread);
+    if (it == threads.end()) {
+      throw ReplayError("node for thread " + std::to_string(node->thread) +
+                        " before its spawn was replayed");
+    }
+    ReplayThread& t = it->second;
+    const auto& ops = program.scripts.at(t.script).ops;
+
+    // Execute this sub-computation: ops up to and including the sync op
+    // that ended it (or to script end for the exit node).
+    bool closed = false;
+    while (!closed) {
+      if (t.pc >= ops.size()) {
+        if (node->end.kind != SyncEventKind::kThreadExit) {
+          throw ReplayError("script ended before node's sync boundary");
+        }
+        break;
+      }
+      const Op& op = ops[t.pc++];
+      ++result.ops_executed;
+      switch (op.code) {
+        case OpCode::kLoad:
+        case OpCode::kCompute:
+        case OpCode::kCondBranch:
+        case OpCode::kIndirectBranch:
+        case OpCode::kMmapInput:
+          break;  // no externally visible effect
+        case OpCode::kStore:
+          result.memory->write_word(op.a, op.b);
+          break;
+        case OpCode::kSpawn: {
+          const cpg::ThreadId child = next_tid++;
+          threads[child] = ReplayThread{static_cast<std::size_t>(op.a), 0};
+          ++result.threads;
+          closed = true;
+          break;
+        }
+        default:
+          closed = true;  // any other sync op closes the node
+          break;
+      }
+      if (closed && node->end.kind != expected_end(op.code)) {
+        throw ReplayError(
+            "recorded end reason does not match the script's sync op "
+            "(wrong program for this CPG?)");
+      }
+    }
+    ++result.nodes_replayed;
+  }
+  return result;
+}
+
+bool replay_matches(const runtime::Program& program, const cpg::Graph& graph,
+                    const memtrack::SharedMemory& original) {
+  const ReplayResult replayed = replay_execution(program, graph);
+  const auto original_ids = original.page_ids();
+  const auto replay_ids = replayed.memory->page_ids();
+  if (original_ids != replay_ids) return false;
+  for (std::uint64_t page : original_ids) {
+    const auto* a = original.find_page(page);
+    const auto* b = replayed.memory->find_page(page);
+    if (a == nullptr || b == nullptr || *a != *b) return false;
+  }
+  return true;
+}
+
+}  // namespace inspector::replay

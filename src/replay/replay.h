@@ -1,0 +1,61 @@
+// Deterministic replay from the Concurrent Provenance Graph.
+//
+// The CPG is an executable record: sub-computations carry their
+// position in the happens-before order (end_seq gives the commit
+// order), and each thread's ops are contiguous in its script. Replaying
+// the nodes in commit order -- running each thread's pending ops
+// through the sync call that ended the node -- reproduces the original
+// final memory state without any scheduler, locks, or timing. This is
+// the mechanism behind the paper's §I workflows: state machine
+// replication (Rex) re-executes the schedule on a replica, and
+// record/replay debugging re-executes it locally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "memtrack/shared_memory.h"
+#include "runtime/program.h"
+
+namespace inspector::replay {
+
+struct ReplayResult {
+  /// Final memory state of the replayed execution.
+  std::shared_ptr<memtrack::SharedMemory> memory;
+  std::size_t nodes_replayed = 0;
+  std::size_t threads = 0;
+  std::uint64_t ops_executed = 0;
+};
+
+/// Error thrown when the graph does not match the program (wrong
+/// program, truncated graph, or a recorder bug).
+class ReplayError : public std::exception {
+ public:
+  explicit ReplayError(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+
+ private:
+  std::string message_;
+};
+
+/// Re-execute `program` following `graph`'s recorded order.
+///
+/// Requirements: `graph` must be a complete CPG of a run of `program`
+/// (every thread ended with a kThreadExit node). Thread ids are
+/// re-derived from the recorded spawn order, so the replica needs no
+/// id coordination with the original.
+[[nodiscard]] ReplayResult replay_execution(const runtime::Program& program,
+                                            const cpg::Graph& graph);
+
+/// Convenience: replay and compare against an original final state.
+/// Returns true when every resident page matches byte-for-byte.
+[[nodiscard]] bool replay_matches(const runtime::Program& program,
+                                  const cpg::Graph& graph,
+                                  const memtrack::SharedMemory& original);
+
+}  // namespace inspector::replay

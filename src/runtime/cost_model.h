@@ -1,0 +1,63 @@
+// Simulated-time cost model.
+//
+// The paper reports overhead *ratios* (INSPECTOR time / native pthreads
+// time) on a 16-hyperthread Broadwell Xeon D-1540. This model assigns
+// nanosecond costs to the events both executions perform, plus the extra
+// work INSPECTOR does: SIGSEGV handling for page tracking, twin diffs
+// and commits at sync points, clone() instead of pthread_create(), and
+// the perf/PT logging path. Values are loosely calibrated so the shape
+// of Figures 5/6/8 reproduces (see EXPERIMENTS.md); they are knobs, not
+// measurements.
+#pragma once
+
+#include <cstdint>
+
+namespace inspector::runtime {
+
+struct CostModel {
+  // --- costs both modes pay ------------------------------------------
+  std::uint64_t compute_unit_ns = 1;
+  std::uint64_t memory_op_ns = 3;       ///< load/store hitting caches
+  std::uint64_t branch_ns = 1;
+  std::uint64_t sync_base_ns = 80;      ///< uncontended pthreads call
+  std::uint64_t thread_create_ns = 4'000;
+
+  // --- INSPECTOR threading-library overheads (fig 6 "Threading lib.") -
+  std::uint64_t page_fault_ns = 1'800;        ///< SIGSEGV + handler + mprotect
+  std::uint64_t commit_base_ns = 400;         ///< per sync-point commit
+  std::uint64_t commit_page_ns = 1'000;       ///< diff + publish one dirty page
+  /// clone() of a full process instead of pthread_create: the parent
+  /// pays the fork itself...
+  std::uint64_t process_create_extra_ns = 12'000;
+  /// ...and the child pays mapping setup before it can run (this part
+  /// overlaps with other threads, like the real COW fault-in does).
+  std::uint64_t process_child_startup_ns = 15'000;
+  std::uint64_t sync_extra_ns = 250;          ///< wrapper + vector clock work
+
+  // --- INSPECTOR PT/perf overheads (fig 6 "OS support") ---------------
+  /// Cost per traced branch. The simulator's branch density is lower
+  /// than real code (one branch op stands for a loop iteration), so
+  /// this constant folds perf's per-volume AUX handling into the
+  /// branches that do get traced; calibrated so PT overhead lands at
+  /// the paper's 30-100%-of-native range for branch-dense apps.
+  std::uint64_t pt_branch_ns = 220;
+  /// Cost per emitted trace byte (perf record draining to tmpfs).
+  double pt_byte_ns = 25.0;
+
+  // Derived helpers ----------------------------------------------------
+  [[nodiscard]] std::uint64_t memory_cost() const noexcept {
+    return memory_op_ns;
+  }
+};
+
+/// Running split of where INSPECTOR's extra time went; feeds Figure 6.
+struct OverheadBreakdown {
+  std::uint64_t threading_lib_ns = 0;  ///< faults + commits + clone + wrappers
+  std::uint64_t pt_ns = 0;             ///< branch logging + AUX bytes
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return threading_lib_ns + pt_ns;
+  }
+};
+
+}  // namespace inspector::runtime

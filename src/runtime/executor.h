@@ -1,0 +1,113 @@
+// The execution engine: runs a Program under either native-pthreads
+// semantics or the INSPECTOR library (threads-as-processes + MMU
+// tracking + Intel PT), using a deterministic discrete-event scheduler.
+//
+// Scheduling model: every thread carries a local simulated-nanosecond
+// clock; the scheduler always runs the runnable thread with the
+// smallest clock (FIFO wait queues, ties by thread id), which yields a
+// parallel execution whose end-to-end time is the max thread clock and
+// whose *work* is the sum of busy time -- the two metrics §VII reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "cpg/recorder.h"
+#include "memtrack/shared_memory.h"
+#include "memtrack/thread_memory.h"
+#include "perf/session.h"
+#include "runtime/cost_model.h"
+#include "runtime/image_builder.h"
+#include "runtime/program.h"
+#include "snapshot/ring.h"
+#include "sync/sync_manager.h"
+
+namespace inspector::runtime {
+
+enum class Mode : std::uint8_t { kNative, kInspector };
+
+struct ExecutorOptions {
+  Mode mode = Mode::kNative;
+  CostModel costs;
+  /// Ops per scheduling slice before re-evaluating which thread runs.
+  std::uint32_t quantum_ops = 64;
+  /// Non-zero: per-slice timing jitter (seeded), perturbing lock
+  /// acquisition order across seeds -- the OS scheduling
+  /// non-determinism of §II.
+  std::uint64_t schedule_seed = 0;
+  /// Maximum jitter per scheduling slice when schedule_seed != 0.
+  /// Real preemption/IRQ noise is on the order of microseconds.
+  std::uint64_t schedule_jitter_ns = 2'000;
+
+  // --- INSPECTOR-mode settings ----------------------------------------
+  bool enable_pt = true;        ///< control-flow tracing (OS support, §V-B)
+  bool enable_memtrack = true;  ///< data/schedule tracking (threading lib, §V-A)
+  perf::SessionOptions perf;
+  /// The perf tool drains the AUX rings every N scheduling quanta; an
+  /// undersized ring overflows between drains, producing trace gaps.
+  std::uint32_t drain_interval_quanta = 16;
+  /// Capture the threading-library journal for offline CPG rebuilds
+  /// (cpg/journal.h).
+  bool capture_journal = false;
+  /// Take a CPG snapshot into the ring every N sync events (0 = off).
+  std::uint32_t snapshot_every_syncs = 0;
+  std::uint32_t snapshot_ring_slots = 4;
+  std::size_t snapshot_slot_bytes = snapshot::kDefaultSlotBytes;
+};
+
+struct ExecutionStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t sync_ops = 0;
+  std::uint64_t threads_spawned = 1;  // main
+  std::uint64_t sim_time_ns = 0;      ///< end-to-end (max thread clock)
+  std::uint64_t work_ns = 0;          ///< sum of busy time (cgroup cpuacct)
+
+  // INSPECTOR counters.
+  std::uint64_t page_faults = 0;
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t pages_committed = 0;
+  std::uint64_t bytes_committed = 0;
+  std::uint64_t pt_bytes = 0;
+  std::uint64_t pt_tnt_bits = 0;
+  std::uint64_t pt_tip_packets = 0;
+  std::uint64_t pt_overflows = 0;
+  std::uint64_t snapshots_taken = 0;
+  OverheadBreakdown breakdown;
+};
+
+struct ExecutionResult {
+  std::string workload;
+  Mode mode = Mode::kNative;
+  ExecutionStats stats;
+  /// The CPG (INSPECTOR mode only).
+  std::optional<cpg::Graph> graph;
+  /// Final shared-memory state (output verification: both modes must
+  /// agree for race-free programs).
+  std::shared_ptr<memtrack::SharedMemory> memory;
+  /// perf session with per-process PT traces (INSPECTOR mode with PT).
+  std::shared_ptr<perf::PerfSession> perf_session;
+  /// The binary image (for post-run PT decode).
+  std::shared_ptr<BuiltImage> image;
+  /// Snapshot ring (when snapshots were enabled).
+  std::shared_ptr<snapshot::SnapshotRing> snapshots;
+  /// Threading-library journal (when capture_journal was set).
+  std::shared_ptr<cpg::Journal> journal;
+};
+
+/// Run `program` to completion. Throws on deadlock (no runnable thread
+/// while unfinished threads remain) and on sync-API misuse.
+[[nodiscard]] ExecutionResult execute(const Program& program,
+                                      const ExecutorOptions& options);
+
+}  // namespace inspector::runtime

@@ -1,0 +1,148 @@
+#include "runtime/image_builder.h"
+
+#include <stdexcept>
+
+#include "memtrack/allocator.h"
+
+namespace inspector::runtime {
+
+namespace {
+
+using memtrack::AddressLayout;
+
+struct ScriptBuilder {
+  ptsim::Image& image;
+  std::uint64_t cursor;          // next free code address
+  const std::uint64_t limit;     // end of this script's window
+  std::vector<OpSite> sites;
+
+  std::uint64_t block_start;
+  std::uint32_t block_ops = 0;
+  std::uint32_t block_instrs = 0;
+
+  ScriptBuilder(ptsim::Image& img, std::uint64_t base, std::uint64_t lim)
+      : image(img), cursor(base), limit(lim), block_start(base) {}
+
+  void bump(std::uint64_t bytes) {
+    cursor += bytes;
+    if (cursor > limit) {
+      throw std::invalid_argument("script exceeds its code window");
+    }
+  }
+
+  /// Account one straight-line op into the open block.
+  void straight_op(std::uint32_t instrs) {
+    bump(kOpBytes);
+    ++block_ops;
+    block_instrs += instrs;
+    sites.push_back(OpSite{});
+  }
+
+  /// Close the open block with terminator `term`; returns the block.
+  ptsim::BasicBlock close_block(ptsim::TermKind term) {
+    bump(kOpBytes);  // the branch instruction itself
+    ++block_instrs;
+    ptsim::BasicBlock block;
+    block.start = block_start;
+    block.size_bytes = static_cast<std::uint32_t>(cursor - block_start);
+    block.instr_count = block_instrs;
+    block.term = term;
+    return block;
+  }
+
+  void open_next_block() {
+    block_start = cursor;
+    block_ops = 0;
+    block_instrs = 0;
+  }
+};
+
+}  // namespace
+
+BuiltImage build_image(const Program& program) {
+  BuiltImage built;
+  built.sites.resize(program.scripts.size());
+  built.entries.resize(program.scripts.size());
+  built.image.add_segment(
+      {program.name + ".text", AddressLayout::kCodeBase,
+       kScriptStride * program.scripts.size()});
+
+  for (std::size_t s = 0; s < program.scripts.size(); ++s) {
+    const ThreadScript& script = program.scripts[s];
+    const std::uint64_t base = AddressLayout::kCodeBase + s * kScriptStride;
+    built.entries[s] = base;
+    ScriptBuilder b(built.image, base, base + kScriptStride);
+
+    for (const Op& op : script.ops) {
+      switch (op.code) {
+        case OpCode::kLoad:
+        case OpCode::kStore:
+        case OpCode::kMmapInput:
+          b.straight_op(1);
+          break;
+        case OpCode::kCompute:
+          b.straight_op(static_cast<std::uint32_t>(op.a));
+          break;
+        case OpCode::kCondBranch: {
+          ptsim::BasicBlock block = b.close_block(ptsim::TermKind::kCondBranch);
+          // Pad block: the not-taken path, jumping to the next block.
+          const std::uint64_t pad_start = block.end();
+          const std::uint64_t next_start = pad_start + kOpBytes;
+          block.taken_target = next_start;
+          block.fall_target = pad_start;
+          built.image.add_block(block);
+
+          ptsim::BasicBlock pad;
+          pad.start = pad_start;
+          pad.size_bytes = static_cast<std::uint32_t>(kOpBytes);
+          pad.instr_count = 1;
+          pad.term = ptsim::TermKind::kJump;
+          pad.taken_target = next_start;
+          built.image.add_block(pad);
+          b.bump(kOpBytes);  // pad occupies code space
+
+          b.sites.push_back(OpSite{true, block.branch_ip(),
+                                   block.taken_target, block.fall_target});
+          b.open_next_block();
+          break;
+        }
+        case OpCode::kIndirectBranch:
+        case OpCode::kSpawn:
+        case OpCode::kJoin: {
+          // True indirect transfer: TIP packet.
+          ptsim::BasicBlock block = b.close_block(ptsim::TermKind::kIndirect);
+          const std::uint64_t next_start = block.end();
+          block.taken_target = next_start;
+          built.image.add_block(block);
+          b.sites.push_back(OpSite{true, block.branch_ip(), next_start, 0});
+          b.open_next_block();
+          break;
+        }
+        default: {  // other sync ops: RET-compressed library-call return
+          if (!is_sync_op(op.code)) {
+            throw std::logic_error("unhandled opcode in image builder");
+          }
+          ptsim::BasicBlock block =
+              b.close_block(ptsim::TermKind::kCondBranch);
+          const std::uint64_t next_start = block.end();
+          // RET compression: the "branch" consumes one TNT bit but both
+          // outcomes land on the next block.
+          block.taken_target = next_start;
+          block.fall_target = next_start;
+          built.image.add_block(block);
+          b.sites.push_back(
+              OpSite{true, block.branch_ip(), next_start, next_start});
+          b.open_next_block();
+          break;
+        }
+      }
+    }
+    // Final exit block (covers the implicit pthread_exit).
+    ptsim::BasicBlock last = b.close_block(ptsim::TermKind::kExit);
+    built.image.add_block(last);
+    built.sites[s] = std::move(b.sites);
+  }
+  return built;
+}
+
+}  // namespace inspector::runtime

@@ -1,0 +1,110 @@
+// Workload IR: the programs the simulated runtime executes.
+//
+// This substrate stands in for the unmodified PARSEC/Phoenix binaries
+// the paper traces (DESIGN.md substitution table). A Program is a set of
+// thread scripts -- flat op sequences over the simulated address space --
+// plus initial shared-memory contents (the "input file") and sync-object
+// initializers. Branch outcomes are precomputed by the generators, which
+// keeps execution deterministic while exercising the full PT pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/sync_event.h"
+
+namespace inspector::runtime {
+
+enum class OpCode : std::uint8_t {
+  kLoad,           ///< a = address
+  kStore,          ///< a = address, b = value
+  kCompute,        ///< a = units of pure computation (no memory traffic)
+  kCondBranch,     ///< flag = taken; consumes a TNT bit under PT
+  kIndirectBranch, ///< emits a TIP packet under PT
+  kMutexLock,      ///< a = object id
+  kMutexUnlock,    ///< a = object id
+  kSemWait,        ///< a = object id
+  kSemPost,        ///< a = object id
+  kBarrierWait,    ///< a = object id
+  kCondWait,       ///< a = condvar object, b = mutex object
+  kCondSignal,     ///< a = condvar object
+  kCondBroadcast,  ///< a = condvar object
+  kSpawn,          ///< a = script index; pthread_create
+  kJoin,           ///< a = spawn ordinal within this thread (0-based)
+  kMmapInput,      ///< a = base address, b = length; input-file mapping
+};
+
+/// True when the op is a pthreads synchronization call, i.e. a
+/// sub-computation boundary (§IV-A).
+[[nodiscard]] constexpr bool is_sync_op(OpCode code) noexcept {
+  switch (code) {
+    case OpCode::kMutexLock:
+    case OpCode::kMutexUnlock:
+    case OpCode::kSemWait:
+    case OpCode::kSemPost:
+    case OpCode::kBarrierWait:
+    case OpCode::kCondWait:
+    case OpCode::kCondSignal:
+    case OpCode::kCondBroadcast:
+    case OpCode::kSpawn:
+    case OpCode::kJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Op {
+  OpCode code = OpCode::kCompute;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool flag = false;  ///< kCondBranch: taken?
+};
+
+/// One thread body. Multiple threads may run the same script.
+struct ThreadScript {
+  std::vector<Op> ops;
+};
+
+struct SemaphoreInit {
+  sync::ObjectId object = 0;
+  std::uint32_t value = 0;
+};
+
+struct BarrierInit {
+  sync::ObjectId object = 0;
+  std::uint32_t parties = 0;
+};
+
+/// Initial contents of shared memory (the mmap'ed input file).
+struct InputWord {
+  std::uint64_t addr = 0;
+  std::uint64_t value = 0;
+};
+
+struct Program {
+  std::string name;
+  std::vector<ThreadScript> scripts;
+  std::size_t main_script = 0;
+  std::vector<InputWord> input;
+  std::uint64_t input_bytes = 0;  ///< nominal input-file size (fig 8 X axis)
+  std::vector<SemaphoreInit> semaphores;
+  std::vector<BarrierInit> barriers;
+
+  /// Extra per-store cost charged only under *native* execution,
+  /// modelling cache-line false sharing between threads. INSPECTOR's
+  /// threads-as-processes write private copies and dodge it -- the
+  /// effect that makes linear_regression run *faster* than pthreads in
+  /// the paper (§VII-A, citing Sheriff).
+  std::uint64_t native_store_penalty_ns = 0;
+
+  /// Total ops across all scripts (each script counted once).
+  [[nodiscard]] std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const auto& s : scripts) n += s.ops.size();
+    return n;
+  }
+};
+
+}  // namespace inspector::runtime

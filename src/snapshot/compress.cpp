@@ -1,0 +1,156 @@
+#include "snapshot/compress.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace inspector::snapshot {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void write_length(std::vector<std::uint8_t>& out, std::size_t len) {
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(len));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  // Header: uncompressed size (8 bytes LE).
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(input.size() >> (8 * i)));
+  }
+  if (input.empty()) return out;
+
+  std::vector<std::uint32_t> table(kHashSize, 0xFFFFFFFFu);
+  const std::uint8_t* base = input.data();
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit_sequence = [&](std::size_t lit_len, std::size_t match_len,
+                           std::size_t offset) {
+    // Token: high nibble literal length, low nibble match length - 4;
+    // 15 in a nibble means "extended length byte(s) follow".
+    const std::uint8_t lit_nibble =
+        static_cast<std::uint8_t>(lit_len >= 15 ? 15 : lit_len);
+    const std::size_t m = match_len == 0 ? 0 : match_len - kMinMatch;
+    const std::uint8_t match_nibble =
+        static_cast<std::uint8_t>(match_len == 0 ? 0
+                                  : (m >= 15 ? 15 : m + 0));
+    out.push_back(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
+    if (lit_len >= 15) write_length(out, lit_len - 15);
+    out.insert(out.end(), base + literal_start, base + literal_start + lit_len);
+    if (match_len != 0) {
+      out.push_back(static_cast<std::uint8_t>(offset));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      if (m >= 15) write_length(out, m - 15);
+    }
+  };
+
+  while (pos + kMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(base + pos);
+    const std::uint32_t candidate = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+
+    std::size_t match_len = 0;
+    std::size_t offset = 0;
+    if (candidate != 0xFFFFFFFFu && pos - candidate <= kMaxOffset &&
+        std::memcmp(base + candidate, base + pos, kMinMatch) == 0) {
+      offset = pos - candidate;
+      match_len = kMinMatch;
+      while (pos + match_len < input.size() &&
+             base[candidate + match_len] == base[pos + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      emit_sequence(pos - literal_start, match_len, offset);
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals.
+  emit_sequence(input.size() - literal_start, 0, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> block) {
+  if (block.size() < 8) throw std::runtime_error("lz: truncated header");
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    expected |= static_cast<std::uint64_t>(block[static_cast<std::size_t>(i)])
+                << (8 * i);
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(expected);
+  std::size_t pos = 8;
+
+  auto read_byte = [&]() -> std::uint8_t {
+    if (pos >= block.size()) throw std::runtime_error("lz: truncated block");
+    return block[pos++];
+  };
+  auto read_length = [&](std::size_t start) -> std::size_t {
+    std::size_t len = start;
+    if (start == 15) {
+      std::uint8_t b;
+      do {
+        b = read_byte();
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (out.size() < expected) {
+    const std::uint8_t token = read_byte();
+    const std::size_t lit_len = read_length(token >> 4);
+    if (pos + lit_len > block.size()) {
+      throw std::runtime_error("lz: truncated literals");
+    }
+    out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(pos),
+               block.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+    pos += lit_len;
+    if (out.size() >= expected) break;  // final sequence has no match
+
+    const std::size_t lo = read_byte();
+    const std::size_t hi = read_byte();
+    const std::size_t offset = lo | (hi << 8);
+    if (offset == 0 || offset > out.size()) {
+      throw std::runtime_error("lz: bad match offset");
+    }
+    const std::size_t match_len = read_length(token & 0x0F) + kMinMatch;
+    // Byte-by-byte copy: matches may overlap their own output (RLE).
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != expected) {
+    throw std::runtime_error("lz: size mismatch after decompress");
+  }
+  return out;
+}
+
+double compression_ratio(std::uint64_t uncompressed,
+                         std::uint64_t compressed) {
+  if (compressed == 0) return 0.0;
+  return static_cast<double>(uncompressed) / static_cast<double>(compressed);
+}
+
+}  // namespace inspector::snapshot

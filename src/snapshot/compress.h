@@ -1,0 +1,31 @@
+// LZ77 block compression for provenance logs.
+//
+// The paper compresses the perf/PT logs with lz4 and reports 6-37x
+// ratios (§VII-D, Figure 9). This is a from-scratch LZ4-style block
+// codec: greedy hash-chain matching, token = (literal_len | match_len)
+// nibbles with 255-byte length extensions and 16-bit match offsets.
+// Real PT streams compress extremely well because TNT-heavy regions
+// repeat; the codec reproduces that behaviour on our encoded streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inspector::snapshot {
+
+/// Compress `input` into a self-contained block (the uncompressed size
+/// is stored in the header).
+[[nodiscard]] std::vector<std::uint8_t> compress(
+    std::span<const std::uint8_t> input);
+
+/// Decompress a block produced by compress(). Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] std::vector<std::uint8_t> decompress(
+    std::span<const std::uint8_t> block);
+
+/// ratio = uncompressed / compressed (the paper's "Ratio" column).
+[[nodiscard]] double compression_ratio(std::uint64_t uncompressed,
+                                       std::uint64_t compressed);
+
+}  // namespace inspector::snapshot

@@ -1,0 +1,88 @@
+#include "snapshot/consistent_cut.h"
+
+#include <map>
+#include <set>
+
+namespace inspector::snapshot {
+
+Cut latest_cut(const cpg::Recorder& recorder) {
+  return Cut{recorder.sequence()};
+}
+
+namespace {
+
+/// True when `kind` is the release half of a primitive.
+bool is_release(sync::SyncEventKind kind) {
+  using K = sync::SyncEventKind;
+  switch (kind) {
+    case K::kMutexUnlock:
+    case K::kSemPost:
+    case K::kCondSignal:
+    case K::kCondBroadcast:
+    case K::kThreadCreate:
+    case K::kThreadExit:
+      return true;
+    case K::kBarrierWait:  // both halves; treated as release for pairing
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_acquire(sync::SyncEventKind kind) {
+  using K = sync::SyncEventKind;
+  switch (kind) {
+    case K::kMutexLock:
+    case K::kSemWait:
+    case K::kCondWait:
+    case K::kThreadStart:
+    case K::kThreadJoin:
+    case K::kBarrierWait:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool is_consistent(const std::vector<sync::SyncEvent>& schedule, Cut cut) {
+  // For each object, walk the schedule in sequence order; each acquire
+  // inside the cut must be preceded (on that object) by at least as many
+  // releases inside the cut as it observed in the full schedule.
+  //
+  // Operationally: find any acquire with seq <= cut whose matching
+  // release has seq > cut. Matching = the latest release on the same
+  // object before the acquire.
+  std::map<sync::ObjectId, std::uint64_t> last_release_seq;
+  for (const auto& ev : schedule) {
+    if (is_release(ev.kind)) {
+      last_release_seq[ev.object] = ev.seq;
+    }
+    if (is_acquire(ev.kind) && ev.seq <= cut.seq) {
+      auto it = last_release_seq.find(ev.object);
+      if (it != last_release_seq.end() && it->second > cut.seq) {
+        return false;  // acquire inside, matching release outside
+      }
+    }
+  }
+  return true;
+}
+
+bool is_causally_closed(const cpg::Graph& full, const cpg::Graph& snapshot) {
+  // Identify snapshot nodes by (thread, alpha).
+  std::set<std::pair<cpg::ThreadId, std::uint64_t>> in_snapshot;
+  for (const auto& n : snapshot.nodes()) {
+    in_snapshot.emplace(n.thread, n.alpha);
+  }
+  for (const auto& e : full.edges()) {
+    const auto& from = full.node(e.from);
+    const auto& to = full.node(e.to);
+    const bool to_in = in_snapshot.contains({to.thread, to.alpha});
+    const bool from_in = in_snapshot.contains({from.thread, from.alpha});
+    if (to_in && !from_in) return false;
+  }
+  return true;
+}
+
+}  // namespace inspector::snapshot

@@ -1,0 +1,44 @@
+// Consistent-cut computation and verification (INSPECTOR §VI).
+//
+// A cut of the recorded trace is *consistent* when, for every
+// synchronization object S, an acquire(S) being inside the cut implies
+// the matching release(S) is too (Chandy–Lamport distributed snapshot
+// criterion specialized to the sync schedule). The library takes cuts at
+// the latest synchronization event of each thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "cpg/recorder.h"
+#include "sync/sync_event.h"
+
+namespace inspector::snapshot {
+
+/// A cut expressed as a global sequence-number bound: events with
+/// seq <= bound are inside.
+struct Cut {
+  std::uint64_t seq = 0;
+};
+
+/// The cut at each thread's latest recorded synchronization event --
+/// i.e., everything recorded so far. Because the recorder assigns
+/// sequence numbers in causal order (a release is always sequenced
+/// before the acquires it feeds), any seq-prefix is consistent; this
+/// returns the largest one.
+[[nodiscard]] Cut latest_cut(const cpg::Recorder& recorder);
+
+/// Check the Chandy–Lamport property of `cut` against a full schedule:
+/// for every release->acquire pair on the same object, if the acquire is
+/// inside, the release must be. Returns true when consistent.
+[[nodiscard]] bool is_consistent(const std::vector<sync::SyncEvent>& schedule,
+                                 Cut cut);
+
+/// Check that `snapshot` is a causally-closed sub-graph of `full`: every
+/// sync edge of `full` whose destination is in the snapshot has its
+/// source in the snapshot too.
+[[nodiscard]] bool is_causally_closed(const cpg::Graph& full,
+                                      const cpg::Graph& snapshot);
+
+}  // namespace inspector::snapshot

@@ -1,0 +1,32 @@
+#include "sync/sync_event.h"
+
+#include <ostream>
+
+namespace inspector::sync {
+
+std::string to_string(SyncEventKind kind) {
+  switch (kind) {
+    case SyncEventKind::kMutexLock: return "mutex_lock";
+    case SyncEventKind::kMutexUnlock: return "mutex_unlock";
+    case SyncEventKind::kSemWait: return "sem_wait";
+    case SyncEventKind::kSemPost: return "sem_post";
+    case SyncEventKind::kCondWait: return "cond_wait";
+    case SyncEventKind::kCondSignal: return "cond_signal";
+    case SyncEventKind::kCondBroadcast: return "cond_broadcast";
+    case SyncEventKind::kBarrierWait: return "barrier_wait";
+    case SyncEventKind::kThreadCreate: return "thread_create";
+    case SyncEventKind::kThreadStart: return "thread_start";
+    case SyncEventKind::kThreadExit: return "thread_exit";
+    case SyncEventKind::kThreadJoin: return "thread_join";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const SyncEvent& event) {
+  return os << '#' << event.seq << " t" << event.thread << ' '
+            << to_string(event.kind) << " obj("
+            << static_cast<int>(object_kind(event.object)) << ','
+            << object_index(event.object) << ')';
+}
+
+}  // namespace inspector::sync

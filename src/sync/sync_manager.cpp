@@ -1,0 +1,174 @@
+#include "sync/sync_manager.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace inspector::sync {
+
+namespace {
+std::string object_string(ObjectId id) {
+  std::ostringstream os;
+  os << "object(kind=" << static_cast<int>(object_kind(id))
+     << ", index=" << object_index(id) << ")";
+  return os.str();
+}
+}  // namespace
+
+// --- mutex -----------------------------------------------------------
+
+AcquireResult SyncManager::mutex_lock(ThreadId tid, ObjectId mutex) {
+  MutexState& m = mutexes_[mutex];
+  if (m.owner.has_value()) {
+    if (*m.owner == tid) {
+      throw SyncError("thread " + std::to_string(tid) +
+                      " relocking non-recursive mutex it owns: " +
+                      object_string(mutex));
+    }
+    m.waiters.push_back(tid);
+    return {.acquired = false};
+  }
+  m.owner = tid;
+  return {.acquired = true};
+}
+
+WakeResult SyncManager::mutex_unlock(ThreadId tid, ObjectId mutex) {
+  auto it = mutexes_.find(mutex);
+  if (it == mutexes_.end() || it->second.owner != tid) {
+    throw SyncError("thread " + std::to_string(tid) +
+                    " unlocking mutex it does not own: " +
+                    object_string(mutex));
+  }
+  MutexState& m = it->second;
+  m.owner.reset();
+  WakeResult result;
+  if (!m.waiters.empty()) {
+    // Direct handoff: the head waiter owns the mutex on wake.
+    const ThreadId next = m.waiters.front();
+    m.waiters.pop_front();
+    m.owner = next;
+    result.woken.push_back(next);
+  }
+  return result;
+}
+
+std::optional<ThreadId> SyncManager::mutex_owner(ObjectId mutex) const {
+  auto it = mutexes_.find(mutex);
+  return it == mutexes_.end() ? std::nullopt : it->second.owner;
+}
+
+// --- semaphore -------------------------------------------------------
+
+void SyncManager::sem_init(ObjectId sem, std::uint32_t initial) {
+  semaphores_[sem].value = initial;
+}
+
+AcquireResult SyncManager::sem_wait(ThreadId tid, ObjectId sem) {
+  SemaphoreState& s = semaphores_[sem];
+  if (s.value > 0) {
+    --s.value;
+    return {.acquired = true};
+  }
+  s.waiters.push_back(tid);
+  return {.acquired = false};
+}
+
+WakeResult SyncManager::sem_post(ThreadId /*tid*/, ObjectId sem) {
+  SemaphoreState& s = semaphores_[sem];
+  WakeResult result;
+  if (!s.waiters.empty()) {
+    // The post transfers directly to the head waiter.
+    result.woken.push_back(s.waiters.front());
+    s.waiters.pop_front();
+  } else {
+    ++s.value;
+  }
+  return result;
+}
+
+std::uint32_t SyncManager::sem_value(ObjectId sem) const {
+  auto it = semaphores_.find(sem);
+  return it == semaphores_.end() ? 0 : it->second.value;
+}
+
+// --- barrier ---------------------------------------------------------
+
+void SyncManager::barrier_init(ObjectId barrier, std::uint32_t parties) {
+  if (parties == 0) throw SyncError("barrier with zero parties");
+  BarrierState& b = barriers_[barrier];
+  b.parties = parties;
+  b.arrived.clear();
+}
+
+SyncManager::BarrierResult SyncManager::barrier_wait(ThreadId tid,
+                                                     ObjectId barrier) {
+  auto it = barriers_.find(barrier);
+  if (it == barriers_.end()) {
+    throw SyncError("wait on uninitialized barrier: " +
+                    object_string(barrier));
+  }
+  BarrierState& b = it->second;
+  b.arrived.push_back(tid);
+  if (b.arrived.size() < b.parties) return {.released = false, .participants = {}};
+  BarrierResult result;
+  result.released = true;
+  result.participants = std::move(b.arrived);
+  b.arrived.clear();  // next generation
+  return result;
+}
+
+// --- condition variable ----------------------------------------------
+
+WakeResult SyncManager::cond_wait(ThreadId tid, ObjectId cond,
+                                  ObjectId mutex) {
+  auto it = mutexes_.find(mutex);
+  if (it == mutexes_.end() || it->second.owner != tid) {
+    throw SyncError("cond_wait by thread " + std::to_string(tid) +
+                    " without holding the mutex: " + object_string(mutex));
+  }
+  condvars_[cond].waiters.push_back(tid);
+  return mutex_unlock(tid, mutex);
+}
+
+WakeResult SyncManager::cond_signal(ObjectId cond) {
+  CondVarState& c = condvars_[cond];
+  WakeResult result;
+  if (!c.waiters.empty()) {
+    result.woken.push_back(c.waiters.front());
+    c.waiters.pop_front();
+  }
+  return result;
+}
+
+WakeResult SyncManager::cond_broadcast(ObjectId cond) {
+  CondVarState& c = condvars_[cond];
+  WakeResult result;
+  result.woken.assign(c.waiters.begin(), c.waiters.end());
+  c.waiters.clear();
+  return result;
+}
+
+std::size_t SyncManager::waiters_on(ObjectId object) const {
+  switch (object_kind(object)) {
+    case ObjectKind::kMutex: {
+      auto it = mutexes_.find(object);
+      return it == mutexes_.end() ? 0 : it->second.waiters.size();
+    }
+    case ObjectKind::kSemaphore: {
+      auto it = semaphores_.find(object);
+      return it == semaphores_.end() ? 0 : it->second.waiters.size();
+    }
+    case ObjectKind::kBarrier: {
+      auto it = barriers_.find(object);
+      return it == barriers_.end() ? 0 : it->second.arrived.size();
+    }
+    case ObjectKind::kCondVar: {
+      auto it = condvars_.find(object);
+      return it == condvars_.end() ? 0 : it->second.waiters.size();
+    }
+    case ObjectKind::kThreadLifecycle:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace inspector::sync

@@ -1,0 +1,109 @@
+// Blocking semantics for the full pthreads synchronization surface
+// (INSPECTOR §III: mutexes, semaphores, condition variables, barriers).
+//
+// The SyncManager owns the wait queues and ownership state; the runtime
+// scheduler asks it whether an operation may proceed and which blocked
+// threads an operation wakes. It is deterministic: wait queues are FIFO,
+// so a given schedule seed always reproduces the same wake order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sync/sync_event.h"
+
+namespace inspector::sync {
+
+/// Outcome of an operation that can block.
+struct AcquireResult {
+  bool acquired = false;  ///< false -> caller was enqueued and must block
+};
+
+/// Threads released by an operation (unlock/post/signal/barrier).
+struct WakeResult {
+  std::vector<ThreadId> woken;
+};
+
+/// Error on API misuse (unlocking a mutex the thread does not own,
+/// waiting on a condvar without holding the mutex, ...). These are the
+/// bugs a POSIX-compliant library must diagnose.
+class SyncError : public std::exception {
+ public:
+  explicit SyncError(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+
+ private:
+  std::string message_;
+};
+
+class SyncManager {
+ public:
+  // --- mutex ---------------------------------------------------------
+  /// Try to take `mutex`; on failure the thread is queued.
+  AcquireResult mutex_lock(ThreadId tid, ObjectId mutex);
+  /// Release `mutex`; returns the next owner (woken), if any. The woken
+  /// thread owns the mutex on wake (direct handoff, deterministic).
+  WakeResult mutex_unlock(ThreadId tid, ObjectId mutex);
+  [[nodiscard]] std::optional<ThreadId> mutex_owner(ObjectId mutex) const;
+
+  // --- semaphore -----------------------------------------------------
+  void sem_init(ObjectId sem, std::uint32_t initial);
+  AcquireResult sem_wait(ThreadId tid, ObjectId sem);
+  WakeResult sem_post(ThreadId tid, ObjectId sem);
+  [[nodiscard]] std::uint32_t sem_value(ObjectId sem) const;
+
+  // --- barrier -------------------------------------------------------
+  void barrier_init(ObjectId barrier, std::uint32_t parties);
+  /// Arrive at the barrier. When the caller is the last party the
+  /// result carries *all* participants (including the caller) and the
+  /// barrier resets for the next generation; otherwise the caller
+  /// blocks.
+  struct BarrierResult {
+    bool released = false;
+    std::vector<ThreadId> participants;  ///< valid when released
+  };
+  BarrierResult barrier_wait(ThreadId tid, ObjectId barrier);
+
+  // --- condition variable --------------------------------------------
+  /// Release `mutex` and block on `cond` atomically. Returns the thread
+  /// woken by the mutex release, if any.
+  WakeResult cond_wait(ThreadId tid, ObjectId cond, ObjectId mutex);
+  /// Wake one / all waiters. Woken threads must re-acquire the mutex:
+  /// they are returned here and the scheduler re-runs mutex_lock for
+  /// them.
+  WakeResult cond_signal(ObjectId cond);
+  WakeResult cond_broadcast(ObjectId cond);
+
+  [[nodiscard]] std::size_t waiters_on(ObjectId object) const;
+
+ private:
+  struct MutexState {
+    std::optional<ThreadId> owner;
+    std::deque<ThreadId> waiters;
+  };
+  struct SemaphoreState {
+    std::uint32_t value = 0;
+    std::deque<ThreadId> waiters;
+  };
+  struct BarrierState {
+    std::uint32_t parties = 0;
+    std::vector<ThreadId> arrived;
+  };
+  struct CondVarState {
+    std::deque<ThreadId> waiters;
+  };
+
+  std::unordered_map<ObjectId, MutexState> mutexes_;
+  std::unordered_map<ObjectId, SemaphoreState> semaphores_;
+  std::unordered_map<ObjectId, BarrierState> barriers_;
+  std::unordered_map<ObjectId, CondVarState> condvars_;
+};
+
+}  // namespace inspector::sync

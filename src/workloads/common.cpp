@@ -1,0 +1,39 @@
+#include "workloads/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inspector::workloads {
+
+ScriptBuilder& ScriptBuilder::scan(std::uint64_t base, std::uint64_t words,
+                                   std::uint64_t words_per_iter,
+                                   std::uint64_t compute_per_iter) {
+  if (words_per_iter == 0) words_per_iter = 1;
+  for (std::uint64_t w = 0; w < words; w += words_per_iter) {
+    const std::uint64_t end = std::min(words, w + words_per_iter);
+    for (std::uint64_t i = w; i < end; ++i) load(base + i * 8);
+    if (compute_per_iter != 0) compute(compute_per_iter);
+    // Loop back-edge: taken on every iteration but the last.
+    branch(end < words);
+  }
+  return *this;
+}
+
+void fill_input(Program& program, std::uint64_t bytes, std::uint64_t seed) {
+  program.input_bytes = bytes;
+  std::mt19937_64 rng(seed);
+  const std::uint64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    // One recognizable word per input page (page index ^ seeded noise).
+    program.input.push_back(
+        {AddressLayout::kInputBase + p * kPageSize, (p << 16) ^ rng()});
+  }
+}
+
+std::uint64_t scaled(double x, double factor, std::uint64_t min_value) {
+  const double v = std::ceil(x * factor);
+  return std::max<std::uint64_t>(min_value,
+                                 static_cast<std::uint64_t>(v));
+}
+
+}  // namespace inspector::workloads

@@ -1,0 +1,206 @@
+// Shared scaffolding for the 12 synthetic PARSEC/Phoenix workloads.
+//
+// Each generator reproduces the *behavioural profile* that drives its
+// benchmark's numbers in the paper (page-touch pattern, branch density
+// and entropy, sync pattern, allocation pattern) -- see the DESIGN.md
+// substitution table. Generators are deterministic given the config
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "memtrack/allocator.h"
+#include "memtrack/shared_memory.h"
+#include "runtime/program.h"
+#include "sync/sync_event.h"
+
+namespace inspector::workloads {
+
+using runtime::Op;
+using runtime::OpCode;
+using runtime::Program;
+using runtime::ThreadScript;
+
+/// Input-size variants for the fig-8 scaling experiment.
+enum class InputSize : std::uint8_t { kSmall, kMedium, kLarge };
+
+struct WorkloadConfig {
+  std::uint32_t threads = 16;
+  InputSize size = InputSize::kLarge;  ///< paper defaults use the large set
+  std::uint64_t seed = 42;
+  /// Global op-count scale: 1.0 keeps runs laptop-sized (the paper's
+  /// datasets would take hours under simulation). Shapes are invariant
+  /// to this knob; see EXPERIMENTS.md.
+  double scale = 1.0;
+};
+
+/// Multiplier for the fig-8 input sizes.
+[[nodiscard]] constexpr double size_factor(InputSize size) noexcept {
+  switch (size) {
+    case InputSize::kSmall: return 0.25;
+    case InputSize::kMedium: return 0.5;
+    case InputSize::kLarge: return 1.0;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] constexpr const char* size_name(InputSize size) noexcept {
+  switch (size) {
+    case InputSize::kSmall: return "small";
+    case InputSize::kMedium: return "medium";
+    case InputSize::kLarge: return "large";
+  }
+  return "?";
+}
+
+// Address helpers -------------------------------------------------------
+
+using memtrack::AddressLayout;
+using memtrack::kPageSize;
+
+/// Per-thread private heap region (1 GiB apart: bump allocations of
+/// different threads never share pages).
+[[nodiscard]] constexpr std::uint64_t thread_heap_base(
+    std::uint32_t logical_thread) noexcept {
+  return AddressLayout::kHeapBase +
+         (static_cast<std::uint64_t>(logical_thread) << 30);
+}
+
+/// `index`-th word of the input file region.
+[[nodiscard]] constexpr std::uint64_t input_word(std::uint64_t index) noexcept {
+  return AddressLayout::kInputBase + index * 8;
+}
+
+/// `index`-th word of the globals region.
+[[nodiscard]] constexpr std::uint64_t global_word(std::uint64_t index) noexcept {
+  return AddressLayout::kGlobalsBase + index * 8;
+}
+
+// Sync-object id helpers -------------------------------------------------
+
+[[nodiscard]] constexpr sync::ObjectId mutex_id(std::uint64_t n) noexcept {
+  return sync::make_object_id(sync::ObjectKind::kMutex, n);
+}
+[[nodiscard]] constexpr sync::ObjectId barrier_id(std::uint64_t n) noexcept {
+  return sync::make_object_id(sync::ObjectKind::kBarrier, n);
+}
+[[nodiscard]] constexpr sync::ObjectId sem_id(std::uint64_t n) noexcept {
+  return sync::make_object_id(sync::ObjectKind::kSemaphore, n);
+}
+[[nodiscard]] constexpr sync::ObjectId cond_id(std::uint64_t n) noexcept {
+  return sync::make_object_id(sync::ObjectKind::kCondVar, n);
+}
+
+/// Fluent script builder.
+class ScriptBuilder {
+ public:
+  explicit ScriptBuilder(std::uint64_t seed) : rng_(seed) {}
+
+  ScriptBuilder& load(std::uint64_t addr) {
+    ops_.push_back({OpCode::kLoad, addr, 0, false});
+    return *this;
+  }
+  ScriptBuilder& store(std::uint64_t addr, std::uint64_t value) {
+    ops_.push_back({OpCode::kStore, addr, value, false});
+    return *this;
+  }
+  ScriptBuilder& compute(std::uint64_t units) {
+    ops_.push_back({OpCode::kCompute, units, 0, false});
+    return *this;
+  }
+  /// Conditional branch with a fixed outcome (low TNT entropy: loop
+  /// back-edges compress extremely well, like histogram's 34x).
+  ScriptBuilder& branch(bool taken) {
+    ops_.push_back({OpCode::kCondBranch, 0, 0, taken});
+    return *this;
+  }
+  /// Conditional branch taken with probability `p` (high entropy:
+  /// data-dependent comparisons, like string_match's 6x ratio).
+  ScriptBuilder& random_branch(double p_taken) {
+    ops_.push_back({OpCode::kCondBranch, 0, 0, coin(p_taken)});
+    return *this;
+  }
+  ScriptBuilder& indirect_branch() {
+    ops_.push_back({OpCode::kIndirectBranch, 0, 0, false});
+    return *this;
+  }
+  ScriptBuilder& lock(sync::ObjectId m) {
+    ops_.push_back({OpCode::kMutexLock, m, 0, false});
+    return *this;
+  }
+  ScriptBuilder& unlock(sync::ObjectId m) {
+    ops_.push_back({OpCode::kMutexUnlock, m, 0, false});
+    return *this;
+  }
+  ScriptBuilder& sem_wait(sync::ObjectId s) {
+    ops_.push_back({OpCode::kSemWait, s, 0, false});
+    return *this;
+  }
+  ScriptBuilder& sem_post(sync::ObjectId s) {
+    ops_.push_back({OpCode::kSemPost, s, 0, false});
+    return *this;
+  }
+  ScriptBuilder& barrier_wait(sync::ObjectId b) {
+    ops_.push_back({OpCode::kBarrierWait, b, 0, false});
+    return *this;
+  }
+  ScriptBuilder& cond_wait(sync::ObjectId cv, sync::ObjectId m) {
+    ops_.push_back({OpCode::kCondWait, cv, m, false});
+    return *this;
+  }
+  ScriptBuilder& cond_signal(sync::ObjectId cv) {
+    ops_.push_back({OpCode::kCondSignal, cv, 0, false});
+    return *this;
+  }
+  ScriptBuilder& cond_broadcast(sync::ObjectId cv) {
+    ops_.push_back({OpCode::kCondBroadcast, cv, 0, false});
+    return *this;
+  }
+  ScriptBuilder& spawn(std::uint64_t script_index) {
+    ops_.push_back({OpCode::kSpawn, script_index, 0, false});
+    return *this;
+  }
+  ScriptBuilder& join(std::uint64_t spawn_ordinal) {
+    ops_.push_back({OpCode::kJoin, spawn_ordinal, 0, false});
+    return *this;
+  }
+  ScriptBuilder& mmap_input(std::uint64_t base, std::uint64_t length) {
+    ops_.push_back({OpCode::kMmapInput, base, length, false});
+    return *this;
+  }
+
+  /// Sequential read of `words` words starting at `base`, with a
+  /// taken loop back-edge every `words_per_iter` words (the compiler
+  /// shape of a scan loop) and `compute_per_iter` units of work.
+  ScriptBuilder& scan(std::uint64_t base, std::uint64_t words,
+                      std::uint64_t words_per_iter,
+                      std::uint64_t compute_per_iter);
+
+  /// A random value in [0, n).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t n) {
+    return rng_() % n;
+  }
+  [[nodiscard]] bool coin(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+
+  [[nodiscard]] ThreadScript take() { return ThreadScript{std::move(ops_)}; }
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+
+ private:
+  std::vector<Op> ops_;
+  std::mt19937_64 rng_;
+};
+
+/// Fill `program.input` with deterministic words covering `bytes` of the
+/// input region (one word per 8 bytes would explode; a word per page is
+/// enough to materialize the pages and carry recognizable values).
+void fill_input(Program& program, std::uint64_t bytes, std::uint64_t seed);
+
+/// Round `x * factor` up to at least `min_value`.
+[[nodiscard]] std::uint64_t scaled(double x, double factor,
+                                   std::uint64_t min_value = 1);
+
+}  // namespace inspector::workloads

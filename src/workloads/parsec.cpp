@@ -1,0 +1,203 @@
+// PARSEC workloads: blackscholes, canneal, streamcluster, swaptions.
+#include "workloads/workloads.h"
+
+namespace inspector::workloads {
+
+Program make_blackscholes(const WorkloadConfig& config) {
+  Program p;
+  p.name = "blackscholes";
+  // Paper: 64K options, NUM_RUNS rounds separated by barriers.
+  const std::uint64_t option_pages = scaled(48, config.scale, 8);
+  const std::uint64_t rounds = scaled(4, config.scale, 2);
+  fill_input(p, option_pages * kPageSize, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread =
+      std::max<std::uint64_t>(1, option_pages / T);
+  const sync::ObjectId round_barrier = barrier_id(0);
+  p.barriers.push_back({round_barrier, T});
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 5));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+        const std::uint64_t base =
+            AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+        for (std::uint64_t opt = 0; opt < 24; ++opt) {
+          b.load(base + opt * 128);
+          b.compute(450);              // CNDF rational approximation
+          b.branch(opt % 2 == 0);      // sign of d1 (alternates in file)
+          b.compute(450);              // the closed-form price
+          b.branch(opt % 8 == 0);      // boundary checks (rarely taken)
+        }
+        // Result vector: one private result page per input page.
+        b.store(thread_heap_base(w) + pg * kPageSize, round);
+        b.branch(pg + 1 < pages_per_thread);
+      }
+      b.barrier_wait(round_barrier);
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_canneal(const WorkloadConfig& config) {
+  Program p;
+  p.name = "canneal";
+  // Paper: 100000.nets. The netlist is a large shared array; every
+  // annealing move swaps two random elements under the lock, dirtying
+  // two essentially random pages -- the fault champion of table 7.
+  const std::uint64_t net_pages = scaled(192, config.scale, 64);
+  const std::uint64_t moves_per_thread = scaled(72, config.scale, 16);
+  fill_input(p, net_pages * kPageSize, config.seed);
+
+  const std::uint32_t T = config.threads;
+  // The placement array is protected by striped locks (the real app
+  // uses fine-grained atomic swaps; a single global mutex would
+  // serialize the whole run).
+  constexpr std::uint64_t kStripes = 8;
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 11));
+    for (std::uint64_t move = 0; move < moves_per_thread; ++move) {
+      // Pick candidates and evaluate the routing-cost delta (outside
+      // the lock).
+      const std::uint64_t e1 = b.uniform(net_pages);
+      const std::uint64_t e2 = b.uniform(net_pages);
+      b.load(AddressLayout::kInputBase + e1 * kPageSize);
+      b.load(AddressLayout::kInputBase + e2 * kPageSize);
+      b.compute(1500);          // routing-cost delta over the fanout
+      b.branch(move % 3 != 0);  // accept? (cooling schedule: structured)
+      // Commit the move: update e1's placement entry and cost cache.
+      // Writes stay within the stripe the lock protects (e1's pages);
+      // e2 is only read, so concurrent moves never race on a word.
+      const sync::ObjectId stripe = mutex_id(e1 % kStripes);
+      b.lock(stripe);
+      const std::uint64_t p1 = global_word(e1 * 512 + b.uniform(32));
+      const std::uint64_t p2 = global_word(e2 * 512 + b.uniform(32));
+      b.load(p1).load(p2);
+      // Values are a function of the location only, so the final state
+      // is independent of which move commits last.
+      b.store(p1, e1 * 2654435761ull);
+      b.store(global_word(e1 * 512 + 64 + b.uniform(32)), e1 + 7);
+      b.unlock(stripe);
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_streamcluster(const WorkloadConfig& config) {
+  Program p;
+  p.name = "streamcluster";
+  // Paper: the longest run of the suite -- barrier-structured rounds
+  // over a point stream, 29.3 GB of trace. Give it the largest branch
+  // budget.
+  const std::uint64_t point_pages = scaled(96, config.scale, 16);
+  const std::uint64_t rounds = scaled(32, config.scale, 6);
+  fill_input(p, point_pages * kPageSize, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread =
+      std::max<std::uint64_t>(1, point_pages / T);
+  const sync::ObjectId round_barrier = barrier_id(0);
+  const sync::ObjectId center_mutex = mutex_id(0);
+  p.barriers.push_back({round_barrier, T});
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 19));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+        const std::uint64_t base =
+            AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+        // Distance evaluation: branchy inner loops (the 7.8E9
+        // branch/sec column of fig 9).
+        // The distance loop is branch-dense but *structured*: the same
+        // center wins for long stretches, so the TNT stream is highly
+        // repetitive -- the reason streamcluster's 29 GB log compresses
+        // 37x in fig 9.
+        for (std::uint64_t pt = 0; pt < 24; ++pt) {
+          b.load(base + pt * 160);
+          b.compute(350);
+          b.branch(pt % 6 != 5);            // is this center closer?
+          b.branch((pt + round) % 12 != 0); // open a new candidate?
+        }
+        b.branch(pg + 1 < pages_per_thread);
+      }
+      if (b.coin(0.3)) {
+        // Occasionally open a new center.
+        b.lock(center_mutex);
+        b.load(global_word(round % 512));
+        b.store(global_word(round % 512), round);
+        b.unlock(center_mutex);
+      }
+      b.barrier_wait(round_barrier);
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_swaptions(const WorkloadConfig& config) {
+  Program p;
+  p.name = "swaptions";
+  // Paper: -ns 128 -sm 50000 -nt 16. Monte-Carlo paths: pure compute +
+  // coin-flip branches, no cross-thread sync until join.
+  const std::uint64_t swaptions_total = scaled(64, config.scale, 8);
+  const std::uint64_t trials = scaled(250, config.scale, 12);
+  fill_input(p, swaptions_total * 256, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t per_thread =
+      std::max<std::uint64_t>(1, swaptions_total / T);
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 23));
+    for (std::uint64_t s = 0; s < per_thread; ++s) {
+      b.load(input_word((w * per_thread + s) * 32));
+      for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        b.compute(500);          // HJM path evolution
+        b.random_branch(0.5);    // payoff in/out of the money
+        b.random_branch(0.5);
+      }
+      // Price + stderr into the private result array.
+      b.store(thread_heap_base(w) + s * 16, s);
+      b.store(thread_heap_base(w) + s * 16 + 8, s + 1);
+      b.branch(s + 1 < per_thread);
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+}  // namespace inspector::workloads

@@ -1,0 +1,218 @@
+// Compute/structure-shaped Phoenix workloads: matrix_multiply, pca,
+// kmeans, reverse_index.
+#include "workloads/workloads.h"
+
+namespace inspector::workloads {
+
+Program make_matrix_multiply(const WorkloadConfig& config) {
+  Program p;
+  p.name = "matrix_multiply";
+  // Paper: 2000x2000. Simulated: N x N blocked, A and B as input, C in
+  // globals; compute-dominated (lowest branch rate of the suite).
+  const std::uint64_t n = scaled(288, config.scale, 16);
+  const std::uint64_t row_words = n;
+  const std::uint64_t a_base = AddressLayout::kInputBase;
+  const std::uint64_t b_base = a_base + n * row_words * 8;
+  fill_input(p, 2 * n * row_words * 8, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t rows_per_thread = std::max<std::uint64_t>(1, n / T);
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 3));
+    const std::uint64_t first_row = w * rows_per_thread;
+    for (std::uint64_t r = 0; r < rows_per_thread; ++r) {
+      const std::uint64_t row = first_row + r;
+      // One dot-product batch per column block: big compute bursts,
+      // a single loop branch each -- few branches per instruction.
+      for (std::uint64_t cb = 0; cb < 6; ++cb) {
+        b.load(a_base + (row * row_words + cb * (n / 6)) * 8);
+        b.load(b_base + (cb * (n / 6) * row_words) * 8);
+        // The k-loop of the dot product: unrolled 4x, so one back-edge
+        // per 4 multiply-accumulates.
+        for (int k = 0; k < 4; ++k) {
+          b.compute(450);
+          b.branch(k + 1 < 4);
+        }
+        b.branch(cb + 1 < 6);
+      }
+      b.store(global_word(row * row_words / 8), row);  // C row (sampled)
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(a_base, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_pca(const WorkloadConfig& config) {
+  Program p;
+  p.name = "pca";
+  // Paper: -r 4000 -c 4000. Rows live in the input region; the
+  // covariance accumulates in globals under striped locks.
+  const std::uint64_t rows = scaled(192, config.scale, 32);
+  const std::uint64_t row_pages = 1;  // one page per (sampled) row
+  fill_input(p, rows * row_pages * kPageSize, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t rows_per_thread = std::max<std::uint64_t>(1, rows / T);
+  const sync::ObjectId phase_barrier = barrier_id(0);
+  p.barriers.push_back({phase_barrier, T});
+  constexpr std::uint64_t kLockStripes = 4;
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 17));
+    const std::uint64_t first_row = w * rows_per_thread;
+    // Phase 1: per-row means.
+    for (std::uint64_t r = 0; r < rows_per_thread; ++r) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_row + r) * kPageSize;
+      b.scan(base, 16, 1, 350);
+      b.store(global_word(512 + first_row + r), r);  // mean vector
+    }
+    b.barrier_wait(phase_barrier);
+    // Phase 2: covariance contributions; the locked reduction happens
+    // once per row batch.
+    for (std::uint64_t r = 0; r < rows_per_thread; ++r) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_row + r) * kPageSize;
+      b.load(base);
+      // Dimension loop of the covariance contribution (structured
+      // back-edges: taken until the last dimension).
+      for (int d = 0; d < 8; ++d) {
+        b.compute(300);
+        b.branch(d != 7);
+      }
+      if (r % 6 == 5 || r + 1 == rows_per_thread) {
+        const std::uint64_t stripe = b.uniform(kLockStripes);
+        b.lock(mutex_id(stripe));
+        const std::uint64_t cell = 1024 + stripe * 512 + b.uniform(64);
+        b.load(global_word(cell));
+        b.store(global_word(cell), cell);
+        b.unlock(mutex_id(stripe));
+      }
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_kmeans(const WorkloadConfig& config) {
+  Program p;
+  p.name = "kmeans";
+  // Paper: -d 3 -c 500 -p 50000 -s 500, which respawns the worker fleet
+  // every iteration until convergence: >400 processes under INSPECTOR.
+  const std::uint64_t iterations = scaled(25, config.scale, 4);
+  const std::uint64_t point_pages = scaled(64, config.scale, 16);
+  fill_input(p, point_pages * kPageSize, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread =
+      std::max<std::uint64_t>(1, point_pages / T);
+  const sync::ObjectId accum_mutex = mutex_id(0);
+  constexpr std::uint64_t kClusterPages = 3;  // 500 clusters x 3 dims
+
+  // Worker scripts (one per worker slot, reused every iteration).
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 31));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+      b.scan(base, 12, 2, 350);  // distance to sampled centroids
+      b.random_branch(0.3);      // did the point change cluster?
+    }
+    // Fold this worker's partial sums into the shared cluster table.
+    b.lock(accum_mutex);
+    for (std::uint64_t cp = 0; cp < kClusterPages; ++cp) {
+      b.load(global_word(cp * 512 + w % 64));
+      b.store(global_word(cp * 512 + w % 64), w + cp);
+    }
+    b.unlock(accum_mutex);
+    p.scripts.push_back(b.take());
+  }
+
+  // Main: iterate spawn fleet -> join fleet -> recompute centroids.
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  std::uint64_t ordinal = 0;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+    for (std::uint32_t w = 0; w < T; ++w) main.join(ordinal++);
+    // New centroids from the accumulated sums (touches the cluster
+    // pages again from the main process: more COW faults).
+    for (std::uint64_t cp = 0; cp < kClusterPages; ++cp) {
+      main.load(global_word(cp * 512));
+      main.store(global_word(2048 + cp * 512), it + cp);
+    }
+    main.compute(2000);
+    main.branch(it + 1 < iterations);  // convergence check
+  }
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_reverse_index(const WorkloadConfig& config) {
+  Program p;
+  p.name = "reverse_index";
+  // Paper: html "datafiles"; the app mallocs a node per link, which
+  // sprays small allocations over fresh pages (the segfault storm of
+  // §VII-A).
+  const std::uint64_t link_pages = scaled(96, config.scale, 16);
+  fill_input(p, link_pages * kPageSize, config.seed);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread =
+      std::max<std::uint64_t>(1, link_pages / T);
+  const sync::ObjectId index_mutex = mutex_id(0);
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 41));
+    // Per-worker allocator forced to one tiny node per page -- the
+    // allocation pattern that inflates per-sub-computation write sets.
+    memtrack::BumpAllocator arena(thread_heap_base(w), 1ull << 28);
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+      for (std::uint64_t link = 0; link < 8; ++link) {
+        b.load(base + link * 256);
+        b.compute(400);  // parse the URL
+        const std::uint64_t node = arena.allocate(48);
+        if (link % 2 == 1) arena.align_to_page();  // nodes spray pages
+        b.store(node, pg * 16 + link);
+        b.store(node + 8, base);
+        b.branch(link % 4 == 0);  // duplicate-link check (mostly misses)
+      }
+      // Publish the batch into the shared index.
+      b.lock(index_mutex);
+      b.load(global_word((first_page + pg) % 256));
+      b.store(global_word((first_page + pg) % 256), pg);
+      b.unlock(index_mutex);
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+}  // namespace inspector::workloads

@@ -1,0 +1,218 @@
+// Scan-shaped Phoenix workloads: histogram, linear_regression,
+// string_match, word_count. These are the four apps the paper's fig-8
+// input-scaling experiment uses (they ship S/M/L datasets).
+#include "workloads/workloads.h"
+
+namespace inspector::workloads {
+
+namespace {
+
+/// Number of input pages for a scan app at a given size/scale.
+/// (Large corresponds to the paper's full dataset, e.g. the 1.4 GB
+/// bitmap for histogram; we keep the S:M:L proportions.)
+std::uint64_t input_pages(const WorkloadConfig& config, double base_pages) {
+  return scaled(base_pages, size_factor(config.size) * config.scale, 8);
+}
+
+/// Nominal dataset bytes reported for fig 8's X axis (paper-scale).
+std::uint64_t nominal_bytes(const WorkloadConfig& config,
+                            std::uint64_t large_mb) {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(large_mb << 20) * size_factor(config.size));
+}
+
+}  // namespace
+
+Program make_histogram(const WorkloadConfig& config) {
+  Program p;
+  p.name = "histogram";
+  const std::uint64_t pages = input_pages(config, 1024);
+  fill_input(p, pages * kPageSize, config.seed);
+  p.input_bytes = nominal_bytes(config, 1400);  // large.bmp ~1.4GB
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread = std::max<std::uint64_t>(1, pages / T);
+  const sync::ObjectId merge_mutex = mutex_id(0);
+  constexpr std::uint64_t kBinPages = 3;   // 256 bins x 3 colour channels
+  constexpr std::uint64_t kWordsPerPage = 16;  // sampled pixel batches/page
+
+  // Worker w: scan its chunk, build private bins, merge under the lock.
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 1));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+      // One iteration per pixel batch: the branchy inner loop that
+      // makes histogram's trace both large and very compressible.
+      b.scan(base, kWordsPerPage, 1, 375);
+      // Private bins on the worker's heap.
+      for (std::uint64_t bin = 0; bin < kBinPages; ++bin) {
+        b.store(thread_heap_base(w) + bin * kPageSize + (pg % 64) * 8,
+                pg + bin);
+      }
+    }
+    b.lock(merge_mutex);
+    for (std::uint64_t bin = 0; bin < kBinPages; ++bin) {
+      b.load(thread_heap_base(w) + bin * kPageSize);  // the private bins
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        b.load(global_word(bin * 512 + i));
+        b.store(global_word(bin * 512 + i), bin * 64 + i);
+      }
+      b.branch(bin + 1 < kBinPages);  // merge loop back-edge
+    }
+    b.unlock(merge_mutex);
+    p.scripts.push_back(b.take());
+  }
+
+  // Main: map the input, fan out, join, read the final histogram.
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  for (std::uint64_t i = 0; i < 16; ++i) main.load(global_word(i));
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_linear_regression(const WorkloadConfig& config) {
+  Program p;
+  p.name = "linear_regression";
+  const std::uint64_t pages = input_pages(config, 768);
+  fill_input(p, pages * kPageSize, config.seed);
+  p.input_bytes = nominal_bytes(config, 500);  // key_file_500MB.txt
+  // Per-thread accumulators packed on adjacent cache lines: native
+  // threads false-share them on every update (§VII-A / Sheriff). The
+  // penalty models the cross-core RFO storm per contended store.
+  p.native_store_penalty_ns = 550;
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread = std::max<std::uint64_t>(1, pages / T);
+  const sync::ObjectId final_mutex = mutex_id(0);
+  constexpr std::uint64_t kAccums = 6;  // SX, SY, SXX, SYY, SXY, n
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 7));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+      b.scan(base, 16, 1, 350);
+      // Update the packed accumulators: thread w's slots are adjacent
+      // to thread w+1's -- the false-sharing hot spot, hit once per
+      // point batch.
+      for (std::uint64_t batch = 0; batch < 24; ++batch) {
+        b.store(global_word(w * kAccums + batch % kAccums), pg + batch);
+      }
+    }
+    b.lock(final_mutex);
+    for (std::uint64_t acc = 0; acc < kAccums; ++acc) {
+      b.load(global_word(w * kAccums + acc));
+      b.store(global_word(4096 + acc), acc * 3 + 1);  // global reduction
+    }
+    b.unlock(final_mutex);
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  for (std::uint64_t acc = 0; acc < kAccums; ++acc) {
+    main.load(global_word(4096 + acc));
+  }
+  main.compute(64);  // solve the 2x2 system
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_string_match(const WorkloadConfig& config) {
+  Program p;
+  p.name = "string_match";
+  const std::uint64_t pages = input_pages(config, 768);
+  fill_input(p, pages * kPageSize, config.seed);
+  p.input_bytes = nominal_bytes(config, 500);
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread = std::max<std::uint64_t>(1, pages / T);
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 13));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+      // Compare each sampled word against the encrypted keys:
+      // data-dependent branches -> maximum TNT entropy (6x ratio).
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        b.load(base + i * 64);
+        b.compute(600);  // bfencrypt of the candidate word
+        b.random_branch(0.5);
+        b.random_branch(0.5);
+      }
+      if (b.coin(0.02)) {
+        // Rare hit: record the match.
+        b.store(thread_heap_base(w) + (pg % 8) * 8, pg);
+      }
+      b.branch(pg + 1 < pages_per_thread);
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+Program make_word_count(const WorkloadConfig& config) {
+  Program p;
+  p.name = "word_count";
+  const std::uint64_t pages = input_pages(config, 256);
+  fill_input(p, pages * kPageSize, config.seed);
+  p.input_bytes = nominal_bytes(config, 100);  // word_100MB.txt
+
+  const std::uint32_t T = config.threads;
+  const std::uint64_t pages_per_thread = std::max<std::uint64_t>(1, pages / T);
+  constexpr std::uint64_t kBuckets = 8;  // hash-bucket locks
+
+  for (std::uint32_t w = 0; w < T; ++w) {
+    ScriptBuilder b(config.seed ^ (w + 29));
+    const std::uint64_t first_page = w * pages_per_thread;
+    for (std::uint64_t pg = 0; pg < pages_per_thread; ++pg) {
+      const std::uint64_t base =
+          AddressLayout::kInputBase + (first_page + pg) * kPageSize;
+      // Tokenize a batch of words, then bump the shared count table
+      // bucket under its lock -- a sync point every few loads, which is
+      // why word_count has the highest faults/sec of the table.
+      for (std::uint64_t batch = 0; batch < 4; ++batch) {
+        b.scan(base + batch * 1024, 8, 1, 800);
+        const std::uint64_t bucket = b.uniform(kBuckets);
+        b.lock(mutex_id(bucket));
+        const std::uint64_t slot = bucket * 512 + b.uniform(32);
+        b.load(global_word(slot));
+        b.store(global_word(slot), slot);
+        b.unlock(mutex_id(bucket));
+      }
+    }
+    p.scripts.push_back(b.take());
+  }
+
+  ScriptBuilder main(config.seed);
+  main.mmap_input(AddressLayout::kInputBase, p.input_bytes);
+  for (std::uint32_t w = 0; w < T; ++w) main.spawn(w);
+  for (std::uint32_t w = 0; w < T; ++w) main.join(w);
+  for (std::uint64_t bucket = 0; bucket < kBuckets; ++bucket) {
+    main.load(global_word(bucket * 512));
+  }
+  p.main_script = p.scripts.size();
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+}  // namespace inspector::workloads

@@ -1,0 +1,48 @@
+#include "workloads/registry.h"
+
+#include <stdexcept>
+
+namespace inspector::workloads {
+
+const std::vector<WorkloadEntry>& all_workloads() {
+  static const std::vector<WorkloadEntry> kEntries = {
+      {"blackscholes", "parsec", "16 in_64K.txt prices.txt", false,
+       make_blackscholes},
+      {"canneal", "parsec", "15 10000 2000 100000.nets 32", false,
+       make_canneal},
+      {"histogram", "phoenix", "large.bmp", true, make_histogram},
+      {"kmeans", "phoenix", "-d 3 -c 500 -p 50000 -s 500", false,
+       make_kmeans},
+      {"linear_regression", "phoenix", "key_file_500MB.txt", true,
+       make_linear_regression},
+      {"matrix_multiply", "phoenix", "2000 2000", false,
+       make_matrix_multiply},
+      {"pca", "phoenix", "-r 4000 -c 4000 -s 100", false, make_pca},
+      {"reverse_index", "phoenix", "datafiles", false, make_reverse_index},
+      {"streamcluster", "parsec", "2 5 1 10 10 5 none output.txt 16", false,
+       make_streamcluster},
+      {"string_match", "phoenix", "key_file_500MB.txt", true,
+       make_string_match},
+      {"swaptions", "parsec", "-ns 128 -sm 50000 -nt 16", false,
+       make_swaptions},
+      {"word_count", "phoenix", "word_100MB.txt", true, make_word_count},
+  };
+  return kEntries;
+}
+
+Program make_workload(const std::string& name, const WorkloadConfig& config) {
+  for (const auto& entry : all_workloads()) {
+    if (entry.name == name) return entry.make(config);
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+std::vector<std::string> sized_workload_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : all_workloads()) {
+    if (entry.has_sized_inputs) names.push_back(entry.name);
+  }
+  return names;
+}
+
+}  // namespace inspector::workloads

@@ -1,0 +1,31 @@
+// Workload registry: name -> generator, plus the paper's table-7
+// dataset/parameter strings for report printing.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/workloads.h"
+
+namespace inspector::workloads {
+
+struct WorkloadEntry {
+  std::string name;
+  std::string suite;           ///< "phoenix" or "parsec"
+  std::string paper_dataset;   ///< table 7 "Dataset / Parameters" column
+  bool has_sized_inputs;       ///< part of the fig-8 S/M/L experiment
+  std::function<Program(const WorkloadConfig&)> make;
+};
+
+/// All 12 workloads, in the paper's (alphabetical) figure order.
+[[nodiscard]] const std::vector<WorkloadEntry>& all_workloads();
+
+/// Generator lookup by name. Throws std::out_of_range for unknown names.
+[[nodiscard]] Program make_workload(const std::string& name,
+                                    const WorkloadConfig& config);
+
+/// The four fig-8 apps (those shipping small/medium/large datasets).
+[[nodiscard]] std::vector<std::string> sized_workload_names();
+
+}  // namespace inspector::workloads

@@ -1,0 +1,73 @@
+// The twelve benchmark programs of the paper's evaluation (§VII,
+// Table 7): Phoenix 2.0 (histogram, kmeans, linear_regression,
+// matrix_multiply, pca, reverse_index, string_match, word_count) and
+// PARSEC 3.0 (blackscholes, canneal, streamcluster, swaptions).
+//
+// Each generator returns a Program whose page-touch pattern, branch
+// density/entropy, synchronization pattern and allocation behaviour
+// reproduce the profile that drives the paper's numbers for that app.
+#pragma once
+
+#include "workloads/common.h"
+
+namespace inspector::workloads {
+
+// --- Phoenix 2.0 -------------------------------------------------------
+
+/// Pixel-value histogram of a bitmap: data-parallel scan, per-thread
+/// private bins, one merge under a global lock. Low overhead; very
+/// compressible trace (loop back-edges).
+[[nodiscard]] Program make_histogram(const WorkloadConfig& config);
+
+/// Least-squares fit over a point file: sequential scan with per-thread
+/// accumulators on *adjacent* cache lines -- the false-sharing victim
+/// that INSPECTOR turns into a speedup (§VII-A). Fewest page faults.
+[[nodiscard]] Program make_linear_regression(const WorkloadConfig& config);
+
+/// Search for encrypted keys in a word list: scan with data-dependent
+/// comparisons (high-entropy TNT -> worst compression ratio, 6x in
+/// fig 9).
+[[nodiscard]] Program make_string_match(const WorkloadConfig& config);
+
+/// Word-frequency count: scan with a hash-bucket lock per word batch --
+/// the highest fault *rate* of the suite (54E4/sec in table 7).
+[[nodiscard]] Program make_word_count(const WorkloadConfig& config);
+
+/// Dense matrix multiply: compute-bound, lowest branch rate and log
+/// bandwidth (105 MB/s in fig 9).
+[[nodiscard]] Program make_matrix_multiply(const WorkloadConfig& config);
+
+/// Principal component analysis: mean pass, barrier, covariance pass
+/// with locked reductions. Mid-pack faults (5.3E5 in table 7).
+[[nodiscard]] Program make_pca(const WorkloadConfig& config);
+
+/// K-means clustering: respawns a worker fleet every iteration until
+/// convergence -- >400 threads total (the paper's -c 500 run), making
+/// process-creation cost dominate under INSPECTOR.
+[[nodiscard]] Program make_kmeans(const WorkloadConfig& config);
+
+/// Build a reverse web-link index: many small allocations landing on
+/// fresh pages, large per-sub-computation write sets -> commit-heavy,
+/// threading-library-dominated overhead.
+[[nodiscard]] Program make_reverse_index(const WorkloadConfig& config);
+
+// --- PARSEC 3.0 --------------------------------------------------------
+
+/// Black-Scholes option pricing: compute-heavy rounds over a shared
+/// option array separated by barriers. Few faults (2.5E4).
+[[nodiscard]] Program make_blackscholes(const WorkloadConfig& config);
+
+/// Simulated-annealing netlist placement: random swaps across a huge
+/// shared element array under a lock -- the most page faults of the
+/// suite (2.1E6) and the worst INSPECTOR overhead.
+[[nodiscard]] Program make_canneal(const WorkloadConfig& config);
+
+/// Online clustering of a point stream: barrier-structured rounds, the
+/// longest trace of the suite (29.3 GB log, 7.8E9 branch/sec in fig 9).
+[[nodiscard]] Program make_streamcluster(const WorkloadConfig& config);
+
+/// Monte-Carlo swaption pricing: embarrassingly parallel, heavy
+/// compute, random path branches (8x compression, large log).
+[[nodiscard]] Program make_swaptions(const WorkloadConfig& config);
+
+}  // namespace inspector::workloads

@@ -1,0 +1,163 @@
+// CPG diff and PT timing tests.
+#include <gtest/gtest.h>
+
+#include "cpg/diff.h"
+#include "core/inspector.h"
+#include "ptsim/encoder.h"
+#include "ptsim/flow.h"
+#include "ptsim/sink.h"
+#include "workloads/common.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace inspector;
+using workloads::global_word;
+using workloads::mutex_id;
+using workloads::ScriptBuilder;
+
+// Two threads race through a lock-protected update loop: different
+// seeds interleave differently (the debugging_race example program).
+runtime::Program racing_program() {
+  runtime::Program p;
+  p.name = "racing";
+  const auto m = mutex_id(0);
+  const auto start = workloads::barrier_id(0);
+  p.barriers.push_back({start, 2});
+  for (int w = 0; w < 2; ++w) {
+    ScriptBuilder b(w + 1);
+    b.barrier_wait(start);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      b.lock(m);
+      b.load(global_word(0));
+      b.store(global_word(0), 100 * (w + 1ull) + i);
+      b.unlock(m);
+      b.compute(8000);
+    }
+    p.scripts.push_back(b.take());
+  }
+  ScriptBuilder main(9);
+  main.spawn(0).spawn(1).join(0).join(1);
+  p.main_script = 2;
+  p.scripts.push_back(main.take());
+  return p;
+}
+
+cpg::Graph run_with_seed(const runtime::Program& p, std::uint64_t seed) {
+  core::Options options;
+  options.schedule_seed = seed;
+  options.schedule_jitter_ns = 120'000;
+  return *core::Inspector(options).run(p).graph;
+}
+
+TEST(GraphDiff, IdenticalRunsDiffEmpty) {
+  const auto p = racing_program();
+  const auto a = run_with_seed(p, 3);
+  const auto b = run_with_seed(p, 3);
+  const auto diff = cpg::diff_graphs(a, b);
+  EXPECT_TRUE(diff.identical()) << diff.to_string();
+}
+
+TEST(GraphDiff, DifferentSchedulesDivergeDetectably) {
+  const auto p = racing_program();
+  // Find two seeds with different schedules.
+  const auto a = run_with_seed(p, 1);
+  for (std::uint64_t seed = 2; seed <= 24; ++seed) {
+    const auto b = run_with_seed(p, seed);
+    const auto diff = cpg::diff_graphs(a, b);
+    if (!diff.identical()) {
+      EXPECT_TRUE(diff.first_schedule_divergence.has_value() ||
+                  diff.sync_edges_only_a + diff.sync_edges_only_b > 0)
+          << "a non-identical diff must localize the divergence";
+      EXPECT_NE(diff.to_string().find("diverge"), std::string::npos);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no divergent schedule found in the sweep";
+}
+
+TEST(GraphDiff, SetChangesSurfaceDataflowShifts) {
+  // Hand-build two graphs differing in one node's read set.
+  auto make = [](std::vector<std::uint64_t> reads) {
+    cpg::Recorder rec;
+    rec.thread_started(0, 0);
+    rec.end_subcomputation(
+        0, {reads.begin(), reads.end()}, {7},
+        {sync::SyncEventKind::kMutexLock,
+         sync::make_object_id(sync::ObjectKind::kMutex, 1)});
+    rec.thread_exiting(0, {}, {});
+    return std::move(rec).finalize();
+  };
+  const auto a = make({1, 2});
+  const auto b = make({2, 3});
+  const auto diff = cpg::diff_graphs(a, b);
+  ASSERT_EQ(diff.set_changes.size(), 1u);
+  EXPECT_EQ(diff.set_changes[0].reads_added, (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(diff.set_changes[0].reads_removed,
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(diff.set_changes[0].writes_added.empty());
+}
+
+TEST(GraphDiff, MissingNodesReported) {
+  const auto p = racing_program();
+  const auto full = run_with_seed(p, 3);
+  // A snapshot prefix has fewer nodes.
+  core::Options options;
+  options.schedule_seed = 3;
+  options.schedule_jitter_ns = 120'000;
+  options.snapshot_every_syncs = 8;
+  const auto result = core::Inspector(options).run(p);
+  auto snap = result.snapshots->consume();
+  ASSERT_TRUE(snap.has_value());
+  const auto diff = cpg::diff_graphs(full, *snap);
+  EXPECT_GT(diff.only_in_a.size(), 0u);
+  EXPECT_TRUE(diff.only_in_b.empty());
+}
+
+// --- PT timestamps ------------------------------------------------------
+
+TEST(PtTiming, TscStampedInPsbPlus) {
+  ptsim::VectorSink sink;
+  ptsim::EncoderOptions opts;
+  opts.psb_period_bytes = 64;
+  ptsim::PacketEncoder enc(sink, opts);
+  enc.set_timestamp(1000);
+  enc.on_enable(0x1000);
+  for (int i = 0; i < 2000; ++i) {
+    enc.set_timestamp(1000 + static_cast<std::uint64_t>(i) * 10);
+    enc.on_conditional(i % 2 == 0);
+  }
+  enc.flush();
+  ptsim::PacketDecoder dec(sink.data());
+  std::vector<std::uint64_t> stamps;
+  while (auto p = dec.next()) {
+    if (p->type == ptsim::PacketType::kTsc) stamps.push_back(p->payload);
+  }
+  ASSERT_GT(stamps.size(), 2u) << "periodic PSB+ must carry TSC";
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_LE(stamps[i - 1], stamps[i]) << "timestamps must be monotone";
+  }
+  EXPECT_EQ(stamps.front(), 1000u);
+}
+
+TEST(PtTiming, FlowResultExposesTimestamps) {
+  workloads::WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.2;
+  core::Inspector insp;
+  const auto result = insp.run(workloads::make_histogram(config));
+  bool any = false;
+  for (auto pid : result.perf_session->traced_pids()) {
+    const auto& trace = result.perf_session->trace_for(pid);
+    ptsim::FlowDecoder decoder(result.image->image, trace);
+    const auto flow = decoder.run();
+    if (flow.last_timestamp != 0) {
+      any = true;
+      EXPECT_LE(flow.first_timestamp, flow.last_timestamp);
+      EXPECT_LE(flow.last_timestamp, result.stats.sim_time_ns);
+    }
+  }
+  EXPECT_TRUE(any) << "executor stamps simulated time into the trace";
+}
+
+}  // namespace

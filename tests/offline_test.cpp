@@ -1,0 +1,170 @@
+// Offline-pipeline tests: journal capture/serialization, image
+// serialization, and the end-to-end guarantee that journal + decoded PT
+// rebuilds the *identical* CPG (the paper's perf.data post-processing
+// path, §V-B).
+#include <gtest/gtest.h>
+
+#include "core/inspector.h"
+#include "cpg/journal.h"
+#include "cpg/offline.h"
+#include "cpg/serialize.h"
+#include "ptsim/flow.h"
+#include "ptsim/image.h"
+#include "runtime/image_builder.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace inspector;
+
+runtime::ExecutionResult journaled_run(const std::string& name,
+                                       runtime::Program* out_program) {
+  workloads::WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.15;
+  auto program = workloads::make_workload(name, config);
+  core::Options options;
+  options.capture_journal = true;
+  core::Inspector insp(options);
+  auto result = insp.run(program);
+  if (out_program != nullptr) *out_program = std::move(program);
+  return result;
+}
+
+TEST(Journal, CapturedWhenEnabled) {
+  const auto result = journaled_run("histogram", nullptr);
+  ASSERT_NE(result.journal, nullptr);
+  EXPECT_FALSE(result.journal->ops.empty());
+  // Every node corresponds to exactly one kEndSub or kThreadExit.
+  std::size_t closings = 0;
+  for (const auto& op : result.journal->ops) {
+    if (op.kind == cpg::JournalOp::Kind::kEndSub ||
+        op.kind == cpg::JournalOp::Kind::kThreadExit) {
+      ++closings;
+    }
+  }
+  EXPECT_EQ(closings, result.graph->nodes().size());
+}
+
+TEST(Journal, NotCapturedByDefault) {
+  workloads::WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.15;
+  core::Inspector insp;
+  const auto result = insp.run(workloads::make_histogram(config));
+  EXPECT_EQ(result.journal, nullptr);
+}
+
+TEST(Journal, BinaryRoundTrip) {
+  const auto result = journaled_run("word_count", nullptr);
+  const auto bytes = cpg::serialize(*result.journal);
+  const auto back = cpg::deserialize_journal(bytes);
+  EXPECT_EQ(back, *result.journal);
+}
+
+TEST(Journal, TruncationThrows) {
+  const auto result = journaled_run("histogram", nullptr);
+  auto bytes = cpg::serialize(*result.journal);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)cpg::deserialize_journal(bytes), std::runtime_error);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW((void)cpg::deserialize_journal(bytes), std::runtime_error);
+}
+
+TEST(ImageSerialize, RoundTrip) {
+  workloads::WorkloadConfig config;
+  config.threads = 2;
+  config.scale = 0.1;
+  const auto program = workloads::make_histogram(config);
+  const auto built = runtime::build_image(program);
+  const auto bytes = ptsim::serialize_image(built.image);
+  const auto back = ptsim::deserialize_image(bytes);
+  EXPECT_EQ(back.block_count(), built.image.block_count());
+  EXPECT_EQ(back.segments().size(), built.image.segments().size());
+  // Spot-check block lookups agree.
+  for (const auto& block : built.image.blocks()) {
+    const auto* b = back.block_at(block.start);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->size_bytes, block.size_bytes);
+    EXPECT_EQ(static_cast<int>(b->term), static_cast<int>(block.term));
+    EXPECT_EQ(b->taken_target, block.taken_target);
+  }
+}
+
+TEST(ImageSerialize, BadInputThrows) {
+  std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5};
+  EXPECT_THROW((void)ptsim::deserialize_image(junk), std::runtime_error);
+}
+
+class OfflineRebuildTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OfflineRebuildTest, RebuildsIdenticalGraph) {
+  const auto result = journaled_run(GetParam(), nullptr);
+  const cpg::Graph offline = core::Inspector::rebuild_offline(result);
+  // Byte-identical graphs: nodes, clocks, sets, thunks, edges, schedule.
+  EXPECT_EQ(cpg::serialize(offline), cpg::serialize(*result.graph))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, OfflineRebuildTest,
+                         ::testing::Values("histogram", "word_count",
+                                           "canneal", "kmeans",
+                                           "streamcluster"),
+                         [](const auto& info) { return info.param; });
+
+TEST(OfflineRebuild, RequiresJournal) {
+  workloads::WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.15;
+  core::Inspector insp;
+  const auto result = insp.run(workloads::make_histogram(config));
+  EXPECT_THROW((void)core::Inspector::rebuild_offline(result),
+               std::runtime_error);
+}
+
+TEST(OfflineRebuild, TruncatedTraceIsDetected) {
+  const auto result = journaled_run("histogram", nullptr);
+  auto branches = core::Inspector::decode_branches(result);
+  // Chop one thread's stream: the journal demands more branches.
+  ASSERT_FALSE(branches.empty());
+  auto& first = branches.begin()->second;
+  ASSERT_FALSE(first.empty());
+  first.resize(first.size() / 2);
+  EXPECT_THROW(
+      (void)cpg::rebuild_from_journal(*result.journal, branches),
+      std::runtime_error);
+}
+
+TEST(OfflineRebuild, SerializedArtifactsSuffice) {
+  // The full offline story: persist journal + image + perf.data,
+  // reload all three, rebuild.
+  runtime::Program program;
+  const auto result = journaled_run("word_count", &program);
+
+  const auto journal_bytes = cpg::serialize(*result.journal);
+  const auto image_bytes = ptsim::serialize_image(result.image->image);
+
+  const auto journal = cpg::deserialize_journal(journal_bytes);
+  const auto image = ptsim::deserialize_image(image_bytes);
+
+  // Decode from the perf session's streams against the *reloaded* image.
+  std::map<cpg::ThreadId, std::vector<cpg::BranchRecord>> branches;
+  for (auto pid : result.perf_session->traced_pids()) {
+    const auto& trace = result.perf_session->trace_for(pid);
+    ptsim::FlowDecoder decoder(image, trace);
+    const auto flow = decoder.run();
+    auto& out = branches[pid];
+    for (const auto& e : flow.events) {
+      using K = ptsim::BranchEvent::Kind;
+      if (e.kind == K::kConditional) {
+        out.push_back({e.ip, e.target, e.taken, false});
+      } else if (e.kind == K::kIndirect) {
+        out.push_back({e.ip, e.target, true, true});
+      }
+    }
+  }
+  const auto offline = cpg::rebuild_from_journal(journal, branches);
+  EXPECT_EQ(cpg::serialize(offline), cpg::serialize(*result.graph));
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// perf.data container tests: capture, binary round trip, file I/O, and
+// offline decoding of a persisted trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/inspector.h"
+#include "perf/data_file.h"
+#include "ptsim/flow.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace inspector;
+
+perf::DataFile sample_file() {
+  perf::PerfSession session("inspector");
+  session.attach_root(1, 0);
+  session.on_mmap(1, 0x7F0000000000, 4096, "input.bin", 1);
+  session.on_fork(1, 2, 2);
+  auto* e1 = session.encoder_for(1);
+  e1->on_enable(0x1000);
+  for (int i = 0; i < 100; ++i) e1->on_conditional(i % 2 == 0);
+  e1->on_disable();
+  auto* e2 = session.encoder_for(2);
+  e2->on_enable(0x2000);
+  e2->on_indirect(0x3000);
+  e2->on_disable();
+  session.on_exit(2, 9);
+  session.on_exit(1, 10);
+  return perf::capture(session);
+}
+
+TEST(PerfData, CaptureCollectsRecordsAndStreams) {
+  const auto file = sample_file();
+  EXPECT_GE(file.records.size(), 6u);
+  ASSERT_EQ(file.aux.size(), 2u);
+  ASSERT_NE(file.stream_for(1), nullptr);
+  ASSERT_NE(file.stream_for(2), nullptr);
+  EXPECT_EQ(file.stream_for(99), nullptr);
+  EXPECT_FALSE(file.stream_for(1)->empty());
+}
+
+TEST(PerfData, BinaryRoundTrip) {
+  const auto file = sample_file();
+  const auto back = perf::deserialize(perf::serialize(file));
+  EXPECT_EQ(back.records, file.records);
+  ASSERT_EQ(back.aux.size(), file.aux.size());
+  for (std::size_t i = 0; i < file.aux.size(); ++i) {
+    EXPECT_EQ(back.aux[i].pid, file.aux[i].pid);
+    EXPECT_EQ(back.aux[i].data, file.aux[i].data);
+  }
+}
+
+TEST(PerfData, BadMagicAndTruncationThrow) {
+  auto bytes = perf::serialize(sample_file());
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xFF;
+  EXPECT_THROW((void)perf::deserialize(corrupt), std::runtime_error);
+  bytes.resize(bytes.size() / 3);
+  EXPECT_THROW((void)perf::deserialize(bytes), std::runtime_error);
+}
+
+TEST(PerfData, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/inspector_perf.data";
+  const auto file = sample_file();
+  perf::save(file, path);
+  const auto back = perf::load(path);
+  EXPECT_EQ(back.records, file.records);
+  EXPECT_EQ(back.aux.size(), file.aux.size());
+  std::remove(path.c_str());
+}
+
+TEST(PerfData, LoadMissingFileThrows) {
+  EXPECT_THROW((void)perf::load("/nonexistent/inspector.data"),
+               std::runtime_error);
+}
+
+TEST(PerfData, PersistedTraceDecodesOffline) {
+  // Full offline loop: run a workload, persist the session, reload it,
+  // decode the loaded AUX data against the image -- the "perf script"
+  // post-processing of §V-B.
+  workloads::WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.15;
+  const auto program = workloads::make_string_match(config);
+  core::Inspector insp;
+  const auto result = insp.run(program);
+
+  const auto file = perf::capture(*result.perf_session);
+  const auto back = perf::deserialize(perf::serialize(file));
+
+  std::uint64_t decoded_branches = 0;
+  for (const auto& stream : back.aux) {
+    ptsim::FlowDecoder decoder(result.image->image, stream.data);
+    const auto flow = decoder.run();
+    for (const auto& e : flow.events) {
+      if (e.kind == ptsim::BranchEvent::Kind::kConditional ||
+          e.kind == ptsim::BranchEvent::Kind::kIndirect) {
+        ++decoded_branches;
+      }
+    }
+  }
+  EXPECT_EQ(decoded_branches, result.stats.branches)
+      << "offline decode of the persisted trace must see every branch";
+}
+
+}  // namespace

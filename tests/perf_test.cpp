@@ -1,0 +1,113 @@
+// perf-layer tests: cgroup inheritance, per-process trace streams,
+// side-band records, drain/overflow plumbing (§V-B).
+#include <gtest/gtest.h>
+
+#include "perf/session.h"
+
+namespace {
+
+using namespace inspector::perf;
+
+TEST(Cgroup, ChildrenInheritMembership) {
+  Cgroup cg("inspector");
+  cg.add(1);
+  EXPECT_TRUE(cg.on_fork(1, 2));
+  EXPECT_TRUE(cg.on_fork(2, 3)) << "grandchildren inherit too";
+  EXPECT_FALSE(cg.on_fork(99, 100)) << "outsiders' children stay outside";
+  EXPECT_TRUE(cg.contains(3));
+  EXPECT_FALSE(cg.contains(100));
+  EXPECT_EQ(cg.size(), 3u);
+  cg.on_exit(2);
+  EXPECT_FALSE(cg.contains(2));
+}
+
+TEST(PerfSession, TracksOnlyCgroupMembers) {
+  PerfSession session("inspector");
+  session.attach_root(1, 0);
+  session.on_fork(1, 2, 10);
+  session.on_fork(50, 51, 20);  // unrelated process tree
+  EXPECT_NE(session.encoder_for(1), nullptr);
+  EXPECT_NE(session.encoder_for(2), nullptr);
+  EXPECT_EQ(session.encoder_for(51), nullptr)
+      << "the cgroup filter excludes foreign pids";
+  EXPECT_EQ(session.traced_pids().size(), 2u);
+}
+
+TEST(PerfSession, SidebandRecordsInOrder) {
+  PerfSession session("inspector");
+  session.attach_root(1, 0);
+  session.on_mmap(1, 0x7F0000000000, 1 << 20, "input.txt", 5);
+  session.on_fork(1, 2, 10);
+  session.on_exit(2, 20);
+  const auto& records = session.records();
+  ASSERT_GE(records.size(), 5u);
+  EXPECT_EQ(records[0].type, RecordType::kComm);
+  EXPECT_EQ(records[1].type, RecordType::kItraceStart);
+  EXPECT_EQ(records[2].type, RecordType::kMmap);
+  EXPECT_EQ(records[2].name, "input.txt");
+  bool fork_seen = false;
+  for (const auto& r : records) {
+    if (r.type == RecordType::kFork) {
+      EXPECT_EQ(r.pid, 2u);
+      EXPECT_EQ(r.parent, 1u);
+      fork_seen = true;
+    }
+  }
+  EXPECT_TRUE(fork_seen);
+}
+
+TEST(PerfSession, DrainCollectsAuxData) {
+  PerfSession session("inspector");
+  session.attach_root(1, 0);
+  auto* enc = session.encoder_for(1);
+  ASSERT_NE(enc, nullptr);
+  enc->on_enable(0x1000);
+  for (int i = 0; i < 50; ++i) enc->on_conditional(true);
+  enc->flush();
+  session.drain(100);
+  EXPECT_GT(session.total_trace_bytes(), 0u);
+  EXPECT_FALSE(session.trace_for(1).empty());
+  bool aux_seen = false;
+  for (const auto& r : session.records()) {
+    if (r.type == RecordType::kAux) aux_seen = true;
+  }
+  EXPECT_TRUE(aux_seen);
+}
+
+TEST(PerfSession, OverflowEmitsTruncatedRecord) {
+  SessionOptions options;
+  options.aux_bytes = 64;  // tiny AUX area
+  PerfSession session("inspector", options);
+  session.attach_root(1, 0);
+  auto* enc = session.encoder_for(1);
+  enc->on_enable(0x1000);
+  for (int i = 0; i < 1000; ++i) enc->on_conditional(i % 2 == 0);
+  enc->flush();
+  session.drain(50);
+  EXPECT_GT(session.overflow_count(), 0u);
+  bool truncated = false;
+  for (const auto& r : session.records()) {
+    if (r.type == RecordType::kAuxTruncated) truncated = true;
+  }
+  EXPECT_TRUE(truncated);
+}
+
+TEST(PerfSession, PerProcessStreamsAreIndependent) {
+  PerfSession session("inspector");
+  session.attach_root(1, 0);
+  session.on_fork(1, 2, 1);
+  auto* e1 = session.encoder_for(1);
+  auto* e2 = session.encoder_for(2);
+  e1->on_enable(0x1000);
+  e2->on_enable(0x2000);
+  e1->on_conditional(true);
+  e2->on_indirect(0x3000);
+  e1->flush();
+  e2->flush();
+  session.drain(10);
+  EXPECT_NE(session.trace_for(1), session.trace_for(2));
+  EXPECT_EQ(e1->stats().tip_packets, 0u);
+  EXPECT_EQ(e2->stats().tip_packets, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// CPG serialization round-trip and text export tests.
+#include <gtest/gtest.h>
+
+#include "cpg/recorder.h"
+#include "cpg/serialize.h"
+
+namespace {
+
+using namespace inspector::cpg;
+namespace sync = inspector::sync;
+
+using PageSet = std::unordered_set<std::uint64_t>;
+constexpr sync::ObjectId kM = sync::make_object_id(sync::ObjectKind::kMutex, 1);
+
+Graph sample_graph() {
+  Recorder rec;
+  rec.thread_started(0, 0);
+  rec.thread_started(1, 0);
+  rec.on_branch(0, {0x1000, 0x1040, true, false});
+  rec.on_branch(0, {0x1050, 0x2000, true, true});
+  rec.end_subcomputation(0, PageSet{1, 2}, PageSet{3},
+                         {sync::SyncEventKind::kMutexUnlock, kM});
+  rec.on_release(0, kM);
+  rec.on_acquire(1, kM);
+  rec.record_schedule_event(1, kM, sync::SyncEventKind::kMutexLock);
+  rec.end_subcomputation(1, PageSet{3}, PageSet{4},
+                         {sync::SyncEventKind::kMutexLock, kM});
+  rec.thread_exiting(0, PageSet{}, PageSet{});
+  rec.thread_exiting(1, PageSet{9}, PageSet{});
+  return std::move(rec).finalize();
+}
+
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const auto& x = a.nodes()[i];
+    const auto& y = b.nodes()[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.thread, y.thread);
+    EXPECT_EQ(x.alpha, y.alpha);
+    EXPECT_EQ(x.clock, y.clock);
+    EXPECT_EQ(x.read_set, y.read_set);
+    EXPECT_EQ(x.write_set, y.write_set);
+    EXPECT_EQ(x.thunks, y.thunks);
+    EXPECT_EQ(static_cast<int>(x.end.kind), static_cast<int>(y.end.kind));
+    EXPECT_EQ(x.start_seq, y.start_seq);
+    EXPECT_EQ(x.end_seq, y.end_seq);
+  }
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.schedule(), b.schedule());
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const Graph g = sample_graph();
+  const auto bytes = serialize(g);
+  const Graph back = deserialize(bytes);
+  expect_graphs_equal(g, back);
+  std::string reason;
+  EXPECT_TRUE(back.validate(&reason)) << reason;
+}
+
+TEST(Serialize, EmptyGraphRoundTrips) {
+  Graph g;
+  const Graph back = deserialize(serialize(g));
+  EXPECT_TRUE(back.nodes().empty());
+  EXPECT_TRUE(back.edges().empty());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  auto bytes = serialize(sample_graph());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW((void)deserialize(bytes), std::runtime_error);
+}
+
+TEST(Serialize, TruncationThrows) {
+  const auto bytes = serialize(sample_graph());
+  for (std::size_t cut : {4u, 16u, 64u}) {
+    ASSERT_LT(cut, bytes.size());
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)deserialize(prefix), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, TextExportMentionsNodesAndEdges) {
+  const Graph g = sample_graph();
+  const std::string text = to_text(g);
+  EXPECT_NE(text.find("sub-computations"), std::string::npos);
+  EXPECT_NE(text.find("L0[0]"), std::string::npos);
+  EXPECT_NE(text.find("L1[0]"), std::string::npos);
+  EXPECT_NE(text.find("sync"), std::string::npos);
+}
+
+TEST(Serialize, DotExportIsWellFormed) {
+  const Graph g = sample_graph();
+  const std::string dot = to_dot(g);
+  EXPECT_EQ(dot.find("digraph cpg {"), 0u);
+  EXPECT_NE(dot.find("n0 ->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.rfind("}"), std::string::npos);
+}
+
+}  // namespace

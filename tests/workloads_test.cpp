@@ -1,0 +1,170 @@
+// Parameterized end-to-end tests over all 12 paper workloads: each must
+// run under both modes, produce a valid CPG, agree on final memory
+// state, and round-trip its PT trace through the decoder.
+#include <gtest/gtest.h>
+
+#include "core/inspector.h"
+#include "memtrack/shared_memory.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using inspector::core::Inspector;
+using inspector::workloads::all_workloads;
+using inspector::workloads::InputSize;
+using inspector::workloads::WorkloadConfig;
+
+WorkloadConfig small_config() {
+  WorkloadConfig config;
+  config.threads = 4;
+  config.scale = 0.2;  // keep the suite fast; shapes don't depend on it
+  return config;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, NativeAndInspectorAgreeOnFinalState) {
+  auto program = inspector::workloads::make_workload(GetParam(),
+                                                     small_config());
+  Inspector insp;
+  const auto cmp = insp.compare(program);
+
+  // Race-free programs must end in the same shared-memory state under
+  // RC (INSPECTOR) and under direct shared memory (native).
+  const auto native_pages = cmp.native.memory->page_ids();
+  const auto traced_pages = cmp.traced.memory->page_ids();
+  ASSERT_EQ(native_pages, traced_pages);
+  for (std::uint64_t pid : native_pages) {
+    const auto* a = cmp.native.memory->find_page(pid);
+    const auto* b = cmp.traced.memory->find_page(pid);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(*a, *b) << "page " << pid << " differs";
+  }
+}
+
+TEST_P(WorkloadTest, CpgIsValidAndNonTrivial) {
+  auto program = inspector::workloads::make_workload(GetParam(),
+                                                     small_config());
+  Inspector insp;
+  const auto result = insp.run(program);
+  ASSERT_TRUE(result.graph.has_value());
+  std::string reason;
+  EXPECT_TRUE(result.graph->validate(&reason)) << reason;
+
+  const auto stats = result.graph->stats();
+  EXPECT_GT(stats.nodes, 4u);
+  EXPECT_GT(stats.sync_edges, 0u);
+  EXPECT_GT(stats.thunks, 0u);
+  EXPECT_GT(stats.read_pages + stats.write_pages, 0u);
+  EXPECT_GE(stats.threads, 5u);  // main + 4 workers
+}
+
+TEST_P(WorkloadTest, PtTraceDecodesToRecordedThunks) {
+  auto program = inspector::workloads::make_workload(GetParam(),
+                                                     small_config());
+  Inspector insp;
+  const auto result = insp.run(program);
+  const auto verification = Inspector::verify_pt(result);
+  EXPECT_TRUE(verification.ok) << verification.detail;
+  EXPECT_GT(verification.branches_checked, 0u);
+  EXPECT_EQ(verification.gaps, 0u);
+}
+
+TEST_P(WorkloadTest, OverheadIsFiniteAndPositive) {
+  auto program = inspector::workloads::make_workload(GetParam(),
+                                                     small_config());
+  Inspector insp;
+  const auto cmp = insp.compare(program);
+  EXPECT_GT(cmp.time_overhead(), 0.1);
+  EXPECT_LT(cmp.time_overhead(), 100.0);
+  EXPECT_GT(cmp.traced.stats.page_faults, 0u);
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const auto& e : all_workloads()) names.push_back(e.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, WorkloadTest,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- per-workload characteristics the paper calls out -----------------
+
+TEST(WorkloadShapes, KmeansSpawnsHundredsOfThreads) {
+  WorkloadConfig config;
+  config.threads = 16;
+  auto program = inspector::workloads::make_kmeans(config);
+  Inspector insp;
+  const auto result = insp.run(program);
+  EXPECT_GT(result.stats.threads_spawned, 400u)
+      << "kmeans respawns its fleet every iteration (§VII-A)";
+}
+
+TEST(WorkloadShapes, CannealHasMostFaults) {
+  // The paper's configuration: 16 threads, full (simulated) inputs.
+  WorkloadConfig config;
+  config.threads = 16;
+  config.scale = 1.0;
+  Inspector insp;
+  std::uint64_t canneal_faults = 0;
+  std::uint64_t max_other = 0;
+  for (const auto& entry : all_workloads()) {
+    const auto result = insp.run(entry.make(config));
+    if (entry.name == "canneal") {
+      canneal_faults = result.stats.page_faults;
+    } else {
+      max_other = std::max(max_other, result.stats.page_faults);
+    }
+  }
+  EXPECT_GT(canneal_faults, max_other)
+      << "canneal tops the fault table (table 7)";
+}
+
+TEST(WorkloadShapes, LinearRegressionBeatsNative) {
+  WorkloadConfig config;
+  config.threads = 16;
+  Inspector insp;
+  const auto cmp =
+      insp.compare(inspector::workloads::make_linear_regression(config));
+  EXPECT_LT(cmp.time_overhead(), 1.0)
+      << "false-sharing avoidance makes INSPECTOR faster (§VII-A)";
+}
+
+TEST(WorkloadShapes, SizedInputsGrowMonotonically) {
+  for (const auto& name : inspector::workloads::sized_workload_names()) {
+    WorkloadConfig small = {};
+    small.size = InputSize::kSmall;
+    WorkloadConfig large = {};
+    large.size = InputSize::kLarge;
+    const auto ps = inspector::workloads::make_workload(name, small);
+    const auto pl = inspector::workloads::make_workload(name, large);
+    EXPECT_LT(ps.input_bytes, pl.input_bytes) << name;
+    EXPECT_LT(ps.total_ops(), pl.total_ops()) << name;
+  }
+}
+
+TEST(WorkloadShapes, RegistryIsComplete) {
+  const auto names = workload_names();
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(inspector::workloads::sized_workload_names().size(), 4u);
+  EXPECT_THROW(
+      (void)inspector::workloads::make_workload("nope", WorkloadConfig{}),
+      std::out_of_range);
+}
+
+TEST(WorkloadShapes, ThreadCountIsRespected) {
+  for (std::uint32_t threads : {2u, 8u}) {
+    WorkloadConfig config;
+    config.threads = threads;
+    config.scale = 0.2;
+    auto program = inspector::workloads::make_histogram(config);
+    Inspector insp;
+    const auto result = insp.run(program);
+    EXPECT_EQ(result.stats.threads_spawned, threads + 1u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+// inspector_cli -- run any bundled workload under INSPECTOR and operate
+// on the resulting provenance.
+//
+//   inspector_cli list
+//   inspector_cli run <workload> [options]
+//
+// options:
+//   --threads N        worker threads (default 8)
+//   --size s|m|l       input size for the fig-8 apps (default l)
+//   --scale F          op-count scale factor (default 1.0)
+//   --seed N           schedule seed (0 = no jitter)
+//   --compare          also run natively and print the overhead
+//   --verify-pt        decode the PT trace and cross-check the thunks
+//   --races            run the happens-before race detector
+//   --taint            DIFT: taint the input, report tainted sinks
+//   --replay           replay from the CPG and verify the final state
+//   --critical-path    print dependency-chain statistics
+//   --dump-cpg FILE    write the CPG (binary format)
+//   --dump-dot FILE    write the CPG as graphviz dot
+//   --dump-text FILE   write the CPG as text
+//   --perf-data FILE   write the perf.data-style trace container
+//   --journal FILE     write the threading-library journal
+//   --image FILE       write the binary image (for inspector_report)
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.h"
+#include "analysis/races.h"
+#include "analysis/taint.h"
+#include "core/inspector.h"
+#include "core/report.h"
+#include "cpg/journal.h"
+#include "cpg/serialize.h"
+#include "ptsim/image.h"
+#include "memtrack/shared_memory.h"
+#include "perf/data_file.h"
+#include "replay/replay.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace inspector;
+
+struct CliArgs {
+  std::string command;
+  std::string workload;
+  workloads::WorkloadConfig config;
+  bool compare = false;
+  bool verify_pt = false;
+  bool races = false;
+  bool taint = false;
+  bool replay = false;
+  bool critical_path = false;
+  std::string dump_cpg, dump_dot, dump_text, perf_data, journal, image;
+};
+
+int usage() {
+  std::cerr << "usage: inspector_cli list | run <workload> [options]\n"
+               "see the header of tools/inspector_cli.cpp for options\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, CliArgs& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  if (args.command == "list") return true;
+  if (args.command != "run" || argc < 3) return false;
+  args.workload = argv[2];
+  args.config.threads = 8;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--threads") {
+      args.config.threads = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--size") {
+      const std::string s = next();
+      args.config.size = s == "s"   ? workloads::InputSize::kSmall
+                         : s == "m" ? workloads::InputSize::kMedium
+                                    : workloads::InputSize::kLarge;
+    } else if (a == "--scale") {
+      args.config.scale = std::stod(next());
+    } else if (a == "--seed") {
+      args.config.seed = std::stoull(next());
+    } else if (a == "--compare") {
+      args.compare = true;
+    } else if (a == "--verify-pt") {
+      args.verify_pt = true;
+    } else if (a == "--races") {
+      args.races = true;
+    } else if (a == "--taint") {
+      args.taint = true;
+    } else if (a == "--replay") {
+      args.replay = true;
+    } else if (a == "--critical-path") {
+      args.critical_path = true;
+    } else if (a == "--dump-cpg") {
+      args.dump_cpg = next();
+    } else if (a == "--dump-dot") {
+      args.dump_dot = next();
+    } else if (a == "--dump-text") {
+      args.dump_text = next();
+    } else if (a == "--perf-data") {
+      args.perf_data = next();
+    } else if (a == "--journal") {
+      args.journal = next();
+    } else if (a == "--image") {
+      args.image = next();
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << content;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+int run(const CliArgs& args) {
+  const auto program = workloads::make_workload(args.workload, args.config);
+  core::Options options;
+  options.schedule_seed = args.config.seed;
+  options.capture_journal = !args.journal.empty();
+  core::Inspector insp(options);
+
+  const auto result = insp.run(program);
+  const auto& stats = result.stats;
+  const auto& graph = *result.graph;
+  const auto gstats = graph.stats();
+
+  std::cout << args.workload << ": " << stats.threads_spawned << " threads, "
+            << stats.instructions << " instructions, " << stats.branches
+            << " branches\n"
+            << "CPG: " << gstats.nodes << " sub-computations, "
+            << gstats.control_edges << " control + " << gstats.sync_edges
+            << " sync edges, " << gstats.thunks << " thunks\n"
+            << "memtrack: " << stats.page_faults << " faults, "
+            << stats.commits << " commits, " << stats.bytes_committed
+            << " bytes committed\n"
+            << "PT: " << stats.pt_bytes << " bytes, " << stats.pt_tnt_bits
+            << " TNT bits, " << stats.pt_tip_packets << " TIPs\n";
+
+  if (args.compare) {
+    const auto native = insp.run_native(program);
+    const double overhead = static_cast<double>(stats.sim_time_ns) /
+                            static_cast<double>(native.stats.sim_time_ns);
+    std::cout << "overhead vs native: " << core::format_overhead(overhead)
+              << " (native " << native.stats.sim_time_ns / 1000
+              << " us, inspector " << stats.sim_time_ns / 1000 << " us)\n";
+  }
+  if (args.verify_pt) {
+    const auto v = core::Inspector::verify_pt(result);
+    std::cout << "PT decode cross-check: " << (v.ok ? "OK" : "MISMATCH")
+              << " (" << v.branches_checked << " branches, " << v.gaps
+              << " gaps)\n";
+    if (!v.ok) std::cout << v.detail;
+  }
+  if (args.races) {
+    analysis::RaceOptions race_options;
+    race_options.limit = 20;
+    const auto races = analysis::find_races(graph, race_options);
+    std::cout << "race detector: " << races.size()
+              << " conflicting concurrent pair(s)\n";
+    for (const auto& r : races) std::cout << "  " << r << "\n";
+  }
+  if (args.taint) {
+    std::unordered_set<std::uint64_t> seeds;
+    for (const auto& w : program.input) {
+      seeds.insert(memtrack::page_id_of(w.addr));
+    }
+    const auto taint = analysis::propagate_taint(graph, seeds);
+    const auto sinks = analysis::tainted_sinks(
+        graph, taint, sync::SyncEventKind::kThreadExit);
+    std::cout << "taint: " << taint.tainted_nodes.size() << "/"
+              << gstats.nodes << " sub-computations, "
+              << taint.tainted_pages.size() << " pages, " << sinks.size()
+              << " tainted output site(s)\n";
+  }
+  if (args.replay) {
+    const bool ok = replay::replay_matches(program, graph, *result.memory);
+    std::cout << "replay: " << (ok ? "final state reproduced" : "MISMATCH")
+              << "\n";
+    if (!ok) return 1;
+  }
+  if (args.critical_path) {
+    const auto cp = analysis::critical_path(graph);
+    std::cout << "critical path: " << cp.length << " of " << cp.total_nodes
+              << " sub-computations (parallelism "
+              << core::format_fixed(cp.parallelism(), 2) << ")\n";
+  }
+  if (!args.dump_cpg.empty()) {
+    write_file(args.dump_cpg, cpg::serialize(graph));
+    std::cout << "wrote " << args.dump_cpg << "\n";
+  }
+  if (!args.dump_dot.empty()) {
+    write_file(args.dump_dot, cpg::to_dot(graph));
+    std::cout << "wrote " << args.dump_dot << "\n";
+  }
+  if (!args.dump_text.empty()) {
+    write_file(args.dump_text, cpg::to_text(graph));
+    std::cout << "wrote " << args.dump_text << "\n";
+  }
+  if (!args.perf_data.empty()) {
+    perf::save(perf::capture(*result.perf_session), args.perf_data);
+    std::cout << "wrote " << args.perf_data << "\n";
+  }
+  if (!args.journal.empty()) {
+    write_file(args.journal, cpg::serialize(*result.journal));
+    std::cout << "wrote " << args.journal << "\n";
+  }
+  if (!args.image.empty()) {
+    write_file(args.image, ptsim::serialize_image(result.image->image));
+    std::cout << "wrote " << args.image << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  try {
+    if (!parse(argc, argv, args)) return usage();
+    if (args.command == "list") {
+      for (const auto& e : workloads::all_workloads()) {
+        std::cout << e.name << "  (" << e.suite << ": " << e.paper_dataset
+                  << ")\n";
+      }
+      return 0;
+    }
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
