@@ -4,8 +4,10 @@
 // Not a paper table; used to keep the simulator fast enough to sweep.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 
+#include "analysis/races.h"
 #include "cpg/recorder.h"
 #include "memtrack/thread_memory.h"
 #include "ptsim/decoder.h"
@@ -126,8 +128,8 @@ void BM_RecorderSubcomputation(benchmark::State& state) {
   for (auto _ : state) {
     cpg::Recorder rec;
     rec.thread_started(0, 0);
-    std::unordered_set<std::uint64_t> reads = {1, 2, 3};
-    std::unordered_set<std::uint64_t> writes = {4};
+    const PageSet reads = {1, 2, 3};
+    const PageSet writes = {4};
     for (int i = 0; i < 100; ++i) {
       rec.on_branch(0, {0x1000, 0x1040, true, false});
       rec.end_subcomputation(
@@ -139,6 +141,142 @@ void BM_RecorderSubcomputation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecorderSubcomputation);
+
+// --- CPG query benchmarks on a synthetic many-thread/many-page graph ----
+//
+// Barrier-round structure: `threads` workers run `rounds` rounds; each
+// round every worker writes its own page slice and reads a neighbour's
+// slice from the previous round, then all cross a barrier. This yields
+// a wide graph (threads x rounds nodes) with rich cross-thread dataflow
+// -- the shape the indexed queries (per-page lookups instead of
+// all-node scans) are built for.
+cpg::Graph synthetic_cpg(std::uint32_t threads, std::uint32_t rounds,
+                         std::uint64_t pages_per_node) {
+  using inspector::sync::SyncEventKind;
+  const auto barrier = inspector::sync::make_object_id(
+      inspector::sync::ObjectKind::kBarrier, 1);
+  cpg::Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      PageSet reads;
+      PageSet writes;
+      const std::uint32_t neighbour = (t + 1) % threads;
+      for (std::uint64_t p = 0; p < pages_per_node; ++p) {
+        writes.push_back((static_cast<std::uint64_t>(t) * pages_per_node + p) %
+                         (threads * pages_per_node));
+        reads.push_back(
+            (static_cast<std::uint64_t>(neighbour) * pages_per_node + p) %
+            (threads * pages_per_node));
+      }
+      std::sort(reads.begin(), reads.end());
+      std::sort(writes.begin(), writes.end());
+      rec.end_subcomputation(t, std::move(reads), std::move(writes),
+                             {SyncEventKind::kBarrierWait, barrier});
+      rec.on_release(t, barrier);
+    }
+    for (std::uint32_t t = 0; t < threads; ++t) rec.on_acquire(t, barrier);
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_exiting(t, {}, {});
+  return std::move(rec).finalize();
+}
+
+void BM_CpgBuildIndices(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  auto nodes = g.nodes();
+  auto edges = g.edges();
+  for (auto _ : state) {
+    auto n = nodes;
+    auto e = edges;
+    cpg::Graph rebuilt(std::move(n), std::move(e), {});
+    benchmark::DoNotOptimize(rebuilt.page_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes.size()));
+}
+BENCHMARK(BM_CpgBuildIndices)->Arg(8)->Arg(32);
+
+void BM_QueryLatestWriters(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  const auto n = static_cast<cpg::NodeId>(g.nodes().size());
+  cpg::NodeId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.latest_writers(id));
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryLatestWriters)->Arg(8)->Arg(32);
+
+// The pre-index implementation (all-nodes scan per page), kept as the
+// baseline so the index win stays visible in BENCH output.
+void BM_QueryLatestWritersBruteForce(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  const auto n = static_cast<cpg::NodeId>(g.nodes().size());
+  const auto brute = [&g](cpg::NodeId reader) {
+    std::vector<cpg::Edge> result;
+    const auto& r = g.node(reader);
+    for (std::uint64_t page : r.read_set) {
+      std::vector<cpg::NodeId> candidates;
+      for (const auto& w : g.nodes()) {
+        if (w.id != reader && g.happens_before(w.id, reader) &&
+            w.writes_page(page)) {
+          candidates.push_back(w.id);
+        }
+      }
+      for (cpg::NodeId c : candidates) {
+        const bool superseded = std::any_of(
+            candidates.begin(), candidates.end(),
+            [&](cpg::NodeId d) { return d != c && g.happens_before(c, d); });
+        if (!superseded) {
+          result.push_back({c, reader, cpg::EdgeKind::kData, page});
+        }
+      }
+    }
+    return result;
+  };
+  cpg::NodeId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute(id));
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryLatestWritersBruteForce)->Arg(8)->Arg(32);
+
+void BM_QueryBackwardSlice(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  const auto last = static_cast<cpg::NodeId>(g.nodes().size() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.backward_slice(last));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryBackwardSlice)->Arg(8)->Arg(32);
+
+void BM_QueryForwardSlice(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.forward_slice(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryForwardSlice)->Arg(8)->Arg(32);
+
+void BM_QueryRaceScan(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::find_races(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryRaceScan)->Arg(8)->Arg(32);
 
 }  // namespace
 

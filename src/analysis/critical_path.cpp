@@ -9,7 +9,7 @@ CriticalPath critical_path(const cpg::Graph& graph) {
   result.total_nodes = graph.nodes().size();
   if (result.total_nodes == 0) return result;
 
-  const auto order = graph.topological_order();
+  const auto order = graph.topological_view();
   // depth[v]: longest chain ending at v; pred[v]: predecessor on it.
   std::vector<std::size_t> depth(result.total_nodes, 1);
   std::vector<cpg::NodeId> pred(result.total_nodes, cpg::kInvalidNode);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/propagation.h"
+
 namespace inspector::analysis {
 
 bool InvalidationResult::node_dirty(cpg::NodeId id) const {
@@ -11,28 +13,14 @@ bool InvalidationResult::node_dirty(cpg::NodeId id) const {
 InvalidationResult invalidate(
     const cpg::Graph& graph,
     const std::unordered_set<std::uint64_t>& changed_input_pages) {
+  // Register carry-over is always on: once a thread consumed changed
+  // data, everything it does afterwards may differ (same soundness
+  // argument as DIFT's carry-over).
+  Propagation p =
+      propagate_pages(graph, changed_input_pages, /*thread_carryover=*/true);
   InvalidationResult result;
-  result.dirty_pages = changed_input_pages;
-  std::unordered_set<cpg::ThreadId> dirty_threads;  // register carry-over
-  for (cpg::NodeId id : graph.topological_order()) {
-    const auto& node = graph.node(id);
-    bool dirty = dirty_threads.contains(node.thread);
-    if (!dirty) {
-      for (std::uint64_t page : node.read_set) {
-        if (result.dirty_pages.contains(page)) {
-          dirty = true;
-          break;
-        }
-      }
-    }
-    if (!dirty) continue;
-    dirty_threads.insert(node.thread);
-    result.dirty.push_back(id);
-    for (std::uint64_t page : node.write_set) {
-      result.dirty_pages.insert(page);
-    }
-  }
-  std::sort(result.dirty.begin(), result.dirty.end());
+  result.dirty_pages = std::move(p.pages);
+  result.dirty = std::move(p.nodes);
   return result;
 }
 

@@ -1,0 +1,48 @@
+#include "analysis/propagation.h"
+
+#include <algorithm>
+
+namespace inspector::analysis {
+
+Propagation propagate_pages(
+    const cpg::Graph& graph,
+    const std::unordered_set<std::uint64_t>& seed_pages,
+    bool thread_carryover) {
+  Propagation result;
+  result.pages = seed_pages;
+
+  // Dense mark bits over the graph's page universe (the shared query
+  // index assigns every touched page a dense slot); seed pages no node
+  // ever touched cannot propagate and only appear in the result set.
+  std::vector<char> page_marked(graph.page_count(), 0);
+  for (std::uint64_t page : seed_pages) {
+    if (const auto idx = graph.page_index_of(page)) page_marked[*idx] = 1;
+  }
+  std::vector<char> thread_marked(graph.thread_count(), 0);
+
+  for (cpg::NodeId id : graph.topological_view()) {
+    const auto& node = graph.node(id);
+    bool marked = thread_carryover && thread_marked[node.thread] != 0;
+    if (!marked) {
+      for (std::uint64_t page : node.read_set) {
+        if (page_marked[*graph.page_index_of(page)] != 0) {
+          marked = true;
+          break;
+        }
+      }
+    }
+    if (!marked) continue;
+    thread_marked[node.thread] = 1;
+    result.nodes.push_back(id);
+    for (std::uint64_t page : node.write_set) {
+      if (char& bit = page_marked[*graph.page_index_of(page)]; bit == 0) {
+        bit = 1;
+        result.pages.insert(page);
+      }
+    }
+  }
+  std::sort(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace inspector::analysis

@@ -1,0 +1,34 @@
+// Shared forward page-flow propagation over the CPG.
+//
+// Taint tracking (analysis/taint.h) and incremental invalidation
+// (analysis/incremental.h) are the same fixpoint: seed a set of pages,
+// walk the topological order, mark every node that reads a marked page
+// (optionally carrying the mark along its thread, for register
+// survival across pthreads calls), and mark the pages it writes. This
+// helper implements that single pass on the graph's dense page index
+// so the two analyses cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cpg/graph.h"
+
+namespace inspector::analysis {
+
+struct Propagation {
+  /// Marked sub-computations, ascending id order.
+  std::vector<cpg::NodeId> nodes;
+  /// Marked pages: the seeds plus everything marked nodes wrote.
+  std::unordered_set<std::uint64_t> pages;
+};
+
+/// Single topological pass. `thread_carryover` also marks every
+/// later same-thread node once a thread consumed marked data.
+[[nodiscard]] Propagation propagate_pages(
+    const cpg::Graph& graph,
+    const std::unordered_set<std::uint64_t>& seed_pages,
+    bool thread_carryover);
+
+}  // namespace inspector::analysis

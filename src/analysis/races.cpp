@@ -1,8 +1,14 @@
 #include "analysis/races.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/page_set.h"
 
 namespace inspector::analysis {
 
@@ -14,10 +20,15 @@ std::ostream& operator<<(std::ostream& os, const RaceReport& report) {
 
 namespace {
 
-/// First common element of two sorted vectors, or nullopt.
-std::optional<std::uint64_t> first_intersection(
-    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b,
-    const std::vector<std::uint64_t>& ignored) {
+using MinPage = std::optional<std::uint64_t>;
+
+void note_page(MinPage& slot, std::uint64_t page) {
+  if (!slot || page < *slot) slot = page;
+}
+
+/// First common element of two sorted sets not in `ignored`.
+MinPage first_intersection(const PageSet& a, const PageSet& b,
+                           const PageSet& ignored) {
   auto ia = a.begin();
   auto ib = b.begin();
   while (ia != a.end() && ib != b.end()) {
@@ -26,9 +37,7 @@ std::optional<std::uint64_t> first_intersection(
     } else if (*ib < *ia) {
       ++ib;
     } else {
-      if (!std::binary_search(ignored.begin(), ignored.end(), *ia)) {
-        return *ia;
-      }
+      if (!inspector::page_set_contains(ignored, *ia)) return *ia;
       ++ia;
       ++ib;
     }
@@ -36,41 +45,102 @@ std::optional<std::uint64_t> first_intersection(
   return std::nullopt;
 }
 
+/// Conflict evidence accumulated for one concurrent node pair (first <
+/// second by id). Priority and page choice mirror the pairwise scan the
+/// detector used to do: a write/write conflict wins, then the smallest
+/// page in first's write set vs second's read set, then the converse.
+struct PairConflicts {
+  MinPage ww;  ///< min page both wrote
+  MinPage wr;  ///< min page first wrote, second read
+  MinPage rw;  ///< min page first read, second wrote
+};
+
 }  // namespace
 
 std::vector<RaceReport> find_races(const cpg::Graph& graph,
                                    const RaceOptions& options) {
-  std::vector<std::uint64_t> ignored = options.ignored_pages;
-  std::sort(ignored.begin(), ignored.end());
+  PageSet ignored = options.ignored_pages;
+  page_set_normalize(ignored);
 
-  std::vector<RaceReport> races;
-  const auto& nodes = graph.nodes();
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      const auto& a = nodes[i];
-      const auto& b = nodes[j];
-      if (a.thread == b.thread) continue;  // ordered by control flow
-      // Cheap set checks before the vector-clock comparison.
-      const auto ww = first_intersection(a.write_set, b.write_set, ignored);
-      const auto rw = ww ? std::nullopt
-                         : first_intersection(a.write_set, b.read_set,
-                                              ignored);
-      const auto wr = (ww || rw)
-                          ? std::nullopt
-                          : first_intersection(a.read_set, b.write_set,
-                                               ignored);
-      if (!ww && !rw && !wr) continue;
-      if (!graph.concurrent(a.id, b.id)) continue;
-      RaceReport report;
-      report.first = a.id;
-      report.second = b.id;
-      report.page = ww ? *ww : (rw ? *rw : *wr);
-      report.write_write = ww.has_value();
-      races.push_back(report);
-      if (options.limit != 0 && races.size() >= options.limit) {
-        return races;
+  // Page-major scan over the inverted index: candidate pairs are only
+  // the nodes that actually touched the same page, instead of all
+  // O(n^2) node pairs. The flat key keeps pair probes O(1) in the
+  // innermost loop; reports are sorted into (first, second) order at
+  // the end. Only concurrent (racy) pairs are stored -- hb-ordered
+  // pairs are recheck-on-probe (a cheap clock compare) so memory stays
+  // O(races) no matter how many ordered pairs share a hot page.
+  std::unordered_map<std::uint64_t, PairConflicts> pairs;  // concurrent only
+  const auto conflicts_of = [&](cpg::NodeId a,
+                                cpg::NodeId b) -> PairConflicts* {
+    const auto key = std::minmax(a, b);
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(key.first) << 32) | key.second;
+    if (const auto it = pairs.find(packed); it != pairs.end()) {
+      return &it->second;
+    }
+    if (!graph.concurrent(key.first, key.second)) return nullptr;
+    return &pairs.try_emplace(packed).first->second;
+  };
+
+  // With a limit, stop scanning once that many racy pairs exist; the
+  // caller asked for "at most N", not the globally smallest pages (the
+  // race_free() fast path hits this with limit 1). The check sits at
+  // page granularity: each page is processed whole, so when the scan
+  // runs out of pages naturally the accumulated minima are exact.
+  bool truncated = false;
+  for (std::uint64_t page : graph.pages()) {
+    if (options.limit != 0 && pairs.size() >= options.limit) {
+      truncated = true;
+      break;
+    }
+    if (page_set_contains(ignored, page)) continue;
+    const auto writers = graph.page_writers(page);
+    const auto readers = graph.page_readers(page);
+    for (std::size_t i = 0; i < writers.size(); ++i) {
+      for (std::size_t j = i + 1; j < writers.size(); ++j) {
+        const cpg::NodeId a = writers[i];
+        const cpg::NodeId b = writers[j];
+        if (graph.node(a).thread == graph.node(b).thread) continue;
+        if (PairConflicts* c = conflicts_of(a, b)) {
+          note_page(c->ww, page);
+        }
+      }
+      for (const cpg::NodeId r : readers) {
+        const cpg::NodeId w = writers[i];
+        if (w == r) continue;
+        if (graph.node(w).thread == graph.node(r).thread) continue;
+        if (PairConflicts* c = conflicts_of(w, r)) {
+          // Orient the conflict the way the (first, second) pair sees it.
+          note_page(w < r ? c->wr : c->rw, page);
+        }
       }
     }
+  }
+  std::vector<std::uint64_t> racy_keys;
+  racy_keys.reserve(pairs.size());
+  for (const auto& [key, c] : pairs) racy_keys.push_back(key);
+  std::sort(racy_keys.begin(), racy_keys.end());
+
+  std::vector<RaceReport> races;
+  for (const std::uint64_t key : racy_keys) {
+    const auto first = static_cast<cpg::NodeId>(key >> 32);
+    const auto second = static_cast<cpg::NodeId>(key & 0xFFFFFFFF);
+    PairConflicts mins = pairs[key];
+    if (truncated) {
+      const auto& a = graph.node(first);
+      const auto& b = graph.node(second);
+      mins.ww = first_intersection(a.write_set, b.write_set, ignored);
+      mins.wr = first_intersection(a.write_set, b.read_set, ignored);
+      mins.rw = first_intersection(a.read_set, b.write_set, ignored);
+    }
+    if (!mins.ww && !mins.wr && !mins.rw) continue;
+    RaceReport report;
+    report.first = first;
+    report.second = second;
+    report.write_write = mins.ww.has_value();
+    report.page = mins.ww ? *mins.ww : (mins.wr ? *mins.wr : *mins.rw);
+    races.push_back(report);
+    if (options.limit != 0 && races.size() >= options.limit) break;
   }
   return races;
 }

@@ -36,8 +36,9 @@ struct RaceOptions {
   std::vector<std::uint64_t> ignored_pages;
 };
 
-/// All conflicting concurrent pairs. O(n^2) pairwise with early set
-/// intersection, adequate for the simulator's graph sizes.
+/// All conflicting concurrent pairs. Page-major over the graph's
+/// inverted index: only nodes that touched the same page are paired,
+/// so cost scales with real page sharing rather than all node pairs.
 [[nodiscard]] std::vector<RaceReport> find_races(const cpg::Graph& graph,
                                                  const RaceOptions& options = {});
 

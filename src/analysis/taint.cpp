@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/propagation.h"
+
 namespace inspector::analysis {
 
 bool TaintResult::node_tainted(cpg::NodeId id) const {
@@ -12,30 +14,11 @@ TaintResult propagate_taint(
     const cpg::Graph& graph,
     const std::unordered_set<std::uint64_t>& seed_pages,
     const TaintOptions& options) {
+  Propagation p =
+      propagate_pages(graph, seed_pages, options.track_register_carryover);
   TaintResult result;
-  result.tainted_pages = seed_pages;
-  std::unordered_set<cpg::ThreadId> tainted_threads;
-
-  for (cpg::NodeId id : graph.topological_order()) {
-    const auto& node = graph.node(id);
-    bool tainted = options.track_register_carryover &&
-                   tainted_threads.contains(node.thread);
-    if (!tainted) {
-      for (std::uint64_t page : node.read_set) {
-        if (result.tainted_pages.contains(page)) {
-          tainted = true;
-          break;
-        }
-      }
-    }
-    if (!tainted) continue;
-    tainted_threads.insert(node.thread);
-    result.tainted_nodes.push_back(id);
-    for (std::uint64_t page : node.write_set) {
-      result.tainted_pages.insert(page);
-    }
-  }
-  std::sort(result.tainted_nodes.begin(), result.tainted_nodes.end());
+  result.tainted_pages = std::move(p.pages);
+  result.tainted_nodes = std::move(p.nodes);
   return result;
 }
 

@@ -2,19 +2,21 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <string>
-#include <unordered_set>
+
+#include "util/page_set.h"
 
 namespace inspector::cpg {
 
 bool SubComputation::reads_page(std::uint64_t page) const {
-  return std::binary_search(read_set.begin(), read_set.end(), page);
+  return page_set_contains(read_set, page);
 }
 
 bool SubComputation::writes_page(std::uint64_t page) const {
-  return std::binary_search(write_set.begin(), write_set.end(), page);
+  return page_set_contains(write_set, page);
 }
 
 std::ostream& operator<<(std::ostream& os, const SubComputation& node) {
@@ -40,33 +42,207 @@ Graph::Graph(std::vector<SubComputation> nodes, std::vector<Edge> edges,
 }
 
 void Graph::build_indices() {
+  // Graphs can come from any source (recorder, tests, deserialized
+  // files -- possibly crafted or corrupt), so construction enforces the
+  // structural invariants indexing relies on: edge endpoints in range
+  // (the CSR builders write through them) and sorted, duplicate-free
+  // page sets (the inverted index buckets by them). Clock *consistency*
+  // is not enforced here; rank-windowed queries assume it and
+  // validate() checks it.
+  for (const auto& e : edges_) {
+    if (e.from >= nodes_.size() || e.to >= nodes_.size()) {
+      throw std::invalid_argument("CPG edge references unknown node");
+    }
+  }
+  for (auto& n : nodes_) {
+    page_set_normalize(n.read_set);
+    page_set_normalize(n.write_set);
+  }
+  build_adjacency();
+  build_thread_index();
+  build_rank();
+  build_topological_order();
+  build_page_index();
+}
+
+void Graph::build_adjacency() {
+  const std::size_t n = nodes_.size();
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  std::partial_sum(out_offsets_.begin(), out_offsets_.end(),
+                   out_offsets_.begin());
+  std::partial_sum(in_offsets_.begin(), in_offsets_.end(),
+                   in_offsets_.begin());
+  out_ids_.resize(edges_.size());
+  in_ids_.resize(edges_.size());
+  std::vector<std::uint32_t> out_cursor(out_offsets_.begin(),
+                                        out_offsets_.end() - 1);
+  std::vector<std::uint32_t> in_cursor(in_offsets_.begin(),
+                                       in_offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    out_ids_[out_cursor[edges_[i].from]++] = i;
+    in_ids_[in_cursor[edges_[i].to]++] = i;
+  }
+}
+
+void Graph::build_thread_index() {
   ThreadId max_thread = 0;
   for (const auto& n : nodes_) max_thread = std::max(max_thread, n.thread);
-  by_thread_.assign(nodes_.empty() ? 0 : max_thread + 1, {});
-  for (const auto& n : nodes_) by_thread_[n.thread].push_back(n.id);
-  for (auto& v : by_thread_) {
-    std::sort(v.begin(), v.end(), [this](NodeId a, NodeId b) {
+  const std::size_t threads = nodes_.empty() ? 0 : max_thread + 1;
+  thread_offsets_.assign(threads + (nodes_.empty() ? 0 : 1), 0);
+  if (nodes_.empty()) return;
+  for (const auto& n : nodes_) ++thread_offsets_[n.thread + 1];
+  std::partial_sum(thread_offsets_.begin(), thread_offsets_.end(),
+                   thread_offsets_.begin());
+  thread_nodes_.resize(nodes_.size());
+  std::vector<std::uint32_t> cursor(thread_offsets_.begin(),
+                                    thread_offsets_.end() - 1);
+  for (const auto& n : nodes_) thread_nodes_[cursor[n.thread]++] = n.id;
+  for (std::size_t t = 0; t < threads; ++t) {
+    std::sort(thread_nodes_.begin() + thread_offsets_[t],
+              thread_nodes_.begin() + thread_offsets_[t + 1],
+              [this](NodeId a, NodeId b) {
+                return nodes_[a].alpha < nodes_[b].alpha;
+              });
+  }
+}
+
+void Graph::build_rank() {
+  // Clock weight is monotone under happens-before: a merge only grows
+  // components and every sub-computation ticks its own slot, so
+  // happens_before(a, b) implies weight(a) < weight(b) whether the
+  // relation comes from the clocks or from same-thread program order.
+  // Sorting by (weight, thread, alpha, id) therefore yields a total
+  // order that embeds the partial order -- including hb pairs that have
+  // no recorded edge path, which an edge-based order would miss.
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint64_t> weight(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = nodes_[i].clock.components();
+    weight[i] = std::accumulate(c.begin(), c.end(), std::uint64_t{0});
+  }
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (weight[a] != weight[b]) return weight[a] < weight[b];
+    if (nodes_[a].thread != nodes_[b].thread) {
+      return nodes_[a].thread < nodes_[b].thread;
+    }
+    if (nodes_[a].alpha != nodes_[b].alpha) {
       return nodes_[a].alpha < nodes_[b].alpha;
-    });
+    }
+    return a < b;
+  });
+  rank_.resize(n);
+  for (std::uint32_t r = 0; r < n; ++r) rank_[order[r]] = r;
+}
+
+void Graph::build_topological_order() {
+  std::vector<std::uint32_t> indegree(nodes_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.to];
+  std::deque<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
   }
-  out_.assign(nodes_.size(), {});
-  in_.assign(nodes_.size(), {});
-  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
-    out_[edges_[i].from].push_back(i);
-    in_[edges_[i].to].push_back(i);
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId cur = ready.front();
+    ready.pop_front();
+    topo_.push_back(cur);
+    for (std::uint32_t e : out_edges(cur)) {
+      if (--indegree[edges_[e].to] == 0) ready.push_back(edges_[e].to);
+    }
   }
+  has_cycle_ = topo_.size() != nodes_.size();
+  if (has_cycle_) topo_.clear();
+}
+
+void Graph::build_page_index() {
+  // One (page, node) pair per read/write-set entry, bucketed per page
+  // and rank-sorted within the bucket, all in flat arrays.
+  struct Touch {
+    std::uint64_t page;
+    NodeId node;
+  };
+  std::vector<Touch> writes;
+  std::vector<Touch> reads;
+  std::size_t write_total = 0;
+  std::size_t read_total = 0;
+  for (const auto& n : nodes_) {
+    write_total += n.write_set.size();
+    read_total += n.read_set.size();
+  }
+  writes.reserve(write_total);
+  reads.reserve(read_total);
+  for (const auto& n : nodes_) {
+    for (std::uint64_t page : n.write_set) writes.push_back({page, n.id});
+    for (std::uint64_t page : n.read_set) reads.push_back({page, n.id});
+  }
+  const auto by_page_rank = [this](const Touch& a, const Touch& b) {
+    if (a.page != b.page) return a.page < b.page;
+    return rank_[a.node] < rank_[b.node];
+  };
+  std::sort(writes.begin(), writes.end(), by_page_rank);
+  std::sort(reads.begin(), reads.end(), by_page_rank);
+
+  // Both touch arrays are page-sorted, so the page universe is a linear
+  // merge of their distinct pages ...
+  pages_.clear();
+  {
+    std::size_t iw = 0;
+    std::size_t ir = 0;
+    while (iw < writes.size() || ir < reads.size()) {
+      std::uint64_t page;
+      if (ir == reads.size() ||
+          (iw < writes.size() && writes[iw].page <= reads[ir].page)) {
+        page = writes[iw].page;
+      } else {
+        page = reads[ir].page;
+      }
+      if (pages_.empty() || pages_.back() != page) pages_.push_back(page);
+      while (iw < writes.size() && writes[iw].page == page) ++iw;
+      while (ir < reads.size() && reads[ir].page == page) ++ir;
+    }
+  }
+
+  // ... the bucket payloads are simply the node columns (already grouped
+  // by page and rank-sorted within each group), and the offsets fall out
+  // of one cursor walk per array.
+  const auto fill = [this](const std::vector<Touch>& touches,
+                           std::vector<std::uint32_t>& offsets,
+                           std::vector<NodeId>& out) {
+    offsets.assign(pages_.size() + 1, 0);
+    out.resize(touches.size());
+    std::size_t page_idx = 0;
+    for (std::size_t k = 0; k < touches.size(); ++k) {
+      while (pages_[page_idx] != touches[k].page) ++page_idx;
+      ++offsets[page_idx + 1];
+      out[k] = touches[k].node;
+    }
+    std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+  };
+  fill(writes, writer_offsets_, writers_);
+  fill(reads, reader_offsets_, readers_);
 }
 
 std::span<const NodeId> Graph::thread_nodes(ThreadId tid) const {
-  if (tid >= by_thread_.size()) return {};
-  return by_thread_[tid];
+  if (tid >= thread_count()) return {};
+  return {thread_nodes_.data() + thread_offsets_[tid],
+          thread_nodes_.data() + thread_offsets_[tid + 1]};
 }
 
 std::optional<NodeId> Graph::find(ThreadId tid, std::uint64_t alpha) const {
-  for (NodeId id : thread_nodes(tid)) {
-    if (nodes_[id].alpha == alpha) return id;
-  }
-  return std::nullopt;
+  const auto nodes = thread_nodes(tid);
+  const auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), alpha,
+      [this](NodeId id, std::uint64_t a) { return nodes_[id].alpha < a; });
+  if (it == nodes.end() || nodes_[*it].alpha != alpha) return std::nullopt;
+  return *it;
 }
 
 bool Graph::happens_before(NodeId a, NodeId b) const {
@@ -81,35 +257,50 @@ bool Graph::concurrent(NodeId a, NodeId b) const {
   return !happens_before(a, b) && !happens_before(b, a);
 }
 
+std::optional<std::size_t> Graph::page_index_of(std::uint64_t page) const {
+  const auto it = std::lower_bound(pages_.begin(), pages_.end(), page);
+  if (it == pages_.end() || *it != page) return std::nullopt;
+  return static_cast<std::size_t>(it - pages_.begin());
+}
+
+std::span<const NodeId> Graph::page_writers(std::uint64_t page) const {
+  const auto idx = page_index_of(page);
+  if (!idx) return {};
+  return {writers_.data() + writer_offsets_[*idx],
+          writers_.data() + writer_offsets_[*idx + 1]};
+}
+
+std::span<const NodeId> Graph::page_readers(std::uint64_t page) const {
+  const auto idx = page_index_of(page);
+  if (!idx) return {};
+  return {readers_.data() + reader_offsets_[*idx],
+          readers_.data() + reader_offsets_[*idx + 1]};
+}
+
 namespace {
-bool sorted_intersect(const std::vector<std::uint64_t>& a,
-                      const std::vector<std::uint64_t>& b) {
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      return true;
-    }
-  }
-  return false;
+/// First position in the rank-sorted `list` whose rank is >= `bound`.
+std::size_t rank_lower_bound(std::span<const NodeId> list,
+                             const std::vector<std::uint32_t>& rank,
+                             std::uint32_t bound) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), bound,
+      [&rank](NodeId id, std::uint32_t r) { return rank[id] < r; });
+  return static_cast<std::size_t>(it - list.begin());
 }
 }  // namespace
 
 std::vector<Edge> Graph::data_dependencies(NodeId reader) const {
   const auto& r = node(reader);
   std::vector<Edge> result;
-  for (const auto& w : nodes_) {
-    if (w.id == reader) continue;
-    if (!happens_before(w.id, reader)) continue;
-    if (!sorted_intersect(w.write_set, r.read_set)) continue;
-    // One edge per shared page, so consumers can attribute flow per page.
-    for (std::uint64_t page : r.read_set) {
-      if (w.writes_page(page)) {
-        result.push_back({w.id, reader, EdgeKind::kData, page});
+  for (std::uint64_t page : r.read_set) {
+    const auto writers = page_writers(page);
+    // happens_before(w, reader) implies rank(w) < rank(reader), so the
+    // candidate window ends at reader's rank.
+    const std::size_t end = rank_lower_bound(writers, rank_, rank_[reader]);
+    for (std::size_t i = 0; i < end; ++i) {
+      const NodeId w = writers[i];
+      if (happens_before(w, reader)) {
+        result.push_back({w, reader, EdgeKind::kData, page});
       }
     }
   }
@@ -119,40 +310,38 @@ std::vector<Edge> Graph::data_dependencies(NodeId reader) const {
 std::vector<Edge> Graph::latest_writers(NodeId reader) const {
   const auto& r = node(reader);
   std::vector<Edge> result;
+  std::vector<NodeId> maximal;
   for (std::uint64_t page : r.read_set) {
-    // Maximal writers of `page` under happens-before among those that
-    // precede `reader`.
-    std::vector<NodeId> candidates;
-    for (const auto& w : nodes_) {
-      if (w.id != reader && happens_before(w.id, reader) &&
-          w.writes_page(page)) {
-        candidates.push_back(w.id);
-      }
-    }
-    for (NodeId c : candidates) {
+    const auto writers = page_writers(page);
+    const std::size_t end = rank_lower_bound(writers, rank_, rank_[reader]);
+    maximal.clear();
+    // Backward walk in rank order: any writer that would supersede the
+    // current candidate has a higher rank and was already collected, so
+    // one pass against `maximal` finds exactly the un-superseded set.
+    for (std::size_t i = end; i-- > 0;) {
+      const NodeId w = writers[i];
+      if (!happens_before(w, reader)) continue;
       const bool superseded =
-          std::any_of(candidates.begin(), candidates.end(),
-                      [&](NodeId d) { return d != c && happens_before(c, d); });
-      if (!superseded) result.push_back({c, reader, EdgeKind::kData, page});
+          std::any_of(maximal.begin(), maximal.end(),
+                      [&](NodeId d) { return happens_before(w, d); });
+      if (!superseded) maximal.push_back(w);
+    }
+    std::sort(maximal.begin(), maximal.end());
+    for (NodeId w : maximal) {
+      result.push_back({w, reader, EdgeKind::kData, page});
     }
   }
   return result;
 }
 
 std::vector<NodeId> Graph::writers_of_page(std::uint64_t page) const {
-  std::vector<NodeId> result;
-  for (const auto& n : nodes_) {
-    if (n.writes_page(page)) result.push_back(n.id);
-  }
-  return result;
+  const auto span = page_writers(page);
+  return {span.begin(), span.end()};
 }
 
 std::vector<NodeId> Graph::readers_of_page(std::uint64_t page) const {
-  std::vector<NodeId> result;
-  for (const auto& n : nodes_) {
-    if (n.reads_page(page)) result.push_back(n.id);
-  }
-  return result;
+  const auto span = page_readers(page);
+  return {span.begin(), span.end()};
 }
 
 std::vector<NodeId> Graph::backward_slice(NodeId start) const {
@@ -202,9 +391,13 @@ std::vector<NodeId> Graph::forward_slice(NodeId start) const {
       }
     }
     // Data successors: readers (under happens-before) of pages this
-    // node wrote.
+    // node wrote. happens_before(cur, reader) implies a higher rank, so
+    // the walk starts just past cur's rank in the reader list.
     for (std::uint64_t page : nodes_[cur].write_set) {
-      for (NodeId reader : readers_of_page(page)) {
+      const auto readers = page_readers(page);
+      for (std::size_t i = rank_lower_bound(readers, rank_, rank_[cur] + 1);
+           i < readers.size(); ++i) {
+        const NodeId reader = readers[i];
         if (!visited[reader] && happens_before(cur, reader)) {
           visited[reader] = true;
           frontier.push_back(reader);
@@ -217,26 +410,13 @@ std::vector<NodeId> Graph::forward_slice(NodeId start) const {
 }
 
 std::vector<NodeId> Graph::topological_order() const {
-  std::vector<std::uint32_t> indegree(nodes_.size(), 0);
-  for (const auto& e : edges_) ++indegree[e.to];
-  std::deque<NodeId> ready;
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    if (indegree[i] == 0) ready.push_back(i);
-  }
-  std::vector<NodeId> order;
-  order.reserve(nodes_.size());
-  while (!ready.empty()) {
-    const NodeId cur = ready.front();
-    ready.pop_front();
-    order.push_back(cur);
-    for (std::uint32_t e : out_edges(cur)) {
-      if (--indegree[edges_[e].to] == 0) ready.push_back(edges_[e].to);
-    }
-  }
-  if (order.size() != nodes_.size()) {
-    throw std::logic_error("CPG contains a cycle");
-  }
-  return order;
+  const auto view = topological_view();
+  return {view.begin(), view.end()};
+}
+
+std::span<const NodeId> Graph::topological_view() const {
+  if (has_cycle_) throw std::logic_error("CPG contains a cycle");
+  return topo_;
 }
 
 bool Graph::validate(std::string* reason) const {
@@ -267,10 +447,23 @@ bool Graph::validate(std::string* reason) const {
         break;
     }
   }
-  try {
-    (void)topological_order();
-  } catch (const std::logic_error&) {
-    return fail("graph has a cycle");
+  if (has_cycle_) return fail("graph has a cycle");
+  // The rank-windowed queries need clock weight monotone under
+  // happens-before. Cross-thread hb pairs are monotone by strict clock
+  // dominance; same-thread pairs (ordered by alpha regardless of their
+  // clocks) must not let the weight decrease, or the window would hide
+  // real dependencies.
+  const auto weight = [this](NodeId id) {
+    const auto& c = nodes_[id].clock.components();
+    return std::accumulate(c.begin(), c.end(), std::uint64_t{0});
+  };
+  for (std::size_t t = 0; t < thread_count(); ++t) {
+    const auto nodes = thread_nodes(static_cast<ThreadId>(t));
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      if (weight(nodes[i - 1]) > weight(nodes[i])) {
+        return fail("clock weight decreases along a thread's alpha order");
+      }
+    }
   }
   return true;
 }
@@ -278,7 +471,7 @@ bool Graph::validate(std::string* reason) const {
 GraphStats Graph::stats() const {
   GraphStats s;
   s.nodes = nodes_.size();
-  s.threads = by_thread_.size();
+  s.threads = thread_count();
   for (const auto& e : edges_) {
     if (e.kind == EdgeKind::kControl) ++s.control_edges;
     if (e.kind == EdgeKind::kSync) ++s.sync_edges;
@@ -292,11 +485,15 @@ GraphStats Graph::stats() const {
 }
 
 std::span<const std::uint32_t> Graph::out_edges(NodeId id) const {
-  return out_.at(id);
+  if (id >= nodes_.size()) throw std::out_of_range("out_edges: bad node id");
+  return {out_ids_.data() + out_offsets_[id],
+          out_ids_.data() + out_offsets_[id + 1]};
 }
 
 std::span<const std::uint32_t> Graph::in_edges(NodeId id) const {
-  return in_.at(id);
+  if (id >= nodes_.size()) throw std::out_of_range("in_edges: bad node id");
+  return {in_ids_.data() + in_offsets_[id],
+          in_ids_.data() + in_offsets_[id + 1]};
 }
 
 }  // namespace inspector::cpg

@@ -1,6 +1,11 @@
 // The Concurrent Provenance Graph (INSPECTOR §IV-A): a DAG whose
 // vertices are sub-computations and whose edges record control,
 // synchronization, and data dependencies.
+//
+// Construction builds a shared, immutable query index once (CSR
+// adjacency, per-thread node lists, a happens-before-compatible rank,
+// and a page -> writers/readers inverted index); every dependence and
+// slicing query below consumes the index instead of scanning all nodes.
 #pragma once
 
 #include <cstdint>
@@ -49,16 +54,41 @@ class Graph {
   /// Nodes of thread `tid`, in execution (alpha) order.
   [[nodiscard]] std::span<const NodeId> thread_nodes(ThreadId tid) const;
   [[nodiscard]] std::size_t thread_count() const noexcept {
-    return by_thread_.size();
+    return thread_offsets_.empty() ? 0 : thread_offsets_.size() - 1;
   }
 
-  /// The node L_t[alpha], if it exists.
+  /// The node L_t[alpha], if it exists (binary search on the
+  /// alpha-sorted per-thread list).
   [[nodiscard]] std::optional<NodeId> find(ThreadId tid,
                                            std::uint64_t alpha) const;
 
   // --- happens-before queries (vector-clock comparison, §IV-B) --------
   [[nodiscard]] bool happens_before(NodeId a, NodeId b) const;
   [[nodiscard]] bool concurrent(NodeId a, NodeId b) const;
+
+  // --- shared query index ----------------------------------------------
+  /// Every distinct page any node read or wrote, sorted. The position of
+  /// a page in this span is its dense index: analyses can size flat
+  /// arrays by page_count() and use page_index_of() instead of hash maps.
+  [[nodiscard]] std::span<const std::uint64_t> pages() const noexcept {
+    return pages_;
+  }
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return pages_.size();
+  }
+  /// Dense index of `page` in pages(), if any node touched it.
+  [[nodiscard]] std::optional<std::size_t> page_index_of(
+      std::uint64_t page) const;
+
+  /// Writers/readers of `page` from the inverted index, sorted by
+  /// happens-before-compatible rank (see rank()).
+  [[nodiscard]] std::span<const NodeId> page_writers(std::uint64_t page) const;
+  [[nodiscard]] std::span<const NodeId> page_readers(std::uint64_t page) const;
+
+  /// A total order compatible with happens-before: happens_before(a, b)
+  /// implies rank(a) < rank(b). Derived from vector-clock weight, so it
+  /// holds even for hb pairs with no recorded edge path.
+  [[nodiscard]] std::uint32_t rank(NodeId id) const { return rank_.at(id); }
 
   // --- data-dependence queries (§IV-A III) -----------------------------
   /// All update-use (read-after-write) dependencies of `reader`: edges
@@ -69,9 +99,11 @@ class Graph {
   /// For each page `reader` reads, the *latest* writer under
   /// happens-before (the writer no other happens-before writer of the
   /// same page succeeds). This is the dataflow a slicing query follows.
+  /// Answered by a per-page backward walk over the rank-sorted writer
+  /// list, not a scan of all nodes.
   [[nodiscard]] std::vector<Edge> latest_writers(NodeId reader) const;
 
-  /// All nodes that wrote `page`, in no particular order.
+  /// All nodes that wrote `page`, in rank order (index lookup).
   [[nodiscard]] std::vector<NodeId> writers_of_page(std::uint64_t page) const;
   [[nodiscard]] std::vector<NodeId> readers_of_page(std::uint64_t page) const;
 
@@ -90,7 +122,11 @@ class Graph {
   /// Topological order consistent with happens-before; throws
   /// std::logic_error when the recorded graph has a cycle (which would
   /// indicate a recorder bug -- the CPG is a DAG by construction).
+  /// Computed once at construction; this returns a copy of the cache.
   [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Zero-copy view of the cached topological order (same cycle check).
+  [[nodiscard]] std::span<const NodeId> topological_view() const;
 
   /// Verify DAG-ness and clock consistency: every recorded edge's
   /// source must happen-before (or equal, for same-thread control
@@ -99,22 +135,46 @@ class Graph {
 
   [[nodiscard]] GraphStats stats() const;
 
-  /// Outgoing recorded (control/sync) edges per node.
+  /// Outgoing recorded (control/sync) edges per node (edge indices).
   [[nodiscard]] std::span<const std::uint32_t> out_edges(NodeId id) const;
-  /// Incoming recorded (control/sync) edges per node.
+  /// Incoming recorded (control/sync) edges per node (edge indices).
   [[nodiscard]] std::span<const std::uint32_t> in_edges(NodeId id) const;
 
  private:
   void build_indices();
+  void build_adjacency();
+  void build_thread_index();
+  void build_rank();
+  void build_topological_order();
+  void build_page_index();
 
   std::vector<SubComputation> nodes_;
   std::vector<Edge> edges_;
   std::vector<sync::SyncEvent> schedule_;
 
-  std::vector<std::vector<NodeId>> by_thread_;
-  // CSR-style adjacency into edges_ by edge index.
-  std::vector<std::vector<std::uint32_t>> out_;
-  std::vector<std::vector<std::uint32_t>> in_;
+  // Per-thread node lists, alpha-sorted, in one flat CSR array.
+  std::vector<std::uint32_t> thread_offsets_;  ///< thread_count()+1 entries
+  std::vector<NodeId> thread_nodes_;
+
+  // CSR adjacency over recorded edges, by edge index into edges_.
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<std::uint32_t> out_ids_;
+  std::vector<std::uint32_t> in_offsets_;
+  std::vector<std::uint32_t> in_ids_;
+
+  // Happens-before-compatible total order (clock weight, thread, alpha).
+  std::vector<std::uint32_t> rank_;
+
+  // Cached Kahn order over recorded edges; empty + flag when cyclic.
+  std::vector<NodeId> topo_;
+  bool has_cycle_ = false;
+
+  // Inverted index: page -> writers / readers, rank-sorted per page.
+  std::vector<std::uint64_t> pages_;  ///< sorted distinct page ids
+  std::vector<std::uint32_t> writer_offsets_;  ///< page_count()+1 entries
+  std::vector<NodeId> writers_;
+  std::vector<std::uint32_t> reader_offsets_;
+  std::vector<NodeId> readers_;
 };
 
 }  // namespace inspector::cpg

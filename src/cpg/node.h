@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sync/sync_event.h"
+#include "util/page_set.h"
 #include "vclock/vector_clock.h"
 
 namespace inspector::cpg {
@@ -52,8 +53,8 @@ struct SubComputation {
   std::uint64_t alpha = 0;  ///< index in the thread's execution sequence L_t
   vclock::VectorClock clock;
 
-  std::vector<std::uint64_t> read_set;   ///< sorted page ids
-  std::vector<std::uint64_t> write_set;  ///< sorted page ids
+  PageSet read_set;   ///< sorted, duplicate-free page ids
+  PageSet write_set;  ///< sorted, duplicate-free page ids
   std::vector<Thunk> thunks;
 
   EndReason end;

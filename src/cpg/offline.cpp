@@ -2,7 +2,6 @@
 
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "cpg/recorder.h"
 
@@ -34,16 +33,13 @@ Graph rebuild_from_journal(
       case JournalOp::Kind::kThreadStart:
         recorder.thread_started(op.tid, static_cast<ThreadId>(op.aux));
         break;
-      case JournalOp::Kind::kEndSub: {
+      case JournalOp::Kind::kEndSub:
+        // The journal already stores the sorted page-set vectors the
+        // recorder consumes; no conversion needed.
         feed_branches(op.tid, op.branch_count);
-        const std::unordered_set<std::uint64_t> reads(op.read_set.begin(),
-                                                      op.read_set.end());
-        const std::unordered_set<std::uint64_t> writes(op.write_set.begin(),
-                                                       op.write_set.end());
-        recorder.end_subcomputation(op.tid, reads, writes,
+        recorder.end_subcomputation(op.tid, op.read_set, op.write_set,
                                     EndReason{op.event, op.aux});
         break;
-      }
       case JournalOp::Kind::kRelease:
         recorder.on_release(op.tid, op.aux);
         break;
@@ -53,15 +49,10 @@ Graph rebuild_from_journal(
       case JournalOp::Kind::kEvent:
         recorder.record_schedule_event(op.tid, op.aux, op.event);
         break;
-      case JournalOp::Kind::kThreadExit: {
+      case JournalOp::Kind::kThreadExit:
         feed_branches(op.tid, op.branch_count);
-        const std::unordered_set<std::uint64_t> reads(op.read_set.begin(),
-                                                      op.read_set.end());
-        const std::unordered_set<std::uint64_t> writes(op.write_set.begin(),
-                                                       op.write_set.end());
-        recorder.thread_exiting(op.tid, reads, writes);
+        recorder.thread_exiting(op.tid, op.read_set, op.write_set);
         break;
-      }
     }
   }
   return std::move(recorder).finalize();

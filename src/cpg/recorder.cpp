@@ -96,19 +96,16 @@ void Recorder::on_acquire(ThreadId tid, sync::ObjectId object) {
   ++seq_;
 }
 
-void Recorder::end_subcomputation(
-    ThreadId tid, const std::unordered_set<std::uint64_t>& read_set,
-    const std::unordered_set<std::uint64_t>& write_set, EndReason reason) {
+void Recorder::end_subcomputation(ThreadId tid, PageSet read_set,
+                                  PageSet write_set, EndReason reason) {
   ThreadState& ts = state(tid);
+  page_set_normalize(read_set);
+  page_set_normalize(write_set);
   {
     JournalScope scope(*this);
-    JournalOp op{JournalOp::Kind::kEndSub, tid, reason.object, reason.kind,
-                 {read_set.begin(), read_set.end()},
-                 {write_set.begin(), write_set.end()},
-                 static_cast<std::uint32_t>(ts.thunks.size())};
-    std::sort(op.read_set.begin(), op.read_set.end());
-    std::sort(op.write_set.begin(), op.write_set.end());
-    log_journal(std::move(op));
+    log_journal({JournalOp::Kind::kEndSub, tid, reason.object, reason.kind,
+                 read_set, write_set,
+                 static_cast<std::uint32_t>(ts.thunks.size())});
   }
 
   SubComputation node;
@@ -125,10 +122,8 @@ void Recorder::end_subcomputation(
   // to its parent's spawn node instead of strictly after it.
   ts.clock.set(tid, ts.alpha + 1);
   node.clock = ts.clock;
-  node.read_set.assign(read_set.begin(), read_set.end());
-  node.write_set.assign(write_set.begin(), write_set.end());
-  std::sort(node.read_set.begin(), node.read_set.end());
-  std::sort(node.write_set.begin(), node.write_set.end());
+  node.read_set = std::move(read_set);
+  node.write_set = std::move(write_set);
   node.thunks = std::move(ts.thunks);
   node.end = reason;
   node.start_seq = ts.start_seq;
@@ -156,21 +151,15 @@ void Recorder::end_subcomputation(
   ts.start_seq = seq_;
 }
 
-void Recorder::thread_exiting(
-    ThreadId tid, const std::unordered_set<std::uint64_t>& read_set,
-    const std::unordered_set<std::uint64_t>& write_set) {
+void Recorder::thread_exiting(ThreadId tid, PageSet read_set,
+                              PageSet write_set) {
   JournalScope scope(*this);
-  {
-    JournalOp op{JournalOp::Kind::kThreadExit, tid, 0,
-                 sync::SyncEventKind::kThreadExit,
-                 {read_set.begin(), read_set.end()},
-                 {write_set.begin(), write_set.end()},
-                 static_cast<std::uint32_t>(state(tid).thunks.size())};
-    std::sort(op.read_set.begin(), op.read_set.end());
-    std::sort(op.write_set.begin(), op.write_set.end());
-    log_journal(std::move(op));
-  }
-  end_subcomputation(tid, read_set, write_set,
+  page_set_normalize(read_set);
+  page_set_normalize(write_set);
+  log_journal({JournalOp::Kind::kThreadExit, tid, 0,
+               sync::SyncEventKind::kThreadExit, read_set, write_set,
+               static_cast<std::uint32_t>(state(tid).thunks.size())});
+  end_subcomputation(tid, std::move(read_set), std::move(write_set),
                      EndReason{sync::SyncEventKind::kThreadExit,
                                sync::thread_lifecycle_object(tid)});
   // Release on the lifecycle object so a joining thread acquires

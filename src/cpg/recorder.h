@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cpg/graph.h"
@@ -65,17 +64,16 @@ class Recorder {
 
   /// Close the current sub-computation of `tid` with the given
   /// read/write page sets, recording why it ended; starts the next one
-  /// (Algorithm 1: alpha <- alpha + 1, startSub-computation).
-  void end_subcomputation(ThreadId tid,
-                          const std::unordered_set<std::uint64_t>& read_set,
-                          const std::unordered_set<std::uint64_t>& write_set,
+  /// (Algorithm 1: alpha <- alpha + 1, startSub-computation). The sets
+  /// are sorted page-id vectors, the exact representation the node
+  /// stores -- callers that collected them sorted (memtrack does) pay
+  /// no conversion, and the vectors are moved into the node.
+  void end_subcomputation(ThreadId tid, PageSet read_set, PageSet write_set,
                           EndReason reason);
 
   /// Final release on the lifecycle object + close the last
   /// sub-computation.
-  void thread_exiting(ThreadId tid,
-                      const std::unordered_set<std::uint64_t>& read_set,
-                      const std::unordered_set<std::uint64_t>& write_set);
+  void thread_exiting(ThreadId tid, PageSet read_set, PageSet write_set);
 
   /// Record a schedule event (pthreads-API granularity).
   void record_schedule_event(ThreadId tid, sync::ObjectId object,

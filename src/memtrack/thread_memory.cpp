@@ -11,6 +11,8 @@ void ThreadMemory::begin_subcomputation() {
   pages_.clear();
   read_set_.clear();
   write_set_.clear();
+  read_sorted_ = true;
+  write_sorted_ = true;
   ++stats_.subcomputations;
 }
 
@@ -35,13 +37,15 @@ ThreadMemory::PrivatePage& ThreadMemory::fault_in(std::uint64_t page_id) {
 std::uint64_t ThreadMemory::read_word(std::uint64_t addr) {
   assert(addr % 8 == 0 && "word access must be 8-byte aligned");
   const std::uint64_t pid = page_id_of(addr);
+  PrivatePage& page = fault_in(pid);
   // A page the thread already wrote is mapped read-write; reading it
   // cannot fault, so (as in the real mprotect scheme) it is only in the
   // write set.
-  if (!write_set_.contains(pid) && read_set_.insert(pid).second) {
+  if (!page.in_write_set && !page.in_read_set) {
+    page.in_read_set = true;
+    append(read_set_, read_sorted_, pid);
     ++stats_.read_faults;
   }
-  PrivatePage& page = fault_in(pid);
   std::uint64_t value = 0;
   std::memcpy(&value, page.data->data() + page_offset(addr), 8);
   return value;
@@ -50,8 +54,12 @@ std::uint64_t ThreadMemory::read_word(std::uint64_t addr) {
 void ThreadMemory::write_word(std::uint64_t addr, std::uint64_t value) {
   assert(addr % 8 == 0 && "word access must be 8-byte aligned");
   const std::uint64_t pid = page_id_of(addr);
-  if (write_set_.insert(pid).second) ++stats_.write_faults;
   PrivatePage& page = fault_in(pid);
+  if (!page.in_write_set) {
+    page.in_write_set = true;
+    append(write_set_, write_sorted_, pid);
+    ++stats_.write_faults;
+  }
   page.dirty = true;
   std::memcpy(page.data->data() + page_offset(addr), &value, 8);
 }
@@ -76,7 +84,14 @@ CommitResult ThreadMemory::commit() {
   ++stats_.commits;
   stats_.pages_committed += result.dirty_pages;
   stats_.bytes_changed += result.bytes_changed;
+  // Dropping the private mappings resets the first-touch markers that
+  // live on them; clear the page sets too so the two stay coupled (a
+  // touch after commit is a fresh fault, as under real re-protection).
   pages_.clear();
+  read_set_.clear();
+  write_set_.clear();
+  read_sorted_ = true;
+  write_sorted_ = true;
   return result;
 }
 

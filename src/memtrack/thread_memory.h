@@ -20,10 +20,11 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "memtrack/shared_memory.h"
+#include "util/page_set.h"
 
 namespace inspector::memtrack {
 
@@ -65,14 +66,31 @@ class ThreadMemory {
   /// visible afterwards). Called at synchronization points.
   CommitResult commit();
 
-  /// Pages read / written by the current sub-computation (page ids).
-  [[nodiscard]] const std::unordered_set<std::uint64_t>& read_set()
-      const noexcept {
+  /// Pages read / written by the current sub-computation, as sorted
+  /// page-id sets -- exactly the representation the recorder stores, so
+  /// handing them over needs no conversion. Accesses append in O(1)
+  /// (first-touch is detected on the private page entry the fault
+  /// already looks up); the sort happens at most once per
+  /// sub-computation, here.
+  [[nodiscard]] const PageSet& read_set() const {
+    normalize(read_set_, read_sorted_);
     return read_set_;
   }
-  [[nodiscard]] const std::unordered_set<std::uint64_t>& write_set()
-      const noexcept {
+  [[nodiscard]] const PageSet& write_set() const {
+    normalize(write_set_, write_sorted_);
     return write_set_;
+  }
+
+  /// Move the sets out (leaves them empty); the runtime calls these at
+  /// a synchronization point right before commit()/begin_subcomputation()
+  /// resets them anyway, saving the copy.
+  [[nodiscard]] PageSet take_read_set() {
+    normalize(read_set_, read_sorted_);
+    return std::exchange(read_set_, {});
+  }
+  [[nodiscard]] PageSet take_write_set() {
+    normalize(write_set_, write_sorted_);
+    return std::exchange(write_set_, {});
   }
 
   [[nodiscard]] const MemtrackStats& stats() const noexcept { return stats_; }
@@ -85,14 +103,33 @@ class ThreadMemory {
     std::unique_ptr<PageData> data;  ///< thread's working copy
     std::unique_ptr<PageData> twin;  ///< snapshot taken at first touch
     bool dirty = false;
+    // First-touch markers: whether this page is already in the
+    // read/write set of the current sub-computation.
+    bool in_read_set = false;
+    bool in_write_set = false;
   };
 
   PrivatePage& fault_in(std::uint64_t page_id);
 
+  /// Append keeping track of sortedness; sorting is deferred to the
+  /// accessors so the access hot path never shifts vector tails.
+  static void append(PageSet& set, bool& sorted, std::uint64_t page) {
+    if (!set.empty() && set.back() >= page) sorted = false;
+    set.push_back(page);
+  }
+  static void normalize(PageSet& set, bool& sorted) {
+    if (!sorted) {
+      page_set_normalize(set);
+      sorted = true;
+    }
+  }
+
   SharedMemory* shared_;
   std::unordered_map<std::uint64_t, PrivatePage> pages_;
-  std::unordered_set<std::uint64_t> read_set_;
-  std::unordered_set<std::uint64_t> write_set_;
+  mutable PageSet read_set_;
+  mutable PageSet write_set_;
+  mutable bool read_sorted_ = true;
+  mutable bool write_sorted_ = true;
   MemtrackStats stats_;
 };
 

@@ -4,7 +4,6 @@
 #include <functional>
 #include <random>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "snapshot/consistent_cut.h"
 
@@ -240,10 +239,11 @@ void Engine::emit_branch(Thread& t, const cpg::BranchRecord& rec) {
 void Engine::end_subcomputation(Thread& t, SyncEventKind kind,
                                 ObjectId object) {
   if (!inspector()) return;
-  static const std::unordered_set<std::uint64_t> kEmpty;
-  const auto& reads = t.mem != nullptr ? t.mem->read_set() : kEmpty;
-  const auto& writes = t.mem != nullptr ? t.mem->write_set() : kEmpty;
-  recorder_.end_subcomputation(t.tid, reads, writes,
+  // Move the sorted sets straight out of the MMU tracking and into the
+  // recorder; begin_subcomputation() below would clear them anyway.
+  PageSet reads = t.mem != nullptr ? t.mem->take_read_set() : PageSet{};
+  PageSet writes = t.mem != nullptr ? t.mem->take_write_set() : PageSet{};
+  recorder_.end_subcomputation(t.tid, std::move(reads), std::move(writes),
                                cpg::EndReason{kind, object});
   if (t.mem != nullptr) {
     const memtrack::CommitResult commit = t.mem->commit();
@@ -266,9 +266,9 @@ void Engine::process_pending(Thread& t) {
 
 void Engine::finish_thread(Thread& t) {
   if (inspector()) {
-    static const std::unordered_set<std::uint64_t> kEmpty;
-    const auto& reads = t.mem != nullptr ? t.mem->read_set() : kEmpty;
-    const auto& writes = t.mem != nullptr ? t.mem->write_set() : kEmpty;
+    PageSet reads = t.mem != nullptr ? t.mem->take_read_set() : PageSet{};
+    PageSet writes =
+        t.mem != nullptr ? t.mem->take_write_set() : PageSet{};
     if (t.mem != nullptr) {
       const memtrack::CommitResult commit = t.mem->commit();
       ++stats_.commits;
@@ -276,7 +276,7 @@ void Engine::finish_thread(Thread& t) {
           t, opts_.costs.commit_base_ns +
                  commit.dirty_pages * opts_.costs.commit_page_ns);
     }
-    recorder_.thread_exiting(t.tid, reads, writes);
+    recorder_.thread_exiting(t.tid, std::move(reads), std::move(writes));
     if (trace_pt()) {
       if (auto* enc = perf_->encoder_for(t.tid)) enc->on_disable();
       perf_->on_exit(t.tid, t.clock);

@@ -1,0 +1,34 @@
+// Page-id sets as sorted, duplicate-free vectors.
+//
+// Page read/write sets flow through every layer of the system: the MMU
+// tracking collects them per sub-computation, the recorder stores them
+// on CPG nodes, the journal persists them, and every provenance query
+// intersects them. Keeping them sorted end-to-end means membership is a
+// binary search, intersection is a linear merge, and no layer ever pays
+// a hash-set-to-sorted-vector conversion.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace inspector {
+
+/// A set of page ids, stored sorted and duplicate-free.
+using PageSet = std::vector<std::uint64_t>;
+
+/// Membership by binary search.
+[[nodiscard]] inline bool page_set_contains(const PageSet& set,
+                                            std::uint64_t page) noexcept {
+  return std::binary_search(set.begin(), set.end(), page);
+}
+
+/// Restore the sorted/unique invariant on an arbitrary vector.
+inline void page_set_normalize(PageSet& set) {
+  if (!std::is_sorted(set.begin(), set.end())) {
+    std::sort(set.begin(), set.end());
+  }
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+}  // namespace inspector

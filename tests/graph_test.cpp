@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "cpg/graph.h"
 
@@ -169,6 +170,16 @@ TEST(Graph, StatsAggregate) {
   EXPECT_EQ(s.threads, 2u);
   EXPECT_EQ(s.read_pages, 3u);
   EXPECT_EQ(s.write_pages, 4u);
+}
+
+TEST(Graph, ConstructorRejectsUnknownEdgeEndpoints) {
+  // Crafted/corrupt inputs (e.g. a bad .cpg file) must not reach the
+  // CSR builders, which write through edge endpoints.
+  std::vector<SubComputation> nodes;
+  nodes.push_back(node(0, 0, 0, {1}, {}, {}));
+  std::vector<Edge> edges = {{0, 7, EdgeKind::kSync, 0}};
+  EXPECT_THROW((Graph{std::move(nodes), std::move(edges), {}}),
+               std::invalid_argument);
 }
 
 TEST(Graph, EmptyGraphIsValid) {

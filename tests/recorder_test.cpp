@@ -15,7 +15,7 @@ constexpr sync::ObjectId kM = sync::make_object_id(sync::ObjectKind::kMutex, 1);
 constexpr sync::ObjectId kB =
     sync::make_object_id(sync::ObjectKind::kBarrier, 1);
 
-using PageSet = std::unordered_set<std::uint64_t>;
+using inspector::PageSet;
 
 EndReason lock_end(sync::ObjectId m) {
   return {sync::SyncEventKind::kMutexLock, m};

@@ -9,7 +9,7 @@ namespace {
 using namespace inspector::cpg;
 namespace sync = inspector::sync;
 
-using PageSet = std::unordered_set<std::uint64_t>;
+using inspector::PageSet;
 constexpr sync::ObjectId kM = sync::make_object_id(sync::ObjectKind::kMutex, 1);
 
 Graph sample_graph() {

@@ -11,7 +11,7 @@ using namespace inspector::cpg;
 using namespace inspector::snapshot;
 namespace sync = inspector::sync;
 
-using PageSet = std::unordered_set<std::uint64_t>;
+using inspector::PageSet;
 constexpr sync::ObjectId kM = sync::make_object_id(sync::ObjectKind::kMutex, 1);
 
 Graph two_thread_graph() {

@@ -77,6 +77,10 @@ bool parse(int argc, char** argv, CliArgs& args) {
     };
     if (a == "--threads") {
       args.config.threads = static_cast<std::uint32_t>(std::stoul(next()));
+      if (args.config.threads == 0) {
+        std::cerr << "--threads must be >= 1\n";
+        return false;
+      }
     } else if (a == "--size") {
       const std::string s = next();
       args.config.size = s == "s"   ? workloads::InputSize::kSmall
