@@ -1,0 +1,203 @@
+// bench_analysis_scaling -- wall time and speedup of the parallel
+// analysis runtime (util::TaskPool) at 1/2/4/8 workers on synthetic
+// CPGs of growing size, for the three parallelized layers: index
+// construction (Graph::build_indices), the page-major race scan, and
+// taint propagation. Emits one machine-readable JSON line per
+// measurement so BENCH trajectories can track the scaling curve, plus
+// a combined line per graph with the end-to-end speedup. Every phase's
+// output is fingerprinted and compared across worker counts; a
+// measurement with "identical":false is a determinism bug.
+//
+// Deliberately not a google-benchmark binary: the unit of interest is
+// one whole pass per worker count, not a tight-loop microsecond rate.
+//
+//   bench_analysis_scaling [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/races.h"
+#include "analysis/taint.h"
+#include "cpg/recorder.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector;
+using Clock = std::chrono::steady_clock;
+
+/// Barrier-round synthetic CPG (same shape as bench_micro's): `threads`
+/// workers run `rounds` rounds, each writing its own page slice and
+/// reading a neighbour's, all crossing a barrier -- wide graphs with
+/// rich cross-thread dataflow and page sharing.
+cpg::Graph synthetic_cpg(std::uint32_t threads, std::uint32_t rounds,
+                         std::uint64_t pages_per_node) {
+  using sync::SyncEventKind;
+  const auto barrier = sync::make_object_id(sync::ObjectKind::kBarrier, 1);
+  cpg::Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      PageSet reads;
+      PageSet writes;
+      const std::uint32_t neighbour = (t + 1) % threads;
+      for (std::uint64_t p = 0; p < pages_per_node; ++p) {
+        writes.push_back((static_cast<std::uint64_t>(t) * pages_per_node + p) %
+                         (threads * pages_per_node));
+        reads.push_back(
+            (static_cast<std::uint64_t>(neighbour) * pages_per_node + p) %
+            (threads * pages_per_node));
+      }
+      std::sort(reads.begin(), reads.end());
+      std::sort(writes.begin(), writes.end());
+      rec.end_subcomputation(t, std::move(reads), std::move(writes),
+                             {SyncEventKind::kBarrierWait, barrier});
+      rec.on_release(t, barrier);
+    }
+    for (std::uint32_t t = 0; t < threads; ++t) rec.on_acquire(t, barrier);
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_exiting(t, {}, {});
+  return std::move(rec).finalize();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// One fingerprint covering the index and both analysis outputs, so a
+/// merge that reorders or drops anything shows up as a hash mismatch.
+std::uint64_t fingerprint(const cpg::Graph& g,
+                          const std::vector<analysis::RaceReport>& races,
+                          const analysis::TaintResult& taint) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& n : g.nodes()) h = fnv1a(h, g.rank(n.id));
+  for (cpg::NodeId id : g.topological_view()) h = fnv1a(h, id);
+  for (std::uint64_t page : g.pages()) {
+    h = fnv1a(h, page);
+    for (cpg::NodeId w : g.page_writers(page)) h = fnv1a(h, w);
+    for (cpg::NodeId r : g.page_readers(page)) h = fnv1a(h, r);
+  }
+  for (const auto& r : races) {
+    h = fnv1a(h, (static_cast<std::uint64_t>(r.first) << 32) | r.second);
+    h = fnv1a(h, r.page * 2 + (r.write_write ? 1 : 0));
+  }
+  for (cpg::NodeId id : taint.tainted_nodes) h = fnv1a(h, id);
+  std::vector<std::uint64_t> pages(taint.tainted_pages.begin(),
+                                   taint.tainted_pages.end());
+  std::sort(pages.begin(), pages.end());
+  for (std::uint64_t p : pages) h = fnv1a(h, p);
+  return h;
+}
+
+struct Measurement {
+  double build_ms = 0;
+  double races_ms = 0;
+  double taint_ms = 0;
+  std::uint64_t hash = 0;
+
+  [[nodiscard]] double combined_ms() const {
+    return build_ms + races_ms + taint_ms;
+  }
+};
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+Measurement measure(const std::vector<cpg::SubComputation>& nodes,
+                    const std::vector<cpg::Edge>& edges, int reps) {
+  Measurement best;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto n = nodes;
+    auto e = edges;
+    const auto t0 = Clock::now();
+    const cpg::Graph g(std::move(n), std::move(e), {});
+    const double build_ms = ms_since(t0);
+
+    const auto t1 = Clock::now();
+    const auto races = analysis::find_races(g);
+    const double races_ms = ms_since(t1);
+
+    std::unordered_set<std::uint64_t> seeds;
+    for (std::uint64_t p = 0; p < 4 && p < g.page_count(); ++p) {
+      seeds.insert(g.pages()[p]);
+    }
+    const auto t2 = Clock::now();
+    const auto taint = analysis::propagate_taint(g, seeds);
+    const double taint_ms = ms_since(t2);
+
+    if (rep == 0 || build_ms + races_ms + taint_ms < best.combined_ms()) {
+      best.build_ms = build_ms;
+      best.races_ms = races_ms;
+      best.taint_ms = taint_ms;
+    }
+    best.hash = fingerprint(g, races, taint);
+  }
+  return best;
+}
+
+void emit(const std::string& phase, std::size_t nodes, std::size_t pages,
+          unsigned workers, double ms, double baseline_ms, bool identical) {
+  std::cout << "{\"bench\":\"analysis_scaling\",\"phase\":\"" << phase
+            << "\",\"nodes\":" << nodes << ",\"pages\":" << pages
+            << ",\"workers\":" << workers << ",\"ms\":" << ms
+            << ",\"speedup_vs_1w\":" << (ms > 0 ? baseline_ms / ms : 0.0)
+            << ",\"identical\":" << (identical ? "true" : "false") << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  struct Shape {
+    std::uint32_t threads, rounds;
+    std::uint64_t pages_per_node;
+  };
+  std::vector<Shape> shapes = {{16, 12, 12}, {16, 40, 20}, {16, 110, 28}};
+  if (quick) shapes = {{8, 8, 8}, {16, 24, 16}};
+  const int reps = quick ? 1 : 3;
+
+  bool all_identical = true;
+  for (const Shape& s : shapes) {
+    // Build the history once; each worker count re-indexes copies of
+    // the same nodes/edges.
+    const cpg::Graph seed_graph =
+        synthetic_cpg(s.threads, s.rounds, s.pages_per_node);
+    const auto& nodes = seed_graph.nodes();
+    const auto& edges = seed_graph.edges();
+
+    Measurement baseline;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      inspector::util::set_analysis_threads(workers);
+      const Measurement m = measure(nodes, edges, reps);
+      if (workers == 1) baseline = m;
+      const bool identical = m.hash == baseline.hash;
+      all_identical = all_identical && identical;
+      const std::size_t pages = seed_graph.page_count();
+      emit("build", nodes.size(), pages, workers, m.build_ms,
+           baseline.build_ms, identical);
+      emit("races", nodes.size(), pages, workers, m.races_ms,
+           baseline.races_ms, identical);
+      emit("taint", nodes.size(), pages, workers, m.taint_ms,
+           baseline.taint_ms, identical);
+      emit("combined", nodes.size(), pages, workers, m.combined_ms(),
+           baseline.combined_ms(), identical);
+    }
+  }
+  inspector::util::set_analysis_threads(0);
+  if (!all_identical) {
+    std::cerr << "DETERMINISM VIOLATION: outputs differ across worker "
+                 "counts\n";
+    return 1;
+  }
+  return 0;
+}

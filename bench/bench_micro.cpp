@@ -268,6 +268,58 @@ void BM_QueryForwardSlice(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryForwardSlice)->Arg(8)->Arg(32);
 
+// Identical probe sequence for the happens-before benchmark pair below,
+// so the fast-path-vs-baseline comparison measures only the query.
+std::vector<std::pair<cpg::NodeId, cpg::NodeId>> hb_probes(
+    const cpg::Graph& g) {
+  const auto n = static_cast<cpg::NodeId>(g.nodes().size());
+  std::mt19937_64 rng(3);
+  std::vector<std::pair<cpg::NodeId, cpg::NodeId>> probes(1024);
+  for (auto& p : probes) {
+    p = {static_cast<cpg::NodeId>(rng() % n),
+         static_cast<cpg::NodeId>(rng() % n)};
+  }
+  return probes;
+}
+
+// happens_before with the rank fast path: rank(a) >= rank(b) rejects
+// without touching the vector clocks (two array loads), which covers
+// half of random probes. The *ClockCompare baseline is the pre-fast-path
+// implementation.
+void BM_QueryHappensBefore(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  const auto probes = hb_probes(g);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = probes[i];
+    benchmark::DoNotOptimize(g.happens_before(a, b));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryHappensBefore)->Arg(8)->Arg(32);
+
+void BM_QueryHappensBeforeClockCompare(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const cpg::Graph g = synthetic_cpg(threads, 32, 8);
+  const auto probes = hb_probes(g);
+  const auto brute = [&g](cpg::NodeId a, cpg::NodeId b) {
+    const auto& na = g.node(a);
+    const auto& nb = g.node(b);
+    if (na.thread == nb.thread) return na.alpha < nb.alpha;
+    return na.clock.happens_before(nb.clock);
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = probes[i];
+    benchmark::DoNotOptimize(brute(a, b));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryHappensBeforeClockCompare)->Arg(8)->Arg(32);
+
 void BM_QueryRaceScan(benchmark::State& state) {
   const auto threads = static_cast<std::uint32_t>(state.range(0));
   const cpg::Graph g = synthetic_cpg(threads, 32, 8);

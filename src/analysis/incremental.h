@@ -38,7 +38,8 @@ struct InvalidationResult {
 /// values across pthreads calls, so once a thread consumed changed
 /// data, everything it does afterwards may differ -- same soundness
 /// argument as DIFT's carry-over). Dirty nodes' writes dirty further
-/// pages. Single pass in topological order.
+/// pages. Level-synchronous pass over the topological levels, parallel
+/// on the analysis pool with deterministic merges.
 [[nodiscard]] InvalidationResult invalidate(
     const cpg::Graph& graph,
     const std::unordered_set<std::uint64_t>& changed_input_pages);

@@ -2,11 +2,16 @@
 //
 // Taint tracking (analysis/taint.h) and incremental invalidation
 // (analysis/incremental.h) are the same fixpoint: seed a set of pages,
-// walk the topological order, mark every node that reads a marked page
-// (optionally carrying the mark along its thread, for register
-// survival across pthreads calls), and mark the pages it writes. This
-// helper implements that single pass on the graph's dense page index
-// so the two analyses cannot drift apart.
+// walk the topological levels in order, mark every node that reads a
+// marked page (optionally carrying the mark along its thread, for
+// register survival across pthreads calls), and mark the pages it
+// writes. This helper implements that pass on the graph's dense page
+// index so the two analyses cannot drift apart. Levels are scanned
+// chunk-parallel on the shared analysis pool (util/parallel.h) with
+// per-worker deltas OR-merged between rounds, iterating each level to
+// a fixpoint so conflicting *concurrent* nodes (racy, schedule-
+// dependent flows) are covered conservatively; the result is
+// bit-identical at every worker count.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +29,9 @@ struct Propagation {
   std::unordered_set<std::uint64_t> pages;
 };
 
-/// Single topological pass. `thread_carryover` also marks every
-/// later same-thread node once a thread consumed marked data.
+/// Level-synchronous pass over the topological levels.
+/// `thread_carryover` also marks every later same-thread node once a
+/// thread consumed marked data.
 [[nodiscard]] Propagation propagate_pages(
     const cpg::Graph& graph,
     const std::unordered_set<std::uint64_t>& seed_pages,

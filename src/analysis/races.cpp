@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/page_set.h"
+#include "util/parallel.h"
 
 namespace inspector::analysis {
 
@@ -26,25 +28,6 @@ void note_page(MinPage& slot, std::uint64_t page) {
   if (!slot || page < *slot) slot = page;
 }
 
-/// First common element of two sorted sets not in `ignored`.
-MinPage first_intersection(const PageSet& a, const PageSet& b,
-                           const PageSet& ignored) {
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      if (!inspector::page_set_contains(ignored, *ia)) return *ia;
-      ++ia;
-      ++ib;
-    }
-  }
-  return std::nullopt;
-}
-
 /// Conflict evidence accumulated for one concurrent node pair (first <
 /// second by id). Priority and page choice mirror the pairwise scan the
 /// detector used to do: a write/write conflict wins, then the smallest
@@ -55,21 +38,15 @@ struct PairConflicts {
   MinPage rw;  ///< min page first read, second wrote
 };
 
-}  // namespace
+using PairMap = std::unordered_map<std::uint64_t, PairConflicts>;
 
-std::vector<RaceReport> find_races(const cpg::Graph& graph,
-                                   const RaceOptions& options) {
-  PageSet ignored = options.ignored_pages;
-  page_set_normalize(ignored);
-
-  // Page-major scan over the inverted index: candidate pairs are only
-  // the nodes that actually touched the same page, instead of all
-  // O(n^2) node pairs. The flat key keeps pair probes O(1) in the
-  // innermost loop; reports are sorted into (first, second) order at
-  // the end. Only concurrent (racy) pairs are stored -- hb-ordered
-  // pairs are recheck-on-probe (a cheap clock compare) so memory stays
-  // O(races) no matter how many ordered pairs share a hot page.
-  std::unordered_map<std::uint64_t, PairConflicts> pairs;  // concurrent only
+/// Scan one page's writer/reader buckets into `pairs`. Only concurrent
+/// (racy) pairs are stored -- hb-ordered pairs are recheck-on-probe (a
+/// cheap clock compare) so memory stays O(races) no matter how many
+/// ordered pairs share a hot page.
+void scan_page(const cpg::Graph& graph, std::uint64_t page,
+               std::span<const cpg::NodeId> writers,
+               std::span<const cpg::NodeId> readers, PairMap& pairs) {
   const auto conflicts_of = [&](cpg::NodeId a,
                                 cpg::NodeId b) -> PairConflicts* {
     const auto key = std::minmax(a, b);
@@ -81,41 +58,32 @@ std::vector<RaceReport> find_races(const cpg::Graph& graph,
     if (!graph.concurrent(key.first, key.second)) return nullptr;
     return &pairs.try_emplace(packed).first->second;
   };
-
-  // With a limit, stop scanning once that many racy pairs exist; the
-  // caller asked for "at most N", not the globally smallest pages (the
-  // race_free() fast path hits this with limit 1). The check sits at
-  // page granularity: each page is processed whole, so when the scan
-  // runs out of pages naturally the accumulated minima are exact.
-  bool truncated = false;
-  for (std::uint64_t page : graph.pages()) {
-    if (options.limit != 0 && pairs.size() >= options.limit) {
-      truncated = true;
-      break;
-    }
-    if (page_set_contains(ignored, page)) continue;
-    const auto writers = graph.page_writers(page);
-    const auto readers = graph.page_readers(page);
-    for (std::size_t i = 0; i < writers.size(); ++i) {
-      for (std::size_t j = i + 1; j < writers.size(); ++j) {
-        const cpg::NodeId a = writers[i];
-        const cpg::NodeId b = writers[j];
-        if (graph.node(a).thread == graph.node(b).thread) continue;
-        if (PairConflicts* c = conflicts_of(a, b)) {
-          note_page(c->ww, page);
-        }
+  for (std::size_t i = 0; i < writers.size(); ++i) {
+    for (std::size_t j = i + 1; j < writers.size(); ++j) {
+      const cpg::NodeId a = writers[i];
+      const cpg::NodeId b = writers[j];
+      if (graph.node(a).thread == graph.node(b).thread) continue;
+      if (PairConflicts* c = conflicts_of(a, b)) {
+        note_page(c->ww, page);
       }
-      for (const cpg::NodeId r : readers) {
-        const cpg::NodeId w = writers[i];
-        if (w == r) continue;
-        if (graph.node(w).thread == graph.node(r).thread) continue;
-        if (PairConflicts* c = conflicts_of(w, r)) {
-          // Orient the conflict the way the (first, second) pair sees it.
-          note_page(w < r ? c->wr : c->rw, page);
-        }
+    }
+    for (const cpg::NodeId r : readers) {
+      const cpg::NodeId w = writers[i];
+      if (w == r) continue;
+      if (graph.node(w).thread == graph.node(r).thread) continue;
+      if (PairConflicts* c = conflicts_of(w, r)) {
+        // Orient the conflict the way the (first, second) pair sees it.
+        note_page(w < r ? c->wr : c->rw, page);
       }
     }
   }
+}
+
+/// Reports from an accumulated pair map, in (first, second) order.
+std::vector<RaceReport> emit_reports(const cpg::Graph& graph,
+                                     const PairMap& pairs,
+                                     const PageSet& ignored, bool truncated,
+                                     std::size_t limit) {
   std::vector<std::uint64_t> racy_keys;
   racy_keys.reserve(pairs.size());
   for (const auto& [key, c] : pairs) racy_keys.push_back(key);
@@ -125,13 +93,13 @@ std::vector<RaceReport> find_races(const cpg::Graph& graph,
   for (const std::uint64_t key : racy_keys) {
     const auto first = static_cast<cpg::NodeId>(key >> 32);
     const auto second = static_cast<cpg::NodeId>(key & 0xFFFFFFFF);
-    PairConflicts mins = pairs[key];
+    PairConflicts mins = pairs.at(key);
     if (truncated) {
       const auto& a = graph.node(first);
       const auto& b = graph.node(second);
-      mins.ww = first_intersection(a.write_set, b.write_set, ignored);
-      mins.wr = first_intersection(a.write_set, b.read_set, ignored);
-      mins.rw = first_intersection(a.read_set, b.write_set, ignored);
+      mins.ww = page_set_first_intersection(a.write_set, b.write_set, ignored);
+      mins.wr = page_set_first_intersection(a.write_set, b.read_set, ignored);
+      mins.rw = page_set_first_intersection(a.read_set, b.write_set, ignored);
     }
     if (!mins.ww && !mins.wr && !mins.rw) continue;
     RaceReport report;
@@ -140,9 +108,78 @@ std::vector<RaceReport> find_races(const cpg::Graph& graph,
     report.write_write = mins.ww.has_value();
     report.page = mins.ww ? *mins.ww : (mins.wr ? *mins.wr : *mins.rw);
     races.push_back(report);
-    if (options.limit != 0 && races.size() >= options.limit) break;
+    if (limit != 0 && races.size() >= limit) break;
   }
   return races;
+}
+
+}  // namespace
+
+std::vector<RaceReport> find_races(const cpg::Graph& graph,
+                                   const RaceOptions& options) {
+  PageSet ignored = options.ignored_pages;
+  page_set_normalize(ignored);
+  const auto pages = graph.pages();
+
+  // Page-major scan over the inverted index: candidate pairs are only
+  // the nodes that actually touched the same page, instead of all
+  // O(n^2) node pairs. The flat key keeps pair probes O(1) in the
+  // innermost loop; reports are sorted into (first, second) order at
+  // the end.
+  //
+  // With a limit, stop scanning once that many racy pairs exist; the
+  // caller asked for "at most N", not the globally smallest pages (the
+  // race_free() fast path hits this with limit 1). The check sits at
+  // page granularity: each page is processed whole, so when the scan
+  // runs out of pages naturally the accumulated minima are exact.
+  // Short-circuiting is inherently scan-order dependent, so limited
+  // scans stay serial; only the full scan parallelizes.
+  if (options.limit != 0) {
+    PairMap pairs;
+    bool truncated = false;
+    for (std::size_t idx = 0; idx < pages.size(); ++idx) {
+      if (pairs.size() >= options.limit) {
+        truncated = true;
+        break;
+      }
+      const std::uint64_t page = pages[idx];
+      if (page_set_contains(ignored, page)) continue;
+      scan_page(graph, page, graph.writers_at(idx), graph.readers_at(idx),
+                pairs);
+    }
+    return emit_reports(graph, pairs, ignored, truncated, options.limit);
+  }
+
+  // Full scan, partitioned by dense page index: per-page buckets are
+  // independent, each worker accumulates into its own pair map, and the
+  // merge takes the per-slot minimum -- commutative, so the merged map
+  // (and the sorted report list) is identical at every worker count.
+  const auto pool = util::shared_pool();
+  util::WorkerLocal<PairMap> local(*pool);
+  pool->parallel_for(
+      0, pages.size(), 32,
+      [&](std::size_t b, std::size_t e, unsigned worker) {
+        PairMap& pairs = local[worker];
+        for (std::size_t idx = b; idx < e; ++idx) {
+          const std::uint64_t page = pages[idx];
+          if (page_set_contains(ignored, page)) continue;
+          scan_page(graph, page, graph.writers_at(idx), graph.readers_at(idx),
+                    pairs);
+        }
+      });
+  PairMap merged = std::move(local[0]);
+  for (unsigned w = 1; w < pool->worker_count(); ++w) {
+    for (auto& [key, c] : local[w]) {
+      auto [it, inserted] = merged.try_emplace(key, c);
+      if (!inserted) {
+        if (c.ww) note_page(it->second.ww, *c.ww);
+        if (c.wr) note_page(it->second.wr, *c.wr);
+        if (c.rw) note_page(it->second.rw, *c.rw);
+      }
+    }
+  }
+  return emit_reports(graph, merged, ignored, /*truncated=*/false,
+                      /*limit=*/0);
 }
 
 bool race_free(const cpg::Graph& graph) {

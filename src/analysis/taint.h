@@ -33,8 +33,10 @@ struct TaintResult {
 };
 
 /// Propagate taint from `seed_pages` forward through the graph.
-/// Single pass over a topological order (a node's predecessors under
-/// happens-before are processed first).
+/// Level-synchronous pass over the topological levels (a node's
+/// predecessors under happens-before sit on strictly lower levels and
+/// are processed first); levels scan in parallel on the analysis pool
+/// with bit-identical results at every worker count.
 [[nodiscard]] TaintResult propagate_taint(
     const cpg::Graph& graph,
     const std::unordered_set<std::uint64_t>& seed_pages,

@@ -1,6 +1,7 @@
 #include "cpg/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <numeric>
 #include <ostream>
@@ -8,6 +9,7 @@
 #include <string>
 
 #include "util/page_set.h"
+#include "util/parallel.h"
 
 namespace inspector::cpg {
 
@@ -49,20 +51,37 @@ void Graph::build_indices() {
   // page sets (the inverted index buckets by them). Clock *consistency*
   // is not enforced here; rank-windowed queries assume it and
   // validate() checks it.
-  for (const auto& e : edges_) {
-    if (e.from >= nodes_.size() || e.to >= nodes_.size()) {
-      throw std::invalid_argument("CPG edge references unknown node");
-    }
+  //
+  // Construction runs on the shared analysis pool. Every parallel
+  // stage either writes disjoint index-addressed slots or sorts with a
+  // strict total order, so the built index is bit-identical at every
+  // worker count (the determinism guarantee the analyses inherit).
+  const auto pool = util::shared_pool();
+  std::atomic<bool> bad_edge{false};
+  pool->parallel_for(0, edges_.size(), 8192,
+                     [&](std::size_t b, std::size_t e, unsigned) {
+                       for (std::size_t i = b; i < e; ++i) {
+                         if (edges_[i].from >= nodes_.size() ||
+                             edges_[i].to >= nodes_.size()) {
+                           bad_edge.store(true, std::memory_order_relaxed);
+                         }
+                       }
+                     });
+  if (bad_edge.load(std::memory_order_relaxed)) {
+    throw std::invalid_argument("CPG edge references unknown node");
   }
-  for (auto& n : nodes_) {
-    page_set_normalize(n.read_set);
-    page_set_normalize(n.write_set);
-  }
+  pool->parallel_for(0, nodes_.size(), 64,
+                     [&](std::size_t b, std::size_t e, unsigned) {
+                       for (std::size_t i = b; i < e; ++i) {
+                         page_set_normalize(nodes_[i].read_set);
+                         page_set_normalize(nodes_[i].write_set);
+                       }
+                     });
   build_adjacency();
-  build_thread_index();
-  build_rank();
+  build_thread_index(*pool);
+  build_rank(*pool);
   build_topological_order();
-  build_page_index();
+  build_page_index(*pool);
 }
 
 void Graph::build_adjacency() {
@@ -89,7 +108,7 @@ void Graph::build_adjacency() {
   }
 }
 
-void Graph::build_thread_index() {
+void Graph::build_thread_index(util::TaskPool& pool) {
   ThreadId max_thread = 0;
   for (const auto& n : nodes_) max_thread = std::max(max_thread, n.thread);
   const std::size_t threads = nodes_.empty() ? 0 : max_thread + 1;
@@ -102,16 +121,25 @@ void Graph::build_thread_index() {
   std::vector<std::uint32_t> cursor(thread_offsets_.begin(),
                                     thread_offsets_.end() - 1);
   for (const auto& n : nodes_) thread_nodes_[cursor[n.thread]++] = n.id;
-  for (std::size_t t = 0; t < threads; ++t) {
-    std::sort(thread_nodes_.begin() + thread_offsets_[t],
-              thread_nodes_.begin() + thread_offsets_[t + 1],
-              [this](NodeId a, NodeId b) {
-                return nodes_[a].alpha < nodes_[b].alpha;
-              });
-  }
+  // Per-thread CSR segments are independent: one sort task per thread.
+  // The id tie-break keeps the order total (crafted graphs may repeat
+  // an alpha), so the list is the same at every worker count.
+  pool.parallel_for(0, threads, 1,
+                    [this](std::size_t b, std::size_t e, unsigned) {
+                      for (std::size_t t = b; t < e; ++t) {
+                        std::sort(thread_nodes_.begin() + thread_offsets_[t],
+                                  thread_nodes_.begin() + thread_offsets_[t + 1],
+                                  [this](NodeId a, NodeId b) {
+                                    if (nodes_[a].alpha != nodes_[b].alpha) {
+                                      return nodes_[a].alpha < nodes_[b].alpha;
+                                    }
+                                    return a < b;
+                                  });
+                      }
+                    });
 }
 
-void Graph::build_rank() {
+void Graph::build_rank(util::TaskPool& pool) {
   // Clock weight is monotone under happens-before: a merge only grows
   // components and every sub-computation ticks its own slot, so
   // happens_before(a, b) implies weight(a) < weight(b) whether the
@@ -121,13 +149,19 @@ void Graph::build_rank() {
   // no recorded edge path, which an edge-based order would miss.
   const std::size_t n = nodes_.size();
   std::vector<std::uint64_t> weight(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& c = nodes_[i].clock.components();
-    weight[i] = std::accumulate(c.begin(), c.end(), std::uint64_t{0});
-  }
+  pool.parallel_for(0, n, 1024,
+                    [&](std::size_t b, std::size_t e, unsigned) {
+                      for (std::size_t i = b; i < e; ++i) {
+                        const auto& c = nodes_[i].clock.components();
+                        weight[i] = std::accumulate(c.begin(), c.end(),
+                                                    std::uint64_t{0});
+                      }
+                    });
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+  // The comparator is a strict total order (final id tie-break), so
+  // the parallel chunk-sort + merge yields exactly the serial result.
+  util::parallel_sort(pool, order, [&](NodeId a, NodeId b) {
     if (weight[a] != weight[b]) return weight[a] < weight[b];
     if (nodes_[a].thread != nodes_[b].thread) {
       return nodes_[a].thread < nodes_[b].thread;
@@ -138,57 +172,97 @@ void Graph::build_rank() {
     return a < b;
   });
   rank_.resize(n);
-  for (std::uint32_t r = 0; r < n; ++r) rank_[order[r]] = r;
+  pool.parallel_for(0, n, 4096,
+                    [&](std::size_t b, std::size_t e, unsigned) {
+                      for (std::size_t r = b; r < e; ++r) {
+                        rank_[order[r]] = static_cast<std::uint32_t>(r);
+                      }
+                    });
 }
 
 void Graph::build_topological_order() {
-  std::vector<std::uint32_t> indegree(nodes_.size(), 0);
+  // Kahn's algorithm, tracking each node's level (longest recorded-edge
+  // path from a root). The cached order is then regrouped by (level,
+  // id): still a valid topological order -- every edge strictly
+  // increases the level -- but also canonical (independent of queue pop
+  // order) and sliced into level_nodes() spans the level-synchronous
+  // parallel analyses consume.
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> indegree(n, 0);
   for (const auto& e : edges_) ++indegree[e.to];
+  std::vector<std::uint32_t> level(n, 0);
   std::deque<NodeId> ready;
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
+  for (NodeId i = 0; i < n; ++i) {
     if (indegree[i] == 0) ready.push_back(i);
   }
-  topo_.clear();
-  topo_.reserve(nodes_.size());
+  std::size_t processed = 0;
+  std::uint32_t max_level = 0;
   while (!ready.empty()) {
     const NodeId cur = ready.front();
     ready.pop_front();
-    topo_.push_back(cur);
+    ++processed;
+    max_level = std::max(max_level, level[cur]);
     for (std::uint32_t e : out_edges(cur)) {
-      if (--indegree[edges_[e].to] == 0) ready.push_back(edges_[e].to);
+      const NodeId to = edges_[e].to;
+      level[to] = std::max(level[to], level[cur] + 1);
+      if (--indegree[to] == 0) ready.push_back(to);
     }
   }
-  has_cycle_ = topo_.size() != nodes_.size();
-  if (has_cycle_) topo_.clear();
+  has_cycle_ = processed != n;
+  topo_.clear();
+  level_offsets_.clear();
+  if (has_cycle_) return;
+  const std::size_t levels = n == 0 ? 0 : max_level + 1;
+  level_offsets_.assign(levels + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++level_offsets_[level[i] + 1];
+  std::partial_sum(level_offsets_.begin(), level_offsets_.end(),
+                   level_offsets_.begin());
+  topo_.resize(n);
+  std::vector<std::uint32_t> cursor(level_offsets_.begin(),
+                                    level_offsets_.end() - 1);
+  for (NodeId i = 0; i < n; ++i) topo_[cursor[level[i]]++] = i;
 }
 
-void Graph::build_page_index() {
+void Graph::build_page_index(util::TaskPool& pool) {
   // One (page, node) pair per read/write-set entry, bucketed per page
-  // and rank-sorted within the bucket, all in flat arrays.
+  // and rank-sorted within the bucket, all in flat arrays. The scatter
+  // writes through per-node offsets (disjoint slots) and the sorts use
+  // a strict total order -- (page, node) pairs are unique and rank is a
+  // permutation -- so the fill parallelizes without changing the index.
   struct Touch {
     std::uint64_t page;
     NodeId node;
   };
-  std::vector<Touch> writes;
-  std::vector<Touch> reads;
-  std::size_t write_total = 0;
-  std::size_t read_total = 0;
-  for (const auto& n : nodes_) {
-    write_total += n.write_set.size();
-    read_total += n.read_set.size();
+  const std::size_t n = nodes_.size();
+  std::vector<std::size_t> write_at(n + 1, 0);
+  std::vector<std::size_t> read_at(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    write_at[i + 1] = nodes_[i].write_set.size();
+    read_at[i + 1] = nodes_[i].read_set.size();
   }
-  writes.reserve(write_total);
-  reads.reserve(read_total);
-  for (const auto& n : nodes_) {
-    for (std::uint64_t page : n.write_set) writes.push_back({page, n.id});
-    for (std::uint64_t page : n.read_set) reads.push_back({page, n.id});
-  }
+  std::partial_sum(write_at.begin(), write_at.end(), write_at.begin());
+  std::partial_sum(read_at.begin(), read_at.end(), read_at.begin());
+  std::vector<Touch> writes(write_at[n]);
+  std::vector<Touch> reads(read_at[n]);
+  pool.parallel_for(0, n, 128,
+                    [&](std::size_t b, std::size_t e, unsigned) {
+                      for (std::size_t i = b; i < e; ++i) {
+                        std::size_t w = write_at[i];
+                        for (std::uint64_t page : nodes_[i].write_set) {
+                          writes[w++] = {page, nodes_[i].id};
+                        }
+                        std::size_t r = read_at[i];
+                        for (std::uint64_t page : nodes_[i].read_set) {
+                          reads[r++] = {page, nodes_[i].id};
+                        }
+                      }
+                    });
   const auto by_page_rank = [this](const Touch& a, const Touch& b) {
     if (a.page != b.page) return a.page < b.page;
     return rank_[a.node] < rank_[b.node];
   };
-  std::sort(writes.begin(), writes.end(), by_page_rank);
-  std::sort(reads.begin(), reads.end(), by_page_rank);
+  util::parallel_sort(pool, writes, by_page_rank);
+  util::parallel_sort(pool, reads, by_page_rank);
 
   // Both touch arrays are page-sorted, so the page universe is a linear
   // merge of their distinct pages ...
@@ -249,6 +323,11 @@ bool Graph::happens_before(NodeId a, NodeId b) const {
   const auto& na = node(a);
   const auto& nb = node(b);
   if (na.thread == nb.thread) return na.alpha < nb.alpha;
+  // Fast reject: rank embeds happens-before (clock dominance strictly
+  // grows the weight rank sorts by), so rank(a) >= rank(b) rules out
+  // a-hb-b with two loads instead of a full vector-clock compare. Half
+  // of all random probes and every self/descendant probe exit here.
+  if (rank_[a] >= rank_[b]) return false;
   return na.clock.happens_before(nb.clock);
 }
 
@@ -265,16 +344,28 @@ std::optional<std::size_t> Graph::page_index_of(std::uint64_t page) const {
 
 std::span<const NodeId> Graph::page_writers(std::uint64_t page) const {
   const auto idx = page_index_of(page);
-  if (!idx) return {};
-  return {writers_.data() + writer_offsets_[*idx],
-          writers_.data() + writer_offsets_[*idx + 1]};
+  return idx ? writers_at(*idx) : std::span<const NodeId>{};
 }
 
 std::span<const NodeId> Graph::page_readers(std::uint64_t page) const {
   const auto idx = page_index_of(page);
-  if (!idx) return {};
-  return {readers_.data() + reader_offsets_[*idx],
-          readers_.data() + reader_offsets_[*idx + 1]};
+  return idx ? readers_at(*idx) : std::span<const NodeId>{};
+}
+
+std::span<const NodeId> Graph::writers_at(std::size_t page_index) const {
+  if (page_index >= pages_.size()) {
+    throw std::out_of_range("writers_at: bad page index");
+  }
+  return {writers_.data() + writer_offsets_[page_index],
+          writers_.data() + writer_offsets_[page_index + 1]};
+}
+
+std::span<const NodeId> Graph::readers_at(std::size_t page_index) const {
+  if (page_index >= pages_.size()) {
+    throw std::out_of_range("readers_at: bad page index");
+  }
+  return {readers_.data() + reader_offsets_[page_index],
+          readers_.data() + reader_offsets_[page_index + 1]};
 }
 
 namespace {
@@ -287,13 +378,29 @@ std::size_t rank_lower_bound(std::span<const NodeId> list,
       [&rank](NodeId id, std::uint32_t r) { return rank[id] < r; });
   return static_cast<std::size_t>(it - list.begin());
 }
+
+/// Visit (page, dense index) for every page of `set` present in the
+/// sorted page universe. Both sides are sorted and a read set is
+/// usually tiny against the universe, so a galloping cursor replaces
+/// the per-page binary search over all pages.
+template <typename Fn>
+void for_each_indexed_page(std::span<const std::uint64_t> universe,
+                           const PageSet& set, Fn&& fn) {
+  std::size_t pos = 0;
+  for (std::uint64_t page : set) {
+    pos = page_set_gallop(universe, pos, page);
+    if (pos == universe.size()) break;
+    if (universe[pos] == page) fn(page, pos);
+  }
+}
 }  // namespace
 
 std::vector<Edge> Graph::data_dependencies(NodeId reader) const {
   const auto& r = node(reader);
   std::vector<Edge> result;
-  for (std::uint64_t page : r.read_set) {
-    const auto writers = page_writers(page);
+  for_each_indexed_page(pages_, r.read_set, [&](std::uint64_t page,
+                                                std::size_t idx) {
+    const auto writers = writers_at(idx);
     // happens_before(w, reader) implies rank(w) < rank(reader), so the
     // candidate window ends at reader's rank.
     const std::size_t end = rank_lower_bound(writers, rank_, rank_[reader]);
@@ -303,7 +410,7 @@ std::vector<Edge> Graph::data_dependencies(NodeId reader) const {
         result.push_back({w, reader, EdgeKind::kData, page});
       }
     }
-  }
+  });
   return result;
 }
 
@@ -311,8 +418,9 @@ std::vector<Edge> Graph::latest_writers(NodeId reader) const {
   const auto& r = node(reader);
   std::vector<Edge> result;
   std::vector<NodeId> maximal;
-  for (std::uint64_t page : r.read_set) {
-    const auto writers = page_writers(page);
+  for_each_indexed_page(pages_, r.read_set, [&](std::uint64_t page,
+                                                std::size_t idx) {
+    const auto writers = writers_at(idx);
     const std::size_t end = rank_lower_bound(writers, rank_, rank_[reader]);
     maximal.clear();
     // Backward walk in rank order: any writer that would supersede the
@@ -330,7 +438,7 @@ std::vector<Edge> Graph::latest_writers(NodeId reader) const {
     for (NodeId w : maximal) {
       result.push_back({w, reader, EdgeKind::kData, page});
     }
-  }
+  });
   return result;
 }
 
@@ -417,6 +525,18 @@ std::vector<NodeId> Graph::topological_order() const {
 std::span<const NodeId> Graph::topological_view() const {
   if (has_cycle_) throw std::logic_error("CPG contains a cycle");
   return topo_;
+}
+
+std::size_t Graph::level_count() const {
+  if (has_cycle_) throw std::logic_error("CPG contains a cycle");
+  return level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+}
+
+std::span<const NodeId> Graph::level_nodes(std::size_t level) const {
+  if (has_cycle_) throw std::logic_error("CPG contains a cycle");
+  if (level + 1 >= level_offsets_.size()) return {};
+  return {topo_.data() + level_offsets_[level],
+          topo_.data() + level_offsets_[level + 1]};
 }
 
 bool Graph::validate(std::string* reason) const {

@@ -16,6 +16,10 @@
 
 #include "cpg/node.h"
 
+namespace inspector::util {
+class TaskPool;
+}
+
 namespace inspector::cpg {
 
 /// Aggregate statistics over a CPG (used by reports and tests).
@@ -85,6 +89,12 @@ class Graph {
   [[nodiscard]] std::span<const NodeId> page_writers(std::uint64_t page) const;
   [[nodiscard]] std::span<const NodeId> page_readers(std::uint64_t page) const;
 
+  /// The same buckets addressed by dense page index (the position in
+  /// pages()). Lets scans that already iterate the dense page range
+  /// skip the per-page binary search.
+  [[nodiscard]] std::span<const NodeId> writers_at(std::size_t page_index) const;
+  [[nodiscard]] std::span<const NodeId> readers_at(std::size_t page_index) const;
+
   /// A total order compatible with happens-before: happens_before(a, b)
   /// implies rank(a) < rank(b). Derived from vector-clock weight, so it
   /// holds even for hb pairs with no recorded edge path.
@@ -128,6 +138,19 @@ class Graph {
   /// Zero-copy view of the cached topological order (same cycle check).
   [[nodiscard]] std::span<const NodeId> topological_view() const;
 
+  // --- topological levels ----------------------------------------------
+  /// The cached order is grouped into levels: level k holds the nodes
+  /// whose longest recorded-edge path from a root has k edges. No
+  /// recorded path exists between two nodes of the same level (and
+  /// same-thread nodes always sit on different levels, their control
+  /// edges chain them), so level-synchronous passes -- the parallel
+  /// taint/invalidation frontier -- may process one level's nodes in
+  /// any order or concurrently and still be deterministic. Same cycle
+  /// check as topological_view().
+  [[nodiscard]] std::size_t level_count() const;
+  /// Nodes of one level, ascending node id.
+  [[nodiscard]] std::span<const NodeId> level_nodes(std::size_t level) const;
+
   /// Verify DAG-ness and clock consistency: every recorded edge's
   /// source must happen-before (or equal, for same-thread control
   /// edges) its destination. Returns false with a reason when violated.
@@ -143,10 +166,10 @@ class Graph {
  private:
   void build_indices();
   void build_adjacency();
-  void build_thread_index();
-  void build_rank();
+  void build_thread_index(util::TaskPool& pool);
+  void build_rank(util::TaskPool& pool);
   void build_topological_order();
-  void build_page_index();
+  void build_page_index(util::TaskPool& pool);
 
   std::vector<SubComputation> nodes_;
   std::vector<Edge> edges_;
@@ -165,8 +188,11 @@ class Graph {
   // Happens-before-compatible total order (clock weight, thread, alpha).
   std::vector<std::uint32_t> rank_;
 
-  // Cached Kahn order over recorded edges; empty + flag when cyclic.
+  // Cached topological order over recorded edges, grouped by (level,
+  // id); empty + flag when cyclic. level_offsets_ has level_count()+1
+  // entries indexing topo_.
   std::vector<NodeId> topo_;
+  std::vector<std::uint32_t> level_offsets_;
   bool has_cycle_ = false;
 
   // Inverted index: page -> writers / readers, rank-sorted per page.

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 namespace inspector {
@@ -29,6 +31,69 @@ inline void page_set_normalize(PageSet& set) {
     std::sort(set.begin(), set.end());
   }
   set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+/// Galloping (exponential-search) lower bound: the first index i in
+/// [from, set.size()) with set[i] >= page. Doubling probes from `from`
+/// cost O(log d) where d is the distance advanced, so a walk that calls
+/// this repeatedly with its previous result is O(m log(n/m)) over the
+/// whole set -- the win over plain binary search when the caller's keys
+/// are clustered near the cursor, and over a linear merge when one set
+/// is much larger than the other.
+[[nodiscard]] inline std::size_t page_set_gallop(
+    std::span<const std::uint64_t> set, std::size_t from,
+    std::uint64_t page) noexcept {
+  const std::size_t n = set.size();
+  if (from >= n || set[from] >= page) return from;
+  std::size_t step = 1;
+  std::size_t lo = from;  // invariant: set[lo] < page
+  while (lo + step < n && set[lo + step] < page) {
+    lo += step;
+    step *= 2;
+  }
+  const std::size_t hi = std::min(lo + step, n);
+  return static_cast<std::size_t>(
+      std::lower_bound(set.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                       set.begin() + static_cast<std::ptrdiff_t>(hi), page) -
+      set.begin());
+}
+
+/// Smallest element common to `a` and `b` but not in `ignored`.
+/// Near-equal sizes use the linear merge (branch-predictable, no probe
+/// overhead); when one set is kGallopRatio-fold larger, the walk
+/// iterates the small set and gallops through the large one instead of
+/// visiting every element.
+inline constexpr std::size_t kGallopRatio = 8;
+
+[[nodiscard]] inline std::optional<std::uint64_t> page_set_first_intersection(
+    const PageSet& a, const PageSet& b, const PageSet& ignored) {
+  const bool skewed = a.size() > kGallopRatio * b.size() ||
+                      b.size() > kGallopRatio * a.size();
+  if (skewed) {
+    const PageSet& small = a.size() <= b.size() ? a : b;
+    const std::span<const std::uint64_t> big = a.size() <= b.size() ? b : a;
+    std::size_t pos = 0;
+    for (std::uint64_t page : small) {
+      pos = page_set_gallop(big, pos, page);
+      if (pos == big.size()) break;
+      if (big[pos] == page && !page_set_contains(ignored, page)) return page;
+    }
+    return std::nullopt;
+  }
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      if (!page_set_contains(ignored, *ia)) return *ia;
+      ++ia;
+      ++ib;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace inspector

@@ -1,0 +1,159 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace inspector::util {
+
+namespace {
+
+/// Set while a thread is executing chunks of a job. A parallel_for
+/// issued from inside a chunk (e.g. a Graph built inside an analysis
+/// worker) runs inline instead of nesting on the same pool.
+thread_local bool t_in_chunk = false;
+
+unsigned env_default_threads() {
+  if (const char* env = std::getenv("INSPECTOR_ANALYSIS_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::mutex g_config_mu;
+unsigned g_configured = 0;  ///< 0 = use the environment/hardware default
+std::shared_ptr<TaskPool> g_pool;
+
+}  // namespace
+
+TaskPool::TaskPool(unsigned workers)
+    : workers_(workers != 0 ? workers : analysis_threads()) {
+  if (workers_ < 1) workers_ = 1;
+  threads_.reserve(workers_ - 1);
+  for (unsigned i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskPool::run_chunks(unsigned self) {
+  t_in_chunk = true;
+  const ChunkFn& fn = *fn_;
+  while (!abort_.load(std::memory_order_relaxed)) {
+    const std::size_t chunk = cursor_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t lo = begin_ + chunk * grain_;
+    if (lo >= end_ || lo < begin_) break;  // second test: overflow guard
+    const std::size_t hi = std::min(lo + grain_, end_);
+    try {
+      fn(lo, hi, self);
+    } catch (...) {
+      // First exception wins and aborts the job: the remaining chunks
+      // of a doomed range are wasted work the caller never sees.
+      abort_.store(true, std::memory_order_relaxed);
+      std::lock_guard lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  t_in_chunk = false;
+}
+
+void TaskPool::worker_loop(unsigned self) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    run_chunks(self);
+    {
+      std::lock_guard lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void TaskPool::parallel_for(std::size_t begin, std::size_t end,
+                            std::size_t grain, const ChunkFn& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  // Serial fast path: no pool, nothing to split, or already inside a
+  // chunk. No locks, no atomics -- a 1-worker pool costs nothing.
+  if (workers_ == 1 || end - begin <= grain || t_in_chunk) {
+    fn(begin, end, 0);
+    return;
+  }
+  std::lock_guard submit(submit_mu_);
+  {
+    std::lock_guard lock(mu_);
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    grain_ = grain;
+    cursor_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  run_chunks(0);  // the caller is worker 0
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    const std::exception_ptr err = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+unsigned analysis_threads() {
+  std::lock_guard lock(g_config_mu);
+  return g_configured != 0 ? g_configured : env_default_threads();
+}
+
+void set_analysis_threads(unsigned workers) {
+  std::lock_guard lock(g_config_mu);
+  g_configured = workers;
+  // Drop the cached pool; the next shared_pool() call rebuilds it at
+  // the new size while existing holders keep their instance.
+  g_pool.reset();
+}
+
+std::optional<unsigned> parse_analysis_threads(const std::string& value) {
+  if (value.empty()) return std::nullopt;
+  unsigned long parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return std::nullopt;
+    parsed = parsed * 10 + static_cast<unsigned long>(c - '0');
+    if (parsed > 1024) return std::nullopt;
+  }
+  if (parsed < 1) return std::nullopt;
+  return static_cast<unsigned>(parsed);
+}
+
+std::shared_ptr<TaskPool> shared_pool() {
+  std::lock_guard lock(g_config_mu);
+  const unsigned want =
+      g_configured != 0 ? g_configured : env_default_threads();
+  if (!g_pool || g_pool->worker_count() != want) {
+    g_pool = std::make_shared<TaskPool>(want);
+  }
+  return g_pool;
+}
+
+}  // namespace inspector::util

@@ -1,0 +1,284 @@
+// Determinism of the parallel analysis runtime across worker counts.
+//
+// The contract of util::TaskPool consumers is bit-identical output at
+// every worker count: the shared query index (ranks, topological
+// levels, inverted-index buckets), the page-major race scan, taint
+// propagation, and incremental invalidation may split work across
+// workers but must merge deterministically. These property tests
+// rebuild the same randomized recorder histories at 1, 2, and 8
+// workers and assert full equality against the single-worker result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/incremental.h"
+#include "analysis/races.h"
+#include "analysis/taint.h"
+#include "cpg/recorder.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector::cpg;
+namespace analysis = inspector::analysis;
+namespace sync = inspector::sync;
+namespace util = inspector::util;
+using inspector::PageSet;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_analysis_threads(0); }
+};
+
+constexpr std::uint64_t kPageUniverse = 16;
+
+PageSet random_pages(std::mt19937_64& rng) {
+  PageSet pages;
+  const std::size_t count = rng() % 6;
+  for (std::size_t i = 0; i < count; ++i) {
+    pages.push_back(rng() % kPageUniverse);
+  }
+  return pages;
+}
+
+/// Deterministic given the seed, so every worker count sees the exact
+/// same recorded history.
+Graph random_history(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::uint32_t threads = 2 + rng() % 4;
+  const std::uint32_t mutexes = 1 + rng() % 3;
+  Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  const std::size_t steps = 40 + rng() % 60;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint32_t t = rng() % threads;
+    const auto m = sync::make_object_id(sync::ObjectKind::kMutex,
+                                        1 + rng() % mutexes);
+    switch (rng() % 4) {
+      case 0:
+      case 1:
+        rec.end_subcomputation(t, random_pages(rng), random_pages(rng),
+                               {sync::SyncEventKind::kMutexLock, m});
+        break;
+      case 2:
+        rec.on_release(t, m);
+        break;
+      default:
+        rec.on_acquire(t, m);
+        break;
+    }
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    rec.thread_exiting(t, random_pages(rng), random_pages(rng));
+  }
+  return std::move(rec).finalize();
+}
+
+/// Everything the analysis layer computes, flattened for comparison.
+struct AnalysisFingerprint {
+  std::vector<std::uint32_t> ranks;
+  std::vector<NodeId> topo;
+  std::vector<std::vector<NodeId>> levels;
+  std::vector<std::uint64_t> pages;
+  std::vector<std::vector<NodeId>> writers;
+  std::vector<std::vector<NodeId>> readers;
+  std::vector<analysis::RaceReport> races;
+  std::vector<NodeId> tainted_nodes;
+  std::vector<std::uint64_t> tainted_pages;
+  std::vector<NodeId> dirty_nodes;
+  std::vector<std::uint64_t> dirty_pages;
+
+  bool operator==(const AnalysisFingerprint&) const = default;
+};
+
+AnalysisFingerprint fingerprint(const Graph& g) {
+  AnalysisFingerprint fp;
+  for (const auto& n : g.nodes()) fp.ranks.push_back(g.rank(n.id));
+  const auto topo = g.topological_view();
+  fp.topo.assign(topo.begin(), topo.end());
+  for (std::size_t l = 0; l < g.level_count(); ++l) {
+    const auto lvl = g.level_nodes(l);
+    fp.levels.emplace_back(lvl.begin(), lvl.end());
+  }
+  const auto pages = g.pages();
+  fp.pages.assign(pages.begin(), pages.end());
+  for (std::uint64_t page : pages) {
+    fp.writers.push_back(g.writers_of_page(page));
+    fp.readers.push_back(g.readers_of_page(page));
+  }
+  fp.races = analysis::find_races(g);
+
+  const std::unordered_set<std::uint64_t> seeds = {0, 3, 7};
+  const auto taint = analysis::propagate_taint(g, seeds);
+  fp.tainted_nodes = taint.tainted_nodes;
+  fp.tainted_pages.assign(taint.tainted_pages.begin(),
+                          taint.tainted_pages.end());
+  std::sort(fp.tainted_pages.begin(), fp.tainted_pages.end());
+
+  const auto inv = analysis::invalidate(g, seeds);
+  fp.dirty_nodes = inv.dirty;
+  fp.dirty_pages.assign(inv.dirty_pages.begin(), inv.dirty_pages.end());
+  std::sort(fp.dirty_pages.begin(), fp.dirty_pages.end());
+  return fp;
+}
+
+/// A history big and page-dense enough to push the index build past
+/// every serial cutoff (parallel_sort engages above ~4k touch pairs),
+/// so the cross-worker comparison exercises the genuinely parallel
+/// code paths, not their inline fallbacks.
+Graph dense_history(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr std::uint64_t kDensePages = 96;
+  const std::uint32_t threads = 4 + rng() % 4;
+  Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  const auto m = sync::make_object_id(sync::ObjectKind::kMutex, 1);
+  for (std::size_t i = 0; i < 1200; ++i) {
+    const std::uint32_t t = rng() % threads;
+    PageSet reads;
+    PageSet writes;
+    for (std::size_t k = 0; k < 4 + rng() % 8; ++k) {
+      reads.push_back(rng() % kDensePages);
+      writes.push_back(rng() % kDensePages);
+    }
+    switch (rng() % 4) {
+      case 0:
+        rec.on_release(t, m);
+        break;
+      case 1:
+        rec.on_acquire(t, m);
+        break;
+      default:
+        rec.end_subcomputation(t, std::move(reads), std::move(writes),
+                               {sync::SyncEventKind::kMutexLock, m});
+        break;
+    }
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    rec.thread_exiting(t, random_pages(rng), random_pages(rng));
+  }
+  return std::move(rec).finalize();
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelDeterminism, IdenticalAcrossWorkerCounts) {
+  ThreadCountGuard guard;
+  util::set_analysis_threads(1);
+  const AnalysisFingerprint reference = fingerprint(random_history(GetParam()));
+  EXPECT_FALSE(reference.topo.empty());
+  for (unsigned workers : {2u, 8u}) {
+    util::set_analysis_threads(workers);
+    const AnalysisFingerprint fp = fingerprint(random_history(GetParam()));
+    EXPECT_EQ(fp.ranks, reference.ranks) << workers << " workers";
+    EXPECT_EQ(fp.topo, reference.topo) << workers << " workers";
+    EXPECT_EQ(fp.levels, reference.levels) << workers << " workers";
+    EXPECT_EQ(fp.pages, reference.pages) << workers << " workers";
+    EXPECT_EQ(fp.writers, reference.writers) << workers << " workers";
+    EXPECT_EQ(fp.readers, reference.readers) << workers << " workers";
+    EXPECT_EQ(fp.races, reference.races) << workers << " workers";
+    EXPECT_EQ(fp.tainted_nodes, reference.tainted_nodes)
+        << workers << " workers";
+    EXPECT_EQ(fp.tainted_pages, reference.tainted_pages)
+        << workers << " workers";
+    EXPECT_EQ(fp.dirty_nodes, reference.dirty_nodes) << workers << " workers";
+    EXPECT_EQ(fp.dirty_pages, reference.dirty_pages) << workers << " workers";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHistories, ParallelDeterminism,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// The same comparison on histories big enough that the parallel sorts,
+// scatter fills, and multi-chunk scans actually engage (the small
+// histories above stay under the serial cutoffs).
+TEST(ParallelDeterminismDense, IdenticalAcrossWorkerCounts) {
+  ThreadCountGuard guard;
+  for (const std::uint64_t seed : {1ULL, 5ULL}) {
+    util::set_analysis_threads(1);
+    const AnalysisFingerprint reference = fingerprint(dense_history(seed));
+    EXPECT_GT(reference.topo.size(), 500u)
+        << "dense history must be big enough to exercise parallel paths";
+    for (unsigned workers : {2u, 8u}) {
+      util::set_analysis_threads(workers);
+      EXPECT_TRUE(fingerprint(dense_history(seed)) == reference)
+          << "analysis outputs diverged at " << workers
+          << " workers on dense seed " << seed;
+    }
+  }
+}
+
+// Racy flows are schedule-dependent, so propagation must treat them
+// conservatively: a node that reads a page a *concurrent* (same-level)
+// node wrote from tainted data is tainted too, at every worker count.
+TEST(PropagationRacyFlow, ConcurrentWriterReaderIsCovered) {
+  ThreadCountGuard guard;
+  for (unsigned workers : {1u, 2u, 8u}) {
+    util::set_analysis_threads(workers);
+    Recorder rec;
+    rec.thread_started(0, 0);
+    rec.thread_started(1, 1);
+    // T0 reads the seed page and publishes to page 200; T1 reads page
+    // 200 with no synchronization -- a racy, same-level pair.
+    rec.end_subcomputation(0, {100}, {200},
+                           {sync::SyncEventKind::kMutexLock, 1});
+    rec.end_subcomputation(1, {200}, {300},
+                           {sync::SyncEventKind::kMutexLock, 1});
+    rec.thread_exiting(0, {}, {});
+    rec.thread_exiting(1, {}, {});
+    const Graph g = std::move(rec).finalize();
+    ASSERT_TRUE(g.concurrent(0, 1)) << "history must actually race";
+
+    const auto taint =
+        analysis::propagate_taint(g, std::unordered_set<std::uint64_t>{100});
+    EXPECT_TRUE(taint.node_tainted(0)) << workers << " workers";
+    EXPECT_TRUE(taint.node_tainted(1))
+        << "concurrent reader of a racy write must stay tainted at "
+        << workers << " workers";
+    EXPECT_TRUE(taint.tainted_pages.contains(200));
+    EXPECT_TRUE(taint.tainted_pages.contains(300))
+        << "the racy flow's downstream write must be tainted";
+  }
+}
+
+// The level decomposition itself must be sound: levels partition the
+// node set, every recorded edge goes to a strictly higher level, and
+// concatenating levels reproduces the cached topological order.
+TEST(TopologicalLevels, PartitionAndRespectEdges) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = random_history(seed);
+    std::vector<std::size_t> level_of(g.nodes().size(), ~std::size_t{0});
+    std::size_t total = 0;
+    std::vector<NodeId> concatenated;
+    for (std::size_t l = 0; l < g.level_count(); ++l) {
+      const auto lvl = g.level_nodes(l);
+      EXPECT_FALSE(lvl.empty()) << "empty level " << l;
+      EXPECT_TRUE(std::is_sorted(lvl.begin(), lvl.end()));
+      for (NodeId id : lvl) {
+        EXPECT_EQ(level_of[id], ~std::size_t{0}) << "node in two levels";
+        level_of[id] = l;
+      }
+      total += lvl.size();
+      concatenated.insert(concatenated.end(), lvl.begin(), lvl.end());
+    }
+    EXPECT_EQ(total, g.nodes().size());
+    const auto topo = g.topological_view();
+    EXPECT_EQ(concatenated, std::vector<NodeId>(topo.begin(), topo.end()));
+    for (const auto& e : g.edges()) {
+      EXPECT_LT(level_of[e.from], level_of[e.to]) << e;
+    }
+    // Same-thread nodes never share a level (their control chain
+    // orders them), which is what makes thread-carryover propagation
+    // safe to evaluate level-parallel.
+    for (std::size_t t = 0; t < g.thread_count(); ++t) {
+      const auto nodes = g.thread_nodes(static_cast<ThreadId>(t));
+      for (std::size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_LT(level_of[nodes[i - 1]], level_of[nodes[i]]);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -6,6 +6,8 @@
 //
 // options:
 //   --threads N        worker threads (default 8)
+//   --analysis-threads N   analysis pool workers, >= 1 (default: the
+//                      INSPECTOR_ANALYSIS_THREADS env var, else all cores)
 //   --size s|m|l       input size for the fig-8 apps (default l)
 //   --scale F          op-count scale factor (default 1.0)
 //   --seed N           schedule seed (0 = no jitter)
@@ -37,6 +39,7 @@
 #include "memtrack/shared_memory.h"
 #include "perf/data_file.h"
 #include "replay/replay.h"
+#include "util/parallel.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -53,6 +56,7 @@ struct CliArgs {
   bool taint = false;
   bool replay = false;
   bool critical_path = false;
+  unsigned analysis_threads = 0;  ///< 0 = keep the environment default
   std::string dump_cpg, dump_dot, dump_text, perf_data, journal, image;
 };
 
@@ -81,6 +85,13 @@ bool parse(int argc, char** argv, CliArgs& args) {
         std::cerr << "--threads must be >= 1\n";
         return false;
       }
+    } else if (a == "--analysis-threads") {
+      const auto workers = util::parse_analysis_threads(next());
+      if (!workers) {
+        std::cerr << "--analysis-threads must be an integer in [1, 1024]\n";
+        return false;
+      }
+      args.analysis_threads = *workers;
     } else if (a == "--size") {
       const std::string s = next();
       args.config.size = s == "s"   ? workloads::InputSize::kSmall
@@ -137,6 +148,11 @@ void write_file(const std::string& path,
 }
 
 int run(const CliArgs& args) {
+  // Before the run: graph construction and every analysis below share
+  // the pool.
+  if (args.analysis_threads != 0) {
+    util::set_analysis_threads(args.analysis_threads);
+  }
   const auto program = workloads::make_workload(args.workload, args.config);
   core::Options options;
   options.schedule_seed = args.config.seed;

@@ -1,7 +1,8 @@
 // inspector_report -- offline CPG reconstruction from persisted
 // artifacts (the `perf script`-style post-processing of §V-B).
 //
-//   inspector_report <perf.data> <journal.bin> <image.bin> [--dump-text F]
+//   inspector_report <perf.data> <journal.bin> <image.bin>
+//                    [--dump-text F] [--analysis-threads N]
 //
 // Loads the three files a traced run persists (PT trace container,
 // threading-library journal, binary image), decodes the per-process
@@ -21,6 +22,7 @@
 #include "perf/data_file.h"
 #include "ptsim/flow.h"
 #include "ptsim/image.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -40,10 +42,27 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 4) {
     std::cerr << "usage: inspector_report <perf.data> <journal.bin> "
-                 "<image.bin> [--dump-text FILE]\n";
+                 "<image.bin> [--dump-text FILE] [--analysis-threads N]\n";
     return 2;
   }
   try {
+    // Applied before the rebuild: Graph::build_indices and the critical
+    // path below run on the analysis pool.
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--analysis-threads") {
+        const auto workers =
+            i + 1 < argc
+                ? inspector::util::parse_analysis_threads(argv[i + 1])
+                : std::nullopt;
+        if (!workers) {
+          std::cerr << "--analysis-threads must be an integer in "
+                       "[1, 1024]\n";
+          return 2;
+        }
+        inspector::util::set_analysis_threads(*workers);
+        ++i;
+      }
+    }
     const auto data = inspector::perf::deserialize(read_file(argv[1]));
     const auto journal =
         inspector::cpg::deserialize_journal(read_file(argv[2]));
