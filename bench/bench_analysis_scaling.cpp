@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "analysis/races.h"
@@ -90,10 +89,7 @@ std::uint64_t fingerprint(const cpg::Graph& g,
     h = fnv1a(h, r.page * 2 + (r.write_write ? 1 : 0));
   }
   for (cpg::NodeId id : taint.tainted_nodes) h = fnv1a(h, id);
-  std::vector<std::uint64_t> pages(taint.tainted_pages.begin(),
-                                   taint.tainted_pages.end());
-  std::sort(pages.begin(), pages.end());
-  for (std::uint64_t p : pages) h = fnv1a(h, p);
+  for (std::uint64_t p : taint.tainted_pages) h = fnv1a(h, p);
   return h;
 }
 
@@ -127,9 +123,9 @@ Measurement measure(const std::vector<cpg::SubComputation>& nodes,
     const auto races = analysis::find_races(g);
     const double races_ms = ms_since(t1);
 
-    std::unordered_set<std::uint64_t> seeds;
+    PageSet seeds;
     for (std::uint64_t p = 0; p < 4 && p < g.page_count(); ++p) {
-      seeds.insert(g.pages()[p]);
+      seeds.push_back(g.pages()[p]);
     }
     const auto t2 = Clock::now();
     const auto taint = analysis::propagate_taint(g, seeds);

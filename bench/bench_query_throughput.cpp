@@ -1,0 +1,206 @@
+// bench_query_throughput -- latency and batched throughput of the
+// unified query engine (query/engine.h) on a synthetic CPG, at 1/2/4/8
+// analysis workers. One machine-readable JSON line per (query type,
+// worker count): single-query latency plus run_batch queries/sec, with
+// the serialized replies fingerprinted and compared across worker
+// counts -- a line with "identical":false is a determinism bug.
+//
+// Deliberately not a google-benchmark binary (same rationale as
+// bench_analysis_scaling): the unit of interest is one batch per
+// worker count, not a tight-loop microsecond rate.
+//
+//   bench_query_throughput [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpg/recorder.h"
+#include "query/engine.h"
+#include "query/wire.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector;
+using Clock = std::chrono::steady_clock;
+
+/// Barrier-round synthetic CPG (the bench_analysis_scaling shape):
+/// wide graphs with rich cross-thread dataflow and page sharing.
+cpg::Graph synthetic_cpg(std::uint32_t threads, std::uint32_t rounds,
+                         std::uint64_t pages_per_node) {
+  using sync::SyncEventKind;
+  const auto barrier = sync::make_object_id(sync::ObjectKind::kBarrier, 1);
+  cpg::Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      PageSet reads;
+      PageSet writes;
+      const std::uint32_t neighbour = (t + 1) % threads;
+      for (std::uint64_t p = 0; p < pages_per_node; ++p) {
+        writes.push_back((static_cast<std::uint64_t>(t) * pages_per_node + p) %
+                         (threads * pages_per_node));
+        reads.push_back(
+            (static_cast<std::uint64_t>(neighbour) * pages_per_node + p) %
+            (threads * pages_per_node));
+      }
+      std::sort(reads.begin(), reads.end());
+      std::sort(writes.begin(), writes.end());
+      rec.end_subcomputation(t, std::move(reads), std::move(writes),
+                             {SyncEventKind::kBarrierWait, barrier});
+      rec.on_release(t, barrier);
+    }
+    for (std::uint32_t t = 0; t < threads; ++t) rec.on_acquire(t, barrier);
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_exiting(t, {}, {});
+  return std::move(rec).finalize();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// A batch of one query type with cycling parameters, so the cache
+/// cannot collapse the work.
+std::vector<query::Query> make_batch(const std::string& type,
+                                     const cpg::Graph& g, std::size_t count) {
+  const auto nodes = static_cast<cpg::NodeId>(g.nodes().size());
+  const auto pages = g.pages();
+  std::vector<query::Query> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto node = static_cast<cpg::NodeId>(i % nodes);
+    if (type == "backward_slice") {
+      batch.emplace_back(query::BackwardSliceQuery{node});
+    } else if (type == "forward_slice") {
+      batch.emplace_back(query::ForwardSliceQuery{node});
+    } else if (type == "latest_writers") {
+      batch.emplace_back(query::LatestWritersQuery{node});
+    } else if (type == "data_dependencies") {
+      batch.emplace_back(query::DataDependenciesQuery{node});
+    } else if (type == "page_accessors") {
+      batch.emplace_back(query::PageAccessorsQuery{pages[i % pages.size()]});
+    } else if (type == "happens_before") {
+      batch.emplace_back(query::HappensBeforeQuery{
+          node, static_cast<cpg::NodeId>((i + 1) % nodes)});
+    } else if (type == "races") {
+      batch.emplace_back(query::RacesQuery{0, {pages[i % pages.size()]}});
+    } else if (type == "taint") {
+      batch.emplace_back(
+          query::TaintQuery{{pages[i % pages.size()]}, true});
+    } else if (type == "invalidate") {
+      batch.emplace_back(query::InvalidateQuery{{pages[i % pages.size()]}});
+    } else if (type == "critical_path") {
+      batch.emplace_back(query::CriticalPathQuery{});
+    } else {
+      batch.emplace_back(query::StatsQuery{});
+    }
+  }
+  return batch;
+}
+
+struct Measurement {
+  double batch_ms = 0;
+  double latency_ms = 0;  ///< average single-query latency
+  std::uint64_t hash = 0;
+};
+
+Measurement measure(std::shared_ptr<const cpg::Graph> snapshot,
+                    const std::vector<query::Query>& batch) {
+  // A fresh engine per measurement (cold sessions); skip_cache below
+  // keeps the cache out of the numbers, so the snapshot is shared.
+  query::QueryEngine engine(std::move(snapshot));
+  query::QueryOptions options;
+  options.skip_cache = true;
+
+  Measurement m;
+  const auto t0 = Clock::now();
+  const auto replies = engine.run_batch(
+      query::QueryEngine::kDefaultSession, batch, options);
+  m.batch_ms = ms_since(t0);
+
+  m.hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    m.hash = fnv1a(m.hash, query::wire::serialize_reply(i + 1, replies[i]));
+  }
+
+  const std::size_t latency_reps = std::min<std::size_t>(batch.size(), 16);
+  const auto t1 = Clock::now();
+  for (std::size_t i = 0; i < latency_reps; ++i) {
+    (void)engine.run(batch[i], options);
+  }
+  m.latency_ms = ms_since(t1) / static_cast<double>(latency_reps);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const auto snapshot = std::make_shared<const cpg::Graph>(
+      quick ? synthetic_cpg(8, 16, 12) : synthetic_cpg(16, 48, 20));
+  const cpg::Graph& source = *snapshot;
+  const std::size_t light_batch = quick ? 128 : 512;
+  const std::size_t heavy_batch = quick ? 4 : 16;
+
+  const struct {
+    const char* type;
+    bool heavy;
+  } kinds[] = {
+      {"backward_slice", false}, {"forward_slice", false},
+      {"latest_writers", false}, {"data_dependencies", false},
+      {"page_accessors", false}, {"happens_before", false},
+      {"races", true},           {"taint", true},
+      {"invalidate", true},      {"critical_path", true},
+      {"stats", false},
+  };
+
+  bool all_identical = true;
+  for (const auto& kind : kinds) {
+    const auto batch = make_batch(
+        kind.type, source, kind.heavy ? heavy_batch : light_batch);
+    Measurement baseline;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      util::set_analysis_threads(workers);
+      const Measurement m = measure(snapshot, batch);
+      if (workers == 1) baseline = m;
+      const bool identical = m.hash == baseline.hash;
+      all_identical = all_identical && identical;
+      std::cout << "{\"bench\":\"query_throughput\",\"query\":\""
+                << kind.type << "\",\"nodes\":" << source.nodes().size()
+                << ",\"pages\":" << source.page_count()
+                << ",\"workers\":" << workers
+                << ",\"batch\":" << batch.size() << ",\"ms\":" << m.batch_ms
+                << ",\"qps\":"
+                << (m.batch_ms > 0
+                        ? 1000.0 * static_cast<double>(batch.size()) /
+                              m.batch_ms
+                        : 0.0)
+                << ",\"latency_ms\":" << m.latency_ms
+                << ",\"speedup_vs_1w\":"
+                << (m.batch_ms > 0 ? baseline.batch_ms / m.batch_ms : 0.0)
+                << ",\"identical\":" << (identical ? "true" : "false")
+                << "}\n";
+    }
+  }
+  util::set_analysis_threads(0);
+  if (!all_identical) {
+    std::cerr << "DETERMINISM VIOLATION: query replies differ across "
+                 "worker counts\n";
+    return 1;
+  }
+  return 0;
+}

@@ -37,7 +37,7 @@ TaintResult propagate(const cpg::Graph& g,
   result.tainted_pages = seeds;
   std::unordered_set<cpg::ThreadId> tainted_threads;  // register carry-over
   std::unordered_set<cpg::NodeId> tainted_nodes;
-  for (cpg::NodeId id : g.topological_order()) {
+  for (cpg::NodeId id : g.topological_view()) {
     const auto& node = g.node(id);
     bool tainted = tainted_threads.contains(node.thread);
     if (!tainted) {

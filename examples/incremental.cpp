@@ -7,7 +7,6 @@
 // reused. The experiment shows the reuse fraction for localized edits.
 #include <cstdint>
 #include <iostream>
-#include <unordered_set>
 
 #include "analysis/incremental.h"
 #include "core/inspector.h"
@@ -35,10 +34,11 @@ int main() {
   inspector::core::Table table(
       {"changed_pages", "dirty_nodes", "total_nodes", "reuse"});
   for (std::size_t changed : {1u, 4u, 16u, 64u}) {
-    std::unordered_set<std::uint64_t> delta;
+    inspector::PageSet delta;
     for (std::size_t i = 0; i < changed && i < input_pages.size(); ++i) {
-      delta.insert(input_pages[i]);
+      delta.push_back(input_pages[i]);
     }
+    inspector::page_set_normalize(delta);
     const auto inv = inspector::analysis::invalidate(graph, delta);
     table.add_row({std::to_string(delta.size()),
                    std::to_string(inv.dirty.size()),
@@ -50,8 +50,7 @@ int main() {
   std::cout << table << "\n";
 
   // Whole-input change: everything that touches input re-runs.
-  std::unordered_set<std::uint64_t> all(input_pages.begin(),
-                                        input_pages.end());
+  inspector::PageSet all(input_pages.begin(), input_pages.end());
   const auto full = inspector::analysis::invalidate(graph, all);
   std::cout << "whole-input change: " << full.dirty.size() << "/"
             << graph.nodes().size()

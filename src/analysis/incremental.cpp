@@ -10,9 +10,8 @@ bool InvalidationResult::node_dirty(cpg::NodeId id) const {
   return std::binary_search(dirty.begin(), dirty.end(), id);
 }
 
-InvalidationResult invalidate(
-    const cpg::Graph& graph,
-    const std::unordered_set<std::uint64_t>& changed_input_pages) {
+InvalidationResult invalidate(const cpg::Graph& graph,
+                              const PageSet& changed_input_pages) {
   // Register carry-over is always on: once a thread consumed changed
   // data, everything it does afterwards may differ (same soundness
   // argument as DIFT's carry-over).

@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "cpg/graph.h"
+#include "util/page_set.h"
 
 namespace inspector::analysis {
 
@@ -20,8 +20,9 @@ struct InvalidationResult {
   /// Nodes that must re-run, ascending id order.
   std::vector<cpg::NodeId> dirty;
   /// Pages whose contents may differ after re-execution (changed input
-  /// pages plus everything dirty nodes wrote).
-  std::unordered_set<std::uint64_t> dirty_pages;
+  /// pages plus everything dirty nodes wrote). Sorted and
+  /// duplicate-free.
+  PageSet dirty_pages;
 
   [[nodiscard]] bool node_dirty(cpg::NodeId id) const;
 
@@ -41,7 +42,6 @@ struct InvalidationResult {
 /// pages. Level-synchronous pass over the topological levels, parallel
 /// on the analysis pool with deterministic merges.
 [[nodiscard]] InvalidationResult invalidate(
-    const cpg::Graph& graph,
-    const std::unordered_set<std::uint64_t>& changed_input_pages);
+    const cpg::Graph& graph, const PageSet& changed_input_pages);
 
 }  // namespace inspector::analysis

@@ -8,18 +8,18 @@
 
 namespace inspector::analysis {
 
-Propagation propagate_pages(
-    const cpg::Graph& graph,
-    const std::unordered_set<std::uint64_t>& seed_pages,
-    bool thread_carryover) {
+Propagation propagate_pages(const cpg::Graph& graph,
+                            const PageSet& seed_pages,
+                            bool thread_carryover) {
   Propagation result;
   result.pages = seed_pages;
+  page_set_normalize(result.pages);
 
   // Dense mark bits over the graph's page universe (the shared query
   // index assigns every touched page a dense slot); seed pages no node
   // ever touched cannot propagate and only appear in the result set.
   std::vector<char> page_marked(graph.page_count(), 0);
-  for (std::uint64_t page : seed_pages) {
+  for (std::uint64_t page : result.pages) {
     if (const auto idx = graph.page_index_of(page)) page_marked[*idx] = 1;
   }
   std::vector<char> thread_marked(graph.thread_count(), 0);
@@ -76,7 +76,9 @@ Propagation propagate_pages(
               }
               if (!marked) continue;
               d.nodes.push_back(id);
-              d.threads.push_back(node.thread);
+              // Thread bits only matter under carry-over; skipping
+              // them otherwise avoids rescans that cannot mark.
+              if (thread_carryover) d.threads.push_back(node.thread);
               for (std::uint64_t page : node.write_set) {
                 const std::size_t idx = *graph.page_index_of(page);
                 if (page_marked[idx] == 0) d.pages.push_back(idx);
@@ -102,7 +104,7 @@ Propagation propagate_pages(
           if (char& bit = page_marked[idx]; bit == 0) {
             bit = 1;
             marks_grew = true;
-            result.pages.insert(page_universe[idx]);
+            result.pages.push_back(page_universe[idx]);
           }
         }
         d.nodes.clear();
@@ -118,6 +120,7 @@ Propagation propagate_pages(
     }
   }
   std::sort(result.nodes.begin(), result.nodes.end());
+  page_set_normalize(result.pages);
   return result;
 }
 

@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "cpg/graph.h"
+#include "util/page_set.h"
 
 namespace inspector::analysis {
 
@@ -26,15 +26,16 @@ struct Propagation {
   /// Marked sub-computations, ascending id order.
   std::vector<cpg::NodeId> nodes;
   /// Marked pages: the seeds plus everything marked nodes wrote.
-  std::unordered_set<std::uint64_t> pages;
+  /// Sorted and duplicate-free, like every page set in the system.
+  PageSet pages;
 };
 
 /// Level-synchronous pass over the topological levels.
 /// `thread_carryover` also marks every later same-thread node once a
-/// thread consumed marked data.
-[[nodiscard]] Propagation propagate_pages(
-    const cpg::Graph& graph,
-    const std::unordered_set<std::uint64_t>& seed_pages,
-    bool thread_carryover);
+/// thread consumed marked data. Seeds need not be normalized (and may
+/// name pages no node ever touched; they simply cannot propagate).
+[[nodiscard]] Propagation propagate_pages(const cpg::Graph& graph,
+                                          const PageSet& seed_pages,
+                                          bool thread_carryover);
 
 }  // namespace inspector::analysis

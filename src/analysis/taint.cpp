@@ -10,10 +10,9 @@ bool TaintResult::node_tainted(cpg::NodeId id) const {
   return std::binary_search(tainted_nodes.begin(), tainted_nodes.end(), id);
 }
 
-TaintResult propagate_taint(
-    const cpg::Graph& graph,
-    const std::unordered_set<std::uint64_t>& seed_pages,
-    const TaintOptions& options) {
+TaintResult propagate_taint(const cpg::Graph& graph,
+                            const PageSet& seed_pages,
+                            const TaintOptions& options) {
   Propagation p =
       propagate_pages(graph, seed_pages, options.track_register_carryover);
   TaintResult result;

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "cpg/graph.h"
+#include "util/page_set.h"
 
 namespace inspector::analysis {
 
@@ -25,7 +25,8 @@ struct TaintOptions {
 
 struct TaintResult {
   /// All pages tainted after propagation (includes the seeds).
-  std::unordered_set<std::uint64_t> tainted_pages;
+  /// Sorted and duplicate-free.
+  PageSet tainted_pages;
   /// Tainted sub-computations, in topological order.
   std::vector<cpg::NodeId> tainted_nodes;
 
@@ -37,10 +38,9 @@ struct TaintResult {
 /// predecessors under happens-before sit on strictly lower levels and
 /// are processed first); levels scan in parallel on the analysis pool
 /// with bit-identical results at every worker count.
-[[nodiscard]] TaintResult propagate_taint(
-    const cpg::Graph& graph,
-    const std::unordered_set<std::uint64_t>& seed_pages,
-    const TaintOptions& options = {});
+[[nodiscard]] TaintResult propagate_taint(const cpg::Graph& graph,
+                                          const PageSet& seed_pages,
+                                          const TaintOptions& options = {});
 
 /// Policy check: sub-computations that end in `sink_kind` (e.g. thread
 /// exit standing for an output syscall) and are tainted.

@@ -31,6 +31,8 @@ struct GraphStats {
   std::uint64_t thunks = 0;
   std::uint64_t read_pages = 0;   ///< sum of read-set sizes
   std::uint64_t write_pages = 0;  ///< sum of write-set sizes
+
+  bool operator==(const GraphStats&) const = default;
 };
 
 class Graph {
@@ -133,6 +135,7 @@ class Graph {
   /// std::logic_error when the recorded graph has a cycle (which would
   /// indicate a recorder bug -- the CPG is a DAG by construction).
   /// Computed once at construction; this returns a copy of the cache.
+  [[deprecated("copies the cached order; use topological_view()")]]
   [[nodiscard]] std::vector<NodeId> topological_order() const;
 
   /// Zero-copy view of the cached topological order (same cycle check).

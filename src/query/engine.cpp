@@ -1,0 +1,400 @@
+#include "query/engine.h"
+
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/critical_path.h"
+#include "analysis/incremental.h"
+#include "analysis/races.h"
+#include "analysis/taint.h"
+#include "query/overloaded.h"
+#include "query/wire.h"
+#include "util/parallel.h"
+
+namespace inspector::query {
+
+namespace {
+
+using detail::Overloaded;
+
+/// Normalize the page-set fields of a query, so order/duplicate
+/// variants of the same request share one cache key and one dispatch
+/// path.
+Query canonicalized(Query q) {
+  std::visit(Overloaded{
+                 [](RacesQuery& r) { page_set_normalize(r.ignored_pages); },
+                 [](TaintQuery& t) { page_set_normalize(t.seed_pages); },
+                 [](InvalidateQuery& i) {
+                   page_set_normalize(i.changed_pages);
+                 },
+                 [](auto&) {},
+             },
+             q);
+  return q;
+}
+
+Status node_range_error(cpg::NodeId id, std::size_t count) {
+  return {StatusCode::kOutOfRange,
+          "node id " + std::to_string(id) + " out of range [0, " +
+              std::to_string(count) + ")"};
+}
+
+Status cyclic_error(const char* what) {
+  return {StatusCode::kFailedPrecondition,
+          std::string(what) +
+              " requires a topological order, but the graph has a cycle"};
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const cpg::Graph> graph,
+                         Options options)
+    : graph_(std::move(graph)), options_(options) {
+  if (!graph_) graph_ = std::make_shared<const cpg::Graph>();
+  try {
+    (void)graph_->topological_view();
+  } catch (const std::logic_error&) {
+    cyclic_ = true;
+  }
+  sessions_.emplace(kDefaultSession, Session{});
+}
+
+QueryEngine::SessionId QueryEngine::open_session() {
+  std::lock_guard lock(mu_);
+  const SessionId id = next_session_id_++;
+  sessions_.emplace(id, Session{});
+  return id;
+}
+
+Status QueryEngine::close_session(SessionId session) {
+  if (session == kDefaultSession) {
+    return {StatusCode::kInvalidArgument,
+            "the default session cannot be closed"};
+  }
+  std::lock_guard lock(mu_);
+  if (sessions_.erase(session) == 0) {
+    return {StatusCode::kNotFound,
+            "unknown session " + std::to_string(session)};
+  }
+  return Status::Ok();
+}
+
+Result<QueryResult> QueryEngine::dispatch(const Query& q) const {
+  const cpg::Graph& g = *graph_;
+  const std::size_t node_count = g.nodes().size();
+  const auto valid_node = [&](cpg::NodeId id) { return id < node_count; };
+
+  return std::visit(
+      Overloaded{
+          [&](const BackwardSliceQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            return QueryResult(NodeListResult{g.backward_slice(s.node)});
+          },
+          [&](const ForwardSliceQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            return QueryResult(NodeListResult{g.forward_slice(s.node)});
+          },
+          [&](const LatestWritersQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            return QueryResult(EdgeListResult{g.latest_writers(s.node)});
+          },
+          [&](const DataDependenciesQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            return QueryResult(EdgeListResult{g.data_dependencies(s.node)});
+          },
+          [&](const PageAccessorsQuery& s) -> Result<QueryResult> {
+            if (!g.page_index_of(s.page)) {
+              return Status(StatusCode::kNotFound,
+                            "page " + std::to_string(s.page) +
+                                " was not touched by any recorded node");
+            }
+            PageAccessorsResult out;
+            out.page = s.page;
+            out.writers = g.writers_of_page(s.page);
+            out.readers = g.readers_of_page(s.page);
+            return QueryResult(std::move(out));
+          },
+          [&](const HappensBeforeQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.first)) {
+              return node_range_error(s.first, node_count);
+            }
+            if (!valid_node(s.second)) {
+              return node_range_error(s.second, node_count);
+            }
+            HappensBeforeResult out;
+            if (s.first == s.second) {
+              out.ordering = Ordering::kEqual;
+            } else if (g.happens_before(s.first, s.second)) {
+              out.ordering = Ordering::kBefore;
+            } else if (g.happens_before(s.second, s.first)) {
+              out.ordering = Ordering::kAfter;
+            } else {
+              out.ordering = Ordering::kConcurrent;
+            }
+            return QueryResult(out);
+          },
+          [&](const RacesQuery& s) -> Result<QueryResult> {
+            analysis::RaceOptions options;
+            options.limit = static_cast<std::size_t>(s.limit);
+            // Pre-sorted: dispatch only sees canonicalized() queries.
+            options.ignored_pages = s.ignored_pages;
+            return QueryResult(
+                RaceListResult{analysis::find_races(g, options)});
+          },
+          [&](const TaintQuery& s) -> Result<QueryResult> {
+            if (cyclic_) return cyclic_error("taint");
+            analysis::TaintOptions options;
+            options.track_register_carryover = s.track_register_carryover;
+            const auto taint = analysis::propagate_taint(g, s.seed_pages,
+                                                         options);
+            FlowResult out;
+            out.sinks = analysis::tainted_sinks(g, taint, s.sink_kind);
+            out.nodes = taint.tainted_nodes;
+            out.pages = taint.tainted_pages;
+            return QueryResult(std::move(out));
+          },
+          [&](const InvalidateQuery& s) -> Result<QueryResult> {
+            if (cyclic_) return cyclic_error("invalidate");
+            const auto inv = analysis::invalidate(g, s.changed_pages);
+            FlowResult out;
+            out.nodes = inv.dirty;
+            out.pages = inv.dirty_pages;
+            return QueryResult(std::move(out));
+          },
+          [&](const CriticalPathQuery&) -> Result<QueryResult> {
+            if (cyclic_) return cyclic_error("critical_path");
+            const auto cp = analysis::critical_path(g);
+            CriticalPathResult out;
+            out.nodes = cp.nodes;
+            out.total_nodes = cp.total_nodes;
+            return QueryResult(std::move(out));
+          },
+          [&](const StatsQuery&) -> Result<QueryResult> {
+            return QueryResult(StatsResult{g.stats()});
+          },
+      },
+      q);
+}
+
+Result<std::shared_ptr<const QueryResult>> QueryEngine::execute_full(
+    const Query& q, const QueryOptions& options) {
+  using FullResult = Result<std::shared_ptr<const QueryResult>>;
+  const bool cacheable = options_.cache_entries > 0 && !options.skip_cache;
+  std::string key;
+  try {
+    const Query canonical = canonicalized(q);
+    if (cacheable) {
+      key = wire::cache_key(canonical);
+      if (auto hit = cache_get(key)) return FullResult(std::move(hit));
+    }
+    Result<QueryResult> computed = dispatch(canonical);
+    if (!computed.ok()) return FullResult(computed.status());
+    // Built non-const so a sole owner may later move the payload out
+    // (paginate()'s unpaginated fast path); shared as pointer-to-const.
+    auto value = std::make_shared<QueryResult>(std::move(computed).value());
+    if (cacheable) cache_put(key, value);
+    return FullResult(std::shared_ptr<const QueryResult>(std::move(value)));
+  } catch (const std::exception& e) {
+    return FullResult(StatusCode::kInternal,
+                      std::string("unexpected exception: ") + e.what());
+  } catch (...) {
+    return FullResult(StatusCode::kInternal, "unexpected unknown exception");
+  }
+}
+
+Result<Reply> QueryEngine::paginate(
+    SessionId session, Result<std::shared_ptr<const QueryResult>> full,
+    const QueryOptions& options) {
+  if (!full.ok()) return full.status();
+  std::shared_ptr<const QueryResult> value = std::move(full).value();
+  const std::uint64_t total = result_item_count(*value);
+  Reply reply;
+  reply.total_items = total;
+  if (options.page_size == 0 || total <= options.page_size) {
+    if (value.use_count() == 1) {
+      // Sole owner (cache bypassed or disabled): steal the payload
+      // instead of deep-copying it. Legal: execute_full creates the
+      // object non-const.
+      reply.result = std::move(const_cast<QueryResult&>(*value));
+    } else {
+      reply.result = *value;  // copied outside the engine lock
+    }
+    return reply;
+  }
+  reply.result = result_slice(*value, 0, options.page_size);
+  reply.has_more = true;
+  Cursor cursor;
+  cursor.full = std::move(value);
+  cursor.offset = options.page_size;
+  cursor.page_size = options.page_size;
+  cursor.total = total;
+  // Only the cursor registration needs the lock.
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "unknown session " + std::to_string(session));
+  }
+  Session& s = it->second;
+  const std::uint64_t id = s.next_cursor_id++;
+  s.cursors.emplace(id, std::move(cursor));
+  s.issue_order.push_back(id);
+  while (s.issue_order.size() > kMaxSessionCursors) {
+    s.cursors.erase(s.issue_order.front());
+    s.issue_order.pop_front();
+  }
+  reply.cursor = id;
+  return reply;
+}
+
+Result<Reply> QueryEngine::run(const Query& q, const QueryOptions& options) {
+  return run(kDefaultSession, q, options);
+}
+
+Result<Reply> QueryEngine::run(SessionId session, const Query& q,
+                               const QueryOptions& options) {
+  // Reject unknown sessions before paying for the analysis. The
+  // session can still disappear concurrently; the post-compute lookup
+  // below stays authoritative.
+  if (!session_exists(session)) {
+    return Status(StatusCode::kNotFound,
+                  "unknown session " + std::to_string(session));
+  }
+  return paginate(session, execute_full(q, options), options);
+}
+
+bool QueryEngine::session_exists(SessionId session) const {
+  std::lock_guard lock(mu_);
+  return sessions_.contains(session);
+}
+
+std::vector<Result<Reply>> QueryEngine::run_batch(
+    SessionId session, std::span<const BatchItem> items) {
+  if (!session_exists(session)) {
+    std::vector<Result<Reply>> replies;
+    replies.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      replies.emplace_back(Status(StatusCode::kNotFound,
+                                  "unknown session " +
+                                      std::to_string(session)));
+    }
+    return replies;
+  }
+  // Phase 1: fan the queries out over the analysis pool. Workers write
+  // disjoint slots, so the full results are position-addressed and
+  // order-independent; analyses underneath are themselves
+  // deterministic at every worker count (and nested parallel_for calls
+  // degrade to inline execution inside a chunk).
+  using FullResult = Result<std::shared_ptr<const QueryResult>>;
+  std::vector<std::optional<FullResult>> fulls(items.size());
+  const auto pool = util::shared_pool();
+  pool->parallel_for(0, items.size(), 1,
+                     [&](std::size_t begin, std::size_t end, unsigned) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         fulls[i] =
+                             execute_full(items[i].query, items[i].options);
+                       }
+                     });
+
+  // Phase 2: serially, in request order, paginate and hand out cursor
+  // ids -- the ids and page boundaries depend only on the request
+  // sequence, never on the parallel schedule. Payload copies happen
+  // unlocked; paginate() locks only to register a cursor.
+  std::vector<Result<Reply>> replies;
+  replies.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    replies.push_back(
+        paginate(session, std::move(*fulls[i]), items[i].options));
+  }
+  return replies;
+}
+
+std::vector<Result<Reply>> QueryEngine::run_batch(
+    SessionId session, std::span<const Query> queries,
+    const QueryOptions& options) {
+  std::vector<BatchItem> items;
+  items.reserve(queries.size());
+  for (const Query& q : queries) items.push_back(BatchItem{q, options});
+  return run_batch(session, items);
+}
+
+Result<Reply> QueryEngine::next(SessionId session, std::uint64_t cursor) {
+  // Advance the cursor state under the lock, but keep the payload
+  // copy outside it (same discipline as paginate()): the shared_ptr
+  // grabbed here keeps the full result alive past the drain reset.
+  std::shared_ptr<const QueryResult> full;
+  std::uint64_t offset = 0;
+  std::uint64_t count = 0;
+  Reply reply;
+  {
+    std::lock_guard lock(mu_);
+    const auto sit = sessions_.find(session);
+    if (sit == sessions_.end()) {
+      return Status(StatusCode::kNotFound,
+                    "unknown session " + std::to_string(session));
+    }
+    Session& s = sit->second;
+    const auto cit = s.cursors.find(cursor);
+    if (cit == s.cursors.end()) {
+      return Status(StatusCode::kNotFound,
+                    "cursor " + std::to_string(cursor) +
+                        " was never issued by this session (or was "
+                        "evicted by the per-session cursor cap)");
+    }
+    Cursor& c = cit->second;
+    if (c.offset >= c.total) {
+      return Status(StatusCode::kExhausted,
+                    "cursor " + std::to_string(cursor) + " is exhausted");
+    }
+    full = c.full;
+    offset = c.offset;
+    count = std::min(c.page_size, c.total - c.offset);
+    c.offset += count;
+    reply.total_items = c.total;
+    reply.has_more = c.offset < c.total;
+    reply.cursor = reply.has_more ? cursor : 0;
+    if (!reply.has_more) {
+      // Keep a tombstone (so reuse answers kExhausted, not kNotFound)
+      // but release the full result; the issue-order cap in
+      // paginate() eventually evicts the tombstone itself.
+      c.full.reset();
+    }
+  }
+  reply.result = result_slice(*full, offset, count);
+  return reply;
+}
+
+QueryEngine::CacheStats QueryEngine::cache_stats() const {
+  std::lock_guard lock(mu_);
+  return cache_stats_;
+}
+
+std::shared_ptr<const QueryResult> QueryEngine::cache_get(
+    const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++cache_stats_.misses;
+    return nullptr;
+  }
+  ++cache_stats_.hits;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return it->second->value;
+}
+
+void QueryEngine::cache_put(const std::string& key,
+                            std::shared_ptr<const QueryResult> value) {
+  std::lock_guard lock(mu_);
+  if (cache_.contains(key)) return;  // a concurrent miss computed it too
+  cache_lru_.push_front(CacheEntry{key, std::move(value)});
+  cache_.emplace(key, cache_lru_.begin());
+  while (cache_.size() > options_.cache_entries) {
+    cache_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++cache_stats_.evictions;
+  }
+}
+
+}  // namespace inspector::query

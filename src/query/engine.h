@@ -1,0 +1,166 @@
+// QueryEngine -- the one front door to the provenance analyses.
+//
+// An engine wraps an immutable cpg::Graph snapshot (shared_ptr, so a
+// serving process can hot-swap snapshots while in-flight queries keep
+// theirs) and executes Query variants against it: validation up front,
+// typed Status instead of exceptions, a per-engine result cache, and
+// batched fan-out over the shared util::TaskPool with the analysis
+// runtime's determinism contract -- run_batch() output, including
+// cursor page boundaries, is bit-identical at every worker count.
+//
+// Sessions scope cursors: each session has its own cursor id space,
+// ids are handed out in request order (deterministic), and closing a
+// session drops its cursors. The result cache is engine-wide and
+// shared by all sessions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "query/query.h"
+#include "query/status.h"
+
+namespace inspector::query {
+
+struct EngineOptions {
+  /// Result-cache capacity in entries (0 disables caching).
+  std::size_t cache_entries = 128;
+};
+
+class QueryEngine {
+ public:
+  using Options = EngineOptions;
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  using SessionId = std::uint64_t;
+  /// Always open; cursors of callers that never open_session() live
+  /// here.
+  static constexpr SessionId kDefaultSession = 0;
+
+  explicit QueryEngine(std::shared_ptr<const cpg::Graph> graph,
+                       Options options = Options());
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] const cpg::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::shared_ptr<const cpg::Graph> snapshot() const noexcept {
+    return graph_;
+  }
+
+  /// Open an isolated cursor namespace. Never fails.
+  [[nodiscard]] SessionId open_session();
+  /// Drop a session and its cursors. kNotFound for unknown ids;
+  /// the default session cannot be closed (kInvalidArgument).
+  Status close_session(SessionId session);
+
+  /// Execute one query. On success the Reply holds the first (or only)
+  /// page; errors come back as Status, never exceptions.
+  [[nodiscard]] Result<Reply> run(const Query& q,
+                                  const QueryOptions& options = {});
+  [[nodiscard]] Result<Reply> run(SessionId session, const Query& q,
+                                  const QueryOptions& options = {});
+
+  /// One batch entry: a query plus its own pagination/cache knobs.
+  struct BatchItem {
+    Query query;
+    QueryOptions options;
+  };
+
+  /// Execute a batch: queries fan out over the shared analysis pool,
+  /// replies come back in request order with per-query statuses (a bad
+  /// query never poisons its neighbours). Cursor ids are assigned in
+  /// request order after the parallel phase, so the full reply
+  /// sequence -- page contents and boundaries included -- is
+  /// bit-identical at every worker count.
+  [[nodiscard]] std::vector<Result<Reply>> run_batch(
+      SessionId session, std::span<const BatchItem> items);
+  /// Convenience: the same options for every query.
+  [[nodiscard]] std::vector<Result<Reply>> run_batch(
+      SessionId session, std::span<const Query> queries,
+      const QueryOptions& options = {});
+
+  /// Fetch the next page of a cursor issued by this session.
+  /// kNotFound for a cursor this session never issued, kExhausted once
+  /// every page has been consumed (the cursor stays addressable until
+  /// its session closes).
+  [[nodiscard]] Result<Reply> next(SessionId session, std::uint64_t cursor);
+  [[nodiscard]] Result<Reply> next(std::uint64_t cursor) {
+    return next(kDefaultSession, cursor);
+  }
+
+  [[nodiscard]] CacheStats cache_stats() const;
+
+ private:
+  struct Cursor {
+    std::shared_ptr<const QueryResult> full;  ///< null once drained
+    std::uint64_t offset = 0;
+    std::uint64_t page_size = 0;
+    std::uint64_t total = 0;
+  };
+  struct Session {
+    std::uint64_t next_cursor_id = 1;
+    std::unordered_map<std::uint64_t, Cursor> cursors;
+    /// Cursor ids in issue order. A long-lived serving session must
+    /// not grow without bound -- neither via abandoned live cursors
+    /// (each pins its full result) nor via drained tombstones -- so
+    /// past kMaxSessionCursors the oldest cursors are evicted
+    /// outright; their ids then answer kNotFound like never-issued
+    /// ids. Drained cursors stay as payload-free tombstones (reuse
+    /// answers kExhausted) until evicted by the same cap.
+    std::deque<std::uint64_t> issue_order;
+  };
+  static constexpr std::size_t kMaxSessionCursors = 1024;
+
+  /// Validate + execute one query to its full (unpaginated) result.
+  [[nodiscard]] Result<std::shared_ptr<const QueryResult>> execute_full(
+      const Query& q, const QueryOptions& options);
+  [[nodiscard]] Result<QueryResult> dispatch(const Query& q) const;
+
+  /// Cut the first page (payload copies happen outside the engine
+  /// lock; only cursor registration locks). Called serially in request
+  /// order, so cursor ids are deterministic.
+  [[nodiscard]] Result<Reply> paginate(
+      SessionId session, Result<std::shared_ptr<const QueryResult>> full,
+      const QueryOptions& options);
+
+  [[nodiscard]] bool session_exists(SessionId session) const;
+
+  [[nodiscard]] std::shared_ptr<const QueryResult> cache_get(
+      const std::string& key);
+  void cache_put(const std::string& key,
+                 std::shared_ptr<const QueryResult> value);
+
+  std::shared_ptr<const cpg::Graph> graph_;
+  Options options_;
+  bool cyclic_ = false;  ///< detected once at construction
+
+  mutable std::mutex mu_;  ///< guards sessions_ and the cache
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_session_id_ = 1;
+
+  // LRU result cache: list front = most recent; map values point into
+  // the list.
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const QueryResult> value;
+  };
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+  CacheStats cache_stats_;
+};
+
+}  // namespace inspector::query

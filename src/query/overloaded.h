@@ -1,0 +1,13 @@
+// Internal helper for visiting the Query/QueryResult variants.
+#pragma once
+
+namespace inspector::query::detail {
+
+template <typename... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <typename... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace inspector::query::detail

@@ -1,0 +1,135 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "query/overloaded.h"
+
+namespace inspector::query {
+
+namespace {
+
+using detail::Overloaded;
+
+/// Consume items of `v` from the concatenated item space: `offset`
+/// skips, `count` limits; both are reduced by what this list used, so
+/// chained calls walk a multi-list result in declaration order.
+template <typename T>
+std::vector<T> take(const std::vector<T>& v, std::uint64_t& offset,
+                    std::uint64_t& count) {
+  std::vector<T> out;
+  const std::uint64_t n = v.size();
+  if (offset >= n) {
+    offset -= n;
+    return out;
+  }
+  const auto first = static_cast<std::ptrdiff_t>(offset);
+  const std::uint64_t taken = std::min(count, n - offset);
+  out.assign(v.begin() + first,
+             v.begin() + first + static_cast<std::ptrdiff_t>(taken));
+  offset = 0;
+  count -= taken;
+  return out;
+}
+
+}  // namespace
+
+const char* query_name(const Query& q) noexcept {
+  return std::visit(
+      [](const auto& v) -> const char* {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, BackwardSliceQuery>) {
+          return "backward_slice";
+        } else if constexpr (std::is_same_v<T, ForwardSliceQuery>) {
+          return "forward_slice";
+        } else if constexpr (std::is_same_v<T, LatestWritersQuery>) {
+          return "latest_writers";
+        } else if constexpr (std::is_same_v<T, DataDependenciesQuery>) {
+          return "data_dependencies";
+        } else if constexpr (std::is_same_v<T, PageAccessorsQuery>) {
+          return "page_accessors";
+        } else if constexpr (std::is_same_v<T, HappensBeforeQuery>) {
+          return "happens_before";
+        } else if constexpr (std::is_same_v<T, RacesQuery>) {
+          return "races";
+        } else if constexpr (std::is_same_v<T, TaintQuery>) {
+          return "taint";
+        } else if constexpr (std::is_same_v<T, InvalidateQuery>) {
+          return "invalidate";
+        } else if constexpr (std::is_same_v<T, CriticalPathQuery>) {
+          return "critical_path";
+        } else {
+          static_assert(std::is_same_v<T, StatsQuery>);
+          return "stats";
+        }
+      },
+      q);
+}
+
+std::uint64_t result_item_count(const QueryResult& result) {
+  return std::visit(
+      Overloaded{
+          [](const NodeListResult& r) -> std::uint64_t {
+            return r.nodes.size();
+          },
+          [](const EdgeListResult& r) -> std::uint64_t {
+            return r.edges.size();
+          },
+          [](const PageAccessorsResult& r) -> std::uint64_t {
+            return r.writers.size() + r.readers.size();
+          },
+          [](const HappensBeforeResult&) -> std::uint64_t { return 1; },
+          [](const RaceListResult& r) -> std::uint64_t {
+            return r.races.size();
+          },
+          [](const FlowResult& r) -> std::uint64_t {
+            return r.nodes.size() + r.pages.size() + r.sinks.size();
+          },
+          [](const CriticalPathResult& r) -> std::uint64_t {
+            return r.nodes.size();
+          },
+          [](const StatsResult&) -> std::uint64_t { return 1; },
+      },
+      result);
+}
+
+QueryResult result_slice(const QueryResult& full, std::uint64_t offset,
+                         std::uint64_t count) {
+  return std::visit(
+      Overloaded{
+          [&](const NodeListResult& r) -> QueryResult {
+            return NodeListResult{take(r.nodes, offset, count)};
+          },
+          [&](const EdgeListResult& r) -> QueryResult {
+            return EdgeListResult{take(r.edges, offset, count)};
+          },
+          [&](const PageAccessorsResult& r) -> QueryResult {
+            PageAccessorsResult out;
+            out.page = r.page;
+            out.writers = take(r.writers, offset, count);
+            out.readers = take(r.readers, offset, count);
+            return out;
+          },
+          [&](const HappensBeforeResult& r) -> QueryResult { return r; },
+          [&](const RaceListResult& r) -> QueryResult {
+            return RaceListResult{take(r.races, offset, count)};
+          },
+          [&](const FlowResult& r) -> QueryResult {
+            FlowResult out;
+            out.nodes = take(r.nodes, offset, count);
+            out.pages = take(r.pages, offset, count);
+            out.sinks = take(r.sinks, offset, count);
+            return out;
+          },
+          [&](const CriticalPathResult& r) -> QueryResult {
+            CriticalPathResult out;
+            out.total_nodes = r.total_nodes;
+            out.nodes = take(r.nodes, offset, count);
+            return out;
+          },
+          [&](const StatsResult& r) -> QueryResult { return r; },
+      },
+      full);
+}
+
+}  // namespace inspector::query

@@ -1,0 +1,697 @@
+#include "query/wire.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <limits>
+#include <map>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace inspector::query::wire {
+
+namespace {
+
+// --- a minimal JSON reader -------------------------------------------
+//
+// The wire format needs objects, arrays, strings, booleans, null, and
+// *unsigned integers* -- page ids and node ids are 64-bit unsigned, and
+// nothing in the protocol is fractional or negative, so any other
+// number is rejected outright instead of silently truncated.
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, std::uint64_t, std::string, JsonArray,
+               JsonObject>
+      v;
+};
+
+Status invalid(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    auto value = parse_value(0);
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 32;
+
+  Result<JsonValue> error(const std::string& message) {
+    return invalid(message + " (offset " + std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return parse_string();
+    if (c >= '0' && c <= '9') return parse_number();
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{nullptr};
+    }
+    if (c == '-' || c == '.') {
+      return error("only unsigned integers are allowed on the wire");
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> parse_number() {
+    std::uint64_t value = 0;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return error("integer overflows 64 bits");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected a digit");
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      return error("only unsigned integers are allowed on the wire");
+    }
+    return JsonValue{value};
+  }
+
+  Result<JsonValue> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return JsonValue{std::move(out)};
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return error("unterminated escape");
+        switch (text_[pos_]) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            // Standard JSON \uXXXX escapes (the serializer emits them
+            // for control characters, so the parser must accept
+            // them). Surrogate pairs combine; lone surrogates are
+            // rejected.
+            ++pos_;
+            std::uint32_t code = 0;
+            if (!read_hex4(code)) return error("invalid \\u escape");
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return error("unpaired surrogate in \\u escape");
+              }
+              pos_ += 2;
+              std::uint32_t low = 0;
+              if (!read_hex4(low) || low < 0xDC00 || low > 0xDFFF) {
+                return error("unpaired surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return error("unpaired surrogate in \\u escape");
+            }
+            append_utf8(out, code);
+            --pos_;  // the shared ++pos_ below rebalances
+            break;
+          }
+          default:
+            return error("unsupported escape sequence");
+        }
+        ++pos_;
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+  }
+
+  /// Read exactly four hex digits at pos_ into `code`, advancing past
+  /// them. Returns false (without a precise pos_) on malformed input.
+  bool read_hex4(std::uint32_t& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      code = code * 16 + digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    JsonArray out;
+    skip_ws();
+    if (consume(']')) return JsonValue{std::move(out)};
+    while (true) {
+      auto element = parse_value(depth + 1);
+      if (!element.ok()) return element;
+      out.push_back(std::move(element).value());
+      skip_ws();
+      if (consume(']')) return JsonValue{std::move(out)};
+      if (!consume(',')) return error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    JsonObject out;
+    skip_ws();
+    if (consume('}')) return JsonValue{std::move(out)};
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected a string key");
+      }
+      auto key = parse_string();
+      if (!key.ok()) return key;
+      skip_ws();
+      if (!consume(':')) return error("expected ':' after key");
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      const std::string& name = std::get<std::string>(key.value().v);
+      if (out.contains(name)) return error("duplicate key \"" + name + "\"");
+      out.emplace(name, std::move(value).value());
+      skip_ws();
+      if (consume('}')) return JsonValue{std::move(out)};
+      if (!consume(',')) return error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// --- typed field extraction ------------------------------------------
+
+const JsonValue* find(const JsonObject& object, const char* name) {
+  const auto it = object.find(name);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+Result<std::uint64_t> require_uint(const JsonObject& object,
+                                   const char* name) {
+  const JsonValue* value = find(object, name);
+  if (value == nullptr) {
+    return invalid(std::string("missing required field \"") + name + "\"");
+  }
+  if (const auto* n = std::get_if<std::uint64_t>(&value->v)) return *n;
+  return invalid(std::string("field \"") + name +
+                 "\" must be an unsigned integer");
+}
+
+Result<std::uint64_t> optional_uint(const JsonObject& object,
+                                    const char* name,
+                                    std::uint64_t fallback) {
+  if (find(object, name) == nullptr) return fallback;
+  return require_uint(object, name);
+}
+
+Result<bool> optional_bool(const JsonObject& object, const char* name,
+                           bool fallback) {
+  const JsonValue* value = find(object, name);
+  if (value == nullptr) return fallback;
+  if (const auto* b = std::get_if<bool>(&value->v)) return *b;
+  return invalid(std::string("field \"") + name + "\" must be a boolean");
+}
+
+Result<PageSet> optional_page_array(const JsonObject& object,
+                                    const char* name) {
+  const JsonValue* value = find(object, name);
+  if (value == nullptr) return PageSet{};
+  const auto* array = std::get_if<JsonArray>(&value->v);
+  if (array == nullptr) {
+    return invalid(std::string("field \"") + name +
+                   "\" must be an array of page ids");
+  }
+  PageSet out;
+  out.reserve(array->size());
+  for (const JsonValue& element : *array) {
+    const auto* page = std::get_if<std::uint64_t>(&element.v);
+    if (page == nullptr) {
+      return invalid(std::string("field \"") + name +
+                     "\" must contain only unsigned integers");
+    }
+    out.push_back(*page);
+  }
+  return out;
+}
+
+Result<cpg::NodeId> require_node(const JsonObject& object, const char* name) {
+  auto raw = require_uint(object, name);
+  if (!raw.ok()) return raw.status();
+  if (raw.value() > std::numeric_limits<cpg::NodeId>::max()) {
+    return invalid(std::string("field \"") + name +
+                   "\" exceeds the 32-bit node id range");
+  }
+  return static_cast<cpg::NodeId>(raw.value());
+}
+
+// --- serialization helpers -------------------------------------------
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+template <typename T>
+void append_uint_array(std::string& out, const std::vector<T>& values) {
+  static_assert(std::is_unsigned_v<T>);
+  out.push_back('[');
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  out.push_back(']');
+}
+
+constexpr const char* edge_kind_name(cpg::EdgeKind kind) {
+  switch (kind) {
+    case cpg::EdgeKind::kControl:
+      return "control";
+    case cpg::EdgeKind::kSync:
+      return "sync";
+    case cpg::EdgeKind::kData:
+      return "data";
+  }
+  return "control";
+}
+
+void append_payload(std::string& out, const QueryResult& result) {
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, NodeListResult>) {
+          out += ",\"nodes\":";
+          append_uint_array(out, r.nodes);
+        } else if constexpr (std::is_same_v<T, EdgeListResult>) {
+          out += ",\"edges\":[";
+          for (std::size_t i = 0; i < r.edges.size(); ++i) {
+            const cpg::Edge& e = r.edges[i];
+            if (i != 0) out.push_back(',');
+            out += "{\"from\":" + std::to_string(e.from) +
+                   ",\"to\":" + std::to_string(e.to) + ",\"kind\":\"" +
+                   edge_kind_name(e.kind) +
+                   "\",\"object\":" + std::to_string(e.object) + "}";
+          }
+          out.push_back(']');
+        } else if constexpr (std::is_same_v<T, PageAccessorsResult>) {
+          out += ",\"page\":" + std::to_string(r.page) + ",\"writers\":";
+          append_uint_array(out, r.writers);
+          out += ",\"readers\":";
+          append_uint_array(out, r.readers);
+        } else if constexpr (std::is_same_v<T, HappensBeforeResult>) {
+          out += ",\"ordering\":\"";
+          out += to_string(r.ordering);
+          out.push_back('"');
+        } else if constexpr (std::is_same_v<T, RaceListResult>) {
+          out += ",\"races\":[";
+          for (std::size_t i = 0; i < r.races.size(); ++i) {
+            const analysis::RaceReport& race = r.races[i];
+            if (i != 0) out.push_back(',');
+            out += "{\"first\":" + std::to_string(race.first) +
+                   ",\"second\":" + std::to_string(race.second) +
+                   ",\"page\":" + std::to_string(race.page) +
+                   ",\"write_write\":" +
+                   (race.write_write ? "true" : "false") + "}";
+          }
+          out.push_back(']');
+        } else if constexpr (std::is_same_v<T, FlowResult>) {
+          out += ",\"nodes\":";
+          append_uint_array(out, r.nodes);
+          out += ",\"pages\":";
+          append_uint_array(out, r.pages);
+          out += ",\"sinks\":";
+          append_uint_array(out, r.sinks);
+        } else if constexpr (std::is_same_v<T, CriticalPathResult>) {
+          out += ",\"total_nodes\":" + std::to_string(r.total_nodes) +
+                 ",\"nodes\":";
+          append_uint_array(out, r.nodes);
+        } else {
+          static_assert(std::is_same_v<T, StatsResult>);
+          const cpg::GraphStats& s = r.stats;
+          out += ",\"stats\":{\"nodes\":" + std::to_string(s.nodes) +
+                 ",\"control_edges\":" + std::to_string(s.control_edges) +
+                 ",\"sync_edges\":" + std::to_string(s.sync_edges) +
+                 ",\"threads\":" + std::to_string(s.threads) +
+                 ",\"thunks\":" + std::to_string(s.thunks) +
+                 ",\"read_pages\":" + std::to_string(s.read_pages) +
+                 ",\"write_pages\":" + std::to_string(s.write_pages) + "}";
+        }
+      },
+      result);
+}
+
+}  // namespace
+
+Result<Request> parse_request(std::string_view line,
+                              std::uint64_t* echo_id) {
+  Parser parser(line);
+  auto parsed = parser.parse();
+  if (!parsed.ok()) return parsed.status();
+  const auto* object = std::get_if<JsonObject>(&parsed.value().v);
+  if (object == nullptr) {
+    return invalid("a request must be a JSON object");
+  }
+  if (echo_id != nullptr) {
+    if (const JsonValue* id_value = find(*object, "id")) {
+      if (const auto* id = std::get_if<std::uint64_t>(&id_value->v)) {
+        *echo_id = *id;
+      }
+    }
+  }
+
+  const JsonValue* op_value = find(*object, "op");
+  if (op_value == nullptr) return invalid("missing required field \"op\"");
+  const auto* op = std::get_if<std::string>(&op_value->v);
+  if (op == nullptr) return invalid("field \"op\" must be a string");
+
+  Request request;
+  if (auto id = optional_uint(*object, "id", 0); id.ok()) {
+    request.id = id.value();
+  } else {
+    return id.status();
+  }
+  if (auto page_size = optional_uint(*object, "page_size", 0);
+      page_size.ok()) {
+    request.page_size = page_size.value();
+  } else {
+    return page_size.status();
+  }
+
+  // Every op accepts the envelope fields; anything else is per-op.
+  const auto check = [&](std::initializer_list<const char*> extra) {
+    std::vector<const char*> allowed = {"id", "op", "page_size"};
+    allowed.insert(allowed.end(), extra.begin(), extra.end());
+    for (const auto& [key, value] : *object) {
+      const bool known =
+          std::any_of(allowed.begin(), allowed.end(),
+                      [&](const char* name) { return key == name; });
+      if (!known) {
+        return invalid("unknown field \"" + key + "\" for op \"" + *op +
+                       "\"");
+      }
+    }
+    return Status::Ok();
+  };
+
+  const auto node_query = [&](auto make) -> Result<Request> {
+    if (auto st = check({"node"}); !st.ok()) return st;
+    auto node = require_node(*object, "node");
+    if (!node.ok()) return node.status();
+    request.op = Query(make(node.value()));
+    return request;
+  };
+
+  if (*op == "backward_slice") {
+    return node_query([](cpg::NodeId n) { return BackwardSliceQuery{n}; });
+  }
+  if (*op == "forward_slice") {
+    return node_query([](cpg::NodeId n) { return ForwardSliceQuery{n}; });
+  }
+  if (*op == "latest_writers") {
+    return node_query([](cpg::NodeId n) { return LatestWritersQuery{n}; });
+  }
+  if (*op == "data_dependencies") {
+    return node_query([](cpg::NodeId n) { return DataDependenciesQuery{n}; });
+  }
+  if (*op == "page_accessors") {
+    if (auto st = check({"page"}); !st.ok()) return st;
+    auto page = require_uint(*object, "page");
+    if (!page.ok()) return page.status();
+    request.op = Query(PageAccessorsQuery{page.value()});
+    return request;
+  }
+  if (*op == "happens_before") {
+    if (auto st = check({"first", "second"}); !st.ok()) return st;
+    auto first = require_node(*object, "first");
+    if (!first.ok()) return first.status();
+    auto second = require_node(*object, "second");
+    if (!second.ok()) return second.status();
+    request.op = Query(HappensBeforeQuery{first.value(), second.value()});
+    return request;
+  }
+  if (*op == "races") {
+    if (auto st = check({"limit", "ignored_pages"}); !st.ok()) return st;
+    RacesQuery q;
+    if (auto limit = optional_uint(*object, "limit", 0); limit.ok()) {
+      q.limit = limit.value();
+    } else {
+      return limit.status();
+    }
+    auto ignored = optional_page_array(*object, "ignored_pages");
+    if (!ignored.ok()) return ignored.status();
+    q.ignored_pages = std::move(ignored).value();
+    request.op = Query(std::move(q));
+    return request;
+  }
+  if (*op == "taint") {
+    if (auto st = check({"seed_pages", "carryover", "sink_kind"}); !st.ok()) {
+      return st;
+    }
+    TaintQuery q;
+    auto seeds = optional_page_array(*object, "seed_pages");
+    if (!seeds.ok()) return seeds.status();
+    q.seed_pages = std::move(seeds).value();
+    auto carry = optional_bool(*object, "carryover", true);
+    if (!carry.ok()) return carry.status();
+    q.track_register_carryover = carry.value();
+    auto sink = optional_uint(
+        *object, "sink_kind",
+        static_cast<std::uint64_t>(sync::SyncEventKind::kThreadExit));
+    if (!sink.ok()) return sink.status();
+    if (sink.value() >
+        static_cast<std::uint64_t>(sync::SyncEventKind::kThreadJoin)) {
+      return invalid("field \"sink_kind\" must be a SyncEventKind in [0, " +
+                     std::to_string(static_cast<unsigned>(
+                         sync::SyncEventKind::kThreadJoin)) +
+                     "]");
+    }
+    q.sink_kind = static_cast<sync::SyncEventKind>(sink.value());
+    request.op = Query(std::move(q));
+    return request;
+  }
+  if (*op == "invalidate") {
+    if (auto st = check({"changed_pages"}); !st.ok()) return st;
+    InvalidateQuery q;
+    auto changed = optional_page_array(*object, "changed_pages");
+    if (!changed.ok()) return changed.status();
+    q.changed_pages = std::move(changed).value();
+    request.op = Query(std::move(q));
+    return request;
+  }
+  if (*op == "critical_path") {
+    if (auto st = check({}); !st.ok()) return st;
+    request.op = Query(CriticalPathQuery{});
+    return request;
+  }
+  if (*op == "stats") {
+    if (auto st = check({}); !st.ok()) return st;
+    request.op = Query(StatsQuery{});
+    return request;
+  }
+  if (*op == "next") {
+    if (auto st = check({"cursor"}); !st.ok()) return st;
+    // page_size is envelope-level for queries, but a cursor's page
+    // size is fixed at creation -- accepting it here would silently
+    // ignore it, so reject like any other ineffective field.
+    if (find(*object, "page_size") != nullptr) {
+      return invalid(
+          "field \"page_size\" is not allowed for op \"next\" (the page "
+          "size is fixed when the cursor is created)");
+    }
+    auto cursor = require_uint(*object, "cursor");
+    if (!cursor.ok()) return cursor.status();
+    request.op = NextRequest{cursor.value()};
+    return request;
+  }
+  return invalid("unknown op \"" + *op + "\"");
+}
+
+std::string serialize_query(const Query& q) {
+  std::string out = "{\"op\":\"";
+  out += query_name(q);
+  out.push_back('"');
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, BackwardSliceQuery> ||
+                      std::is_same_v<T, ForwardSliceQuery> ||
+                      std::is_same_v<T, LatestWritersQuery> ||
+                      std::is_same_v<T, DataDependenciesQuery>) {
+          out += ",\"node\":" + std::to_string(v.node);
+        } else if constexpr (std::is_same_v<T, PageAccessorsQuery>) {
+          out += ",\"page\":" + std::to_string(v.page);
+        } else if constexpr (std::is_same_v<T, HappensBeforeQuery>) {
+          out += ",\"first\":" + std::to_string(v.first) +
+                 ",\"second\":" + std::to_string(v.second);
+        } else if constexpr (std::is_same_v<T, RacesQuery>) {
+          out += ",\"limit\":" + std::to_string(v.limit) +
+                 ",\"ignored_pages\":";
+          append_uint_array(out, v.ignored_pages);
+        } else if constexpr (std::is_same_v<T, TaintQuery>) {
+          out += ",\"seed_pages\":";
+          append_uint_array(out, v.seed_pages);
+          out += ",\"carryover\":";
+          out += v.track_register_carryover ? "true" : "false";
+          out += ",\"sink_kind\":" +
+                 std::to_string(static_cast<unsigned>(v.sink_kind));
+        } else if constexpr (std::is_same_v<T, InvalidateQuery>) {
+          out += ",\"changed_pages\":";
+          append_uint_array(out, v.changed_pages);
+        } else {
+          static_assert(std::is_same_v<T, CriticalPathQuery> ||
+                        std::is_same_v<T, StatsQuery>);
+        }
+      },
+      q);
+  out.push_back('}');
+  return out;
+}
+
+std::string serialize_reply(std::uint64_t id, const Result<Reply>& reply) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"status\":\"";
+  if (!reply.ok()) {
+    out += to_string(reply.status().code());
+    out += "\",\"error\":";
+    append_escaped(out, reply.status().message());
+    out.push_back('}');
+    return out;
+  }
+  const Reply& r = reply.value();
+  out += "ok\",\"total_items\":" + std::to_string(r.total_items) +
+         ",\"has_more\":";
+  out += r.has_more ? "true" : "false";
+  if (r.cursor != 0) out += ",\"cursor\":" + std::to_string(r.cursor);
+  append_payload(out, r.result);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace inspector::query::wire

@@ -2,6 +2,8 @@
 // NUMA affinity, critical path (the §VIII case studies as libraries).
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "analysis/critical_path.h"
 #include "analysis/numa.h"
 #include "analysis/races.h"
@@ -66,18 +68,19 @@ TEST_F(AnalysisFixture, TaintFollowsTwoHopFlow) {
   const auto result = run(flow_program());
   const auto& g = *result.graph;
 
-  std::unordered_set<std::uint64_t> seeds = {
+  const PageSet seeds = {
       memtrack::page_id_of(memtrack::AddressLayout::kInputBase)};
   const auto taint = analysis::propagate_taint(g, seeds);
 
   // The shared page A wrote and the second-hop page B wrote are both
   // tainted.
-  EXPECT_TRUE(
-      taint.tainted_pages.contains(memtrack::page_id_of(global_word(0))));
-  EXPECT_TRUE(
-      taint.tainted_pages.contains(memtrack::page_id_of(global_word(512))));
+  EXPECT_TRUE(page_set_contains(taint.tainted_pages,
+                                memtrack::page_id_of(global_word(0))));
+  EXPECT_TRUE(page_set_contains(taint.tainted_pages,
+                                memtrack::page_id_of(global_word(512))));
   // C's private page is not.
-  EXPECT_FALSE(taint.tainted_pages.contains(
+  EXPECT_FALSE(page_set_contains(
+      taint.tainted_pages,
       memtrack::page_id_of(workloads::thread_heap_base(2))));
 
   // A (thread 1) and B (thread 2) have tainted nodes; C (thread 3)
@@ -94,7 +97,7 @@ TEST_F(AnalysisFixture, TaintFollowsTwoHopFlow) {
 TEST_F(AnalysisFixture, TaintWithoutCarryoverIsPagePure) {
   const auto result = run(flow_program());
   const auto& g = *result.graph;
-  std::unordered_set<std::uint64_t> seeds = {
+  const PageSet seeds = {
       memtrack::page_id_of(memtrack::AddressLayout::kInputBase)};
 
   analysis::TaintOptions no_carry;
@@ -104,14 +107,14 @@ TEST_F(AnalysisFixture, TaintWithoutCarryoverIsPagePure) {
   // Register carry-over can only taint more, never less.
   EXPECT_LE(pure.tainted_nodes.size(), carry.tainted_nodes.size());
   for (std::uint64_t page : pure.tainted_pages) {
-    EXPECT_TRUE(carry.tainted_pages.contains(page));
+    EXPECT_TRUE(page_set_contains(carry.tainted_pages, page));
   }
 }
 
 TEST_F(AnalysisFixture, TaintedSinksFindExitNodes) {
   const auto result = run(flow_program());
   const auto& g = *result.graph;
-  std::unordered_set<std::uint64_t> seeds = {
+  const PageSet seeds = {
       memtrack::page_id_of(memtrack::AddressLayout::kInputBase)};
   const auto taint = analysis::propagate_taint(g, seeds);
   const auto sinks =

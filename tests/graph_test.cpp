@@ -106,7 +106,7 @@ TEST(Graph, BackwardSliceFollowsDataAndSync) {
 
 TEST(Graph, TopologicalOrderRespectsEdges) {
   const Graph g = figure1_graph();
-  const auto order = g.topological_order();
+  const auto order = g.topological_view();
   ASSERT_EQ(order.size(), 3u);
   std::vector<std::size_t> pos(3);
   for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
@@ -124,7 +124,7 @@ TEST(Graph, CycleDetection) {
       {1, 0, EdgeKind::kSync, 0},
   };
   Graph g(std::move(nodes), std::move(edges), {});
-  EXPECT_THROW((void)g.topological_order(), std::logic_error);
+  EXPECT_THROW((void)g.topological_view(), std::logic_error);
   std::string reason;
   EXPECT_FALSE(g.validate(&reason));
 }
@@ -186,7 +186,19 @@ TEST(Graph, EmptyGraphIsValid) {
   Graph g;
   std::string reason;
   EXPECT_TRUE(g.validate(&reason));
-  EXPECT_TRUE(g.topological_order().empty());
+  EXPECT_TRUE(g.topological_view().empty());
+}
+
+TEST(Graph, DeprecatedCopyingOrderMatchesView) {
+  // The deprecated accessor must keep returning the same order until it
+  // is removed; new code uses topological_view().
+  const Graph g = figure1_graph();
+  const auto view = g.topological_view();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto copy = g.topological_order();
+#pragma GCC diagnostic pop
+  EXPECT_EQ(copy, std::vector<NodeId>(view.begin(), view.end()));
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Incremental-computation (change propagation) and forward-slice tests.
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "analysis/incremental.h"
 #include "core/inspector.h"
 #include "memtrack/shared_memory.h"
@@ -75,11 +77,12 @@ TEST_F(IncrementalTest, ChangedInputDirtiesTheChain) {
   EXPECT_FALSE(dirty_threads.contains(1)) << "C is input-independent";
 
   // Both intermediate pages become dirty.
-  EXPECT_TRUE(inv.dirty_pages.contains(memtrack::page_id_of(global_word(0))));
-  EXPECT_TRUE(
-      inv.dirty_pages.contains(memtrack::page_id_of(global_word(512))));
-  EXPECT_FALSE(inv.dirty_pages.contains(
-      memtrack::page_id_of(workloads::thread_heap_base(5))));
+  EXPECT_TRUE(page_set_contains(inv.dirty_pages,
+                                memtrack::page_id_of(global_word(0))));
+  EXPECT_TRUE(page_set_contains(inv.dirty_pages,
+                                memtrack::page_id_of(global_word(512))));
+  EXPECT_FALSE(page_set_contains(
+      inv.dirty_pages, memtrack::page_id_of(workloads::thread_heap_base(5))));
 }
 
 TEST_F(IncrementalTest, NoChangeMeansFullReuse) {
@@ -107,9 +110,9 @@ TEST_F(IncrementalTest, ReuseFractionIsMonotoneInChangeSize) {
   }
   double last_reuse = 1.0;
   for (std::size_t n : {1u, 8u, 32u, 128u}) {
-    std::unordered_set<std::uint64_t> delta;
+    PageSet delta;
     for (std::size_t i = 0; i < n && i < pages.size(); ++i) {
-      delta.insert(pages[i]);
+      delta.push_back(pages[i]);
     }
     const auto inv = analysis::invalidate(*result.graph, delta);
     const double reuse = inv.reuse_fraction(result.graph->nodes().size());

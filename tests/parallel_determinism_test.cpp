@@ -10,14 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <random>
-#include <unordered_set>
 #include <vector>
 
 #include "analysis/incremental.h"
 #include "analysis/races.h"
 #include "analysis/taint.h"
-#include "cpg/recorder.h"
+#include "history_fixtures.h"
 #include "util/parallel.h"
 
 namespace {
@@ -27,54 +25,9 @@ namespace analysis = inspector::analysis;
 namespace sync = inspector::sync;
 namespace util = inspector::util;
 using inspector::PageSet;
-
-struct ThreadCountGuard {
-  ~ThreadCountGuard() { util::set_analysis_threads(0); }
-};
-
-constexpr std::uint64_t kPageUniverse = 16;
-
-PageSet random_pages(std::mt19937_64& rng) {
-  PageSet pages;
-  const std::size_t count = rng() % 6;
-  for (std::size_t i = 0; i < count; ++i) {
-    pages.push_back(rng() % kPageUniverse);
-  }
-  return pages;
-}
-
-/// Deterministic given the seed, so every worker count sees the exact
-/// same recorded history.
-Graph random_history(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  const std::uint32_t threads = 2 + rng() % 4;
-  const std::uint32_t mutexes = 1 + rng() % 3;
-  Recorder rec;
-  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
-  const std::size_t steps = 40 + rng() % 60;
-  for (std::size_t i = 0; i < steps; ++i) {
-    const std::uint32_t t = rng() % threads;
-    const auto m = sync::make_object_id(sync::ObjectKind::kMutex,
-                                        1 + rng() % mutexes);
-    switch (rng() % 4) {
-      case 0:
-      case 1:
-        rec.end_subcomputation(t, random_pages(rng), random_pages(rng),
-                               {sync::SyncEventKind::kMutexLock, m});
-        break;
-      case 2:
-        rec.on_release(t, m);
-        break;
-      default:
-        rec.on_acquire(t, m);
-        break;
-    }
-  }
-  for (std::uint32_t t = 0; t < threads; ++t) {
-    rec.thread_exiting(t, random_pages(rng), random_pages(rng));
-  }
-  return std::move(rec).finalize();
-}
+using inspector::fixtures::dense_history;
+using inspector::fixtures::random_history;
+using inspector::fixtures::ThreadCountGuard;
 
 /// Everything the analysis layer computes, flattened for comparison.
 struct AnalysisFingerprint {
@@ -110,56 +63,15 @@ AnalysisFingerprint fingerprint(const Graph& g) {
   }
   fp.races = analysis::find_races(g);
 
-  const std::unordered_set<std::uint64_t> seeds = {0, 3, 7};
+  const PageSet seeds = {0, 3, 7};
   const auto taint = analysis::propagate_taint(g, seeds);
   fp.tainted_nodes = taint.tainted_nodes;
-  fp.tainted_pages.assign(taint.tainted_pages.begin(),
-                          taint.tainted_pages.end());
-  std::sort(fp.tainted_pages.begin(), fp.tainted_pages.end());
+  fp.tainted_pages = taint.tainted_pages;  // PageSet: already sorted
 
   const auto inv = analysis::invalidate(g, seeds);
   fp.dirty_nodes = inv.dirty;
-  fp.dirty_pages.assign(inv.dirty_pages.begin(), inv.dirty_pages.end());
-  std::sort(fp.dirty_pages.begin(), fp.dirty_pages.end());
+  fp.dirty_pages = inv.dirty_pages;
   return fp;
-}
-
-/// A history big and page-dense enough to push the index build past
-/// every serial cutoff (parallel_sort engages above ~4k touch pairs),
-/// so the cross-worker comparison exercises the genuinely parallel
-/// code paths, not their inline fallbacks.
-Graph dense_history(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  constexpr std::uint64_t kDensePages = 96;
-  const std::uint32_t threads = 4 + rng() % 4;
-  Recorder rec;
-  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
-  const auto m = sync::make_object_id(sync::ObjectKind::kMutex, 1);
-  for (std::size_t i = 0; i < 1200; ++i) {
-    const std::uint32_t t = rng() % threads;
-    PageSet reads;
-    PageSet writes;
-    for (std::size_t k = 0; k < 4 + rng() % 8; ++k) {
-      reads.push_back(rng() % kDensePages);
-      writes.push_back(rng() % kDensePages);
-    }
-    switch (rng() % 4) {
-      case 0:
-        rec.on_release(t, m);
-        break;
-      case 1:
-        rec.on_acquire(t, m);
-        break;
-      default:
-        rec.end_subcomputation(t, std::move(reads), std::move(writes),
-                               {sync::SyncEventKind::kMutexLock, m});
-        break;
-    }
-  }
-  for (std::uint32_t t = 0; t < threads; ++t) {
-    rec.thread_exiting(t, random_pages(rng), random_pages(rng));
-  }
-  return std::move(rec).finalize();
 }
 
 class ParallelDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
@@ -231,14 +143,13 @@ TEST(PropagationRacyFlow, ConcurrentWriterReaderIsCovered) {
     const Graph g = std::move(rec).finalize();
     ASSERT_TRUE(g.concurrent(0, 1)) << "history must actually race";
 
-    const auto taint =
-        analysis::propagate_taint(g, std::unordered_set<std::uint64_t>{100});
+    const auto taint = analysis::propagate_taint(g, PageSet{100});
     EXPECT_TRUE(taint.node_tainted(0)) << workers << " workers";
     EXPECT_TRUE(taint.node_tainted(1))
         << "concurrent reader of a racy write must stay tainted at "
         << workers << " workers";
-    EXPECT_TRUE(taint.tainted_pages.contains(200));
-    EXPECT_TRUE(taint.tainted_pages.contains(300))
+    EXPECT_TRUE(inspector::page_set_contains(taint.tainted_pages, 200));
+    EXPECT_TRUE(inspector::page_set_contains(taint.tainted_pages, 300))
         << "the racy flow's downstream write must be tainted";
   }
 }

@@ -11,17 +11,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "history_fixtures.h"
 #include "util/parallel.h"
 
 namespace {
 
 using namespace inspector;
-
-/// Restores the process-wide default on scope exit so tests cannot
-/// leak a forced thread count into each other.
-struct ThreadCountGuard {
-  ~ThreadCountGuard() { util::set_analysis_threads(0); }
-};
+using inspector::fixtures::ThreadCountGuard;
 
 TEST(TaskPool, CoversEveryIndexExactlyOnce) {
   util::TaskPool pool(4);

@@ -1,0 +1,246 @@
+// Wire-format tests: request parsing (round trips and precise typed
+// errors for malformed input) and reply serialization (stable field
+// order, escaping).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "query/query.h"
+#include "query/wire.h"
+
+namespace {
+
+using namespace inspector;
+using namespace inspector::query;
+
+template <typename T>
+T parse_query(const std::string& line) {
+  auto parsed = wire::parse_request(line);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  const auto* q = std::get_if<Query>(&parsed.value().op);
+  EXPECT_NE(q, nullptr);
+  return std::get<T>(*q);
+}
+
+Status parse_error(const std::string& line) {
+  auto parsed = wire::parse_request(line);
+  EXPECT_FALSE(parsed.ok()) << line;
+  return parsed.status();
+}
+
+TEST(WireParse, EveryOperationRoundTrips) {
+  EXPECT_EQ(parse_query<BackwardSliceQuery>(
+                R"({"op":"backward_slice","node":5})")
+                .node,
+            5u);
+  EXPECT_EQ(
+      parse_query<ForwardSliceQuery>(R"({"op":"forward_slice","node":0})")
+          .node,
+      0u);
+  EXPECT_EQ(parse_query<LatestWritersQuery>(
+                R"({"op":"latest_writers","node":9})")
+                .node,
+            9u);
+  EXPECT_EQ(parse_query<DataDependenciesQuery>(
+                R"({"op":"data_dependencies","node":2})")
+                .node,
+            2u);
+  EXPECT_EQ(parse_query<PageAccessorsQuery>(
+                R"({"op":"page_accessors","page":1048576})")
+                .page,
+            1048576u);
+
+  const auto hb = parse_query<HappensBeforeQuery>(
+      R"({"op":"happens_before","first":1,"second":2})");
+  EXPECT_EQ(hb.first, 1u);
+  EXPECT_EQ(hb.second, 2u);
+
+  const auto races = parse_query<RacesQuery>(
+      R"({"op":"races","limit":20,"ignored_pages":[7,3]})");
+  EXPECT_EQ(races.limit, 20u);
+  EXPECT_EQ(races.ignored_pages, (PageSet{7, 3}));  // raw; engine sorts
+
+  const auto taint = parse_query<TaintQuery>(
+      R"({"op":"taint","seed_pages":[1,2],"carryover":false,"sink_kind":7})");
+  EXPECT_EQ(taint.seed_pages, (PageSet{1, 2}));
+  EXPECT_FALSE(taint.track_register_carryover);
+  EXPECT_EQ(taint.sink_kind, sync::SyncEventKind::kBarrierWait);
+  const auto taint_defaults = parse_query<TaintQuery>(R"({"op":"taint"})");
+  EXPECT_TRUE(taint_defaults.track_register_carryover)
+      << "carryover defaults to true";
+  EXPECT_EQ(taint_defaults.sink_kind, sync::SyncEventKind::kThreadExit);
+
+  EXPECT_EQ(parse_query<InvalidateQuery>(
+                R"({"op":"invalidate","changed_pages":[3]})")
+                .changed_pages,
+            (PageSet{3}));
+  (void)parse_query<CriticalPathQuery>(R"({"op":"critical_path"})");
+  (void)parse_query<StatsQuery>(R"({"op":"stats"})");
+}
+
+TEST(WireParse, EnvelopeFieldsAndNext) {
+  auto parsed = wire::parse_request(
+      R"({"id":17,"op":"backward_slice","node":1,"page_size":32})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().id, 17u);
+  EXPECT_EQ(parsed.value().page_size, 32u);
+
+  auto next = wire::parse_request(R"({"id":9,"op":"next","cursor":4})");
+  ASSERT_TRUE(next.ok());
+  const auto* n = std::get_if<wire::NextRequest>(&next.value().op);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->cursor, 4u);
+}
+
+TEST(WireParse, MalformedRequestsAreTypedErrors) {
+  // Every one of these must produce kInvalidArgument with a usable
+  // message -- never a throw.
+  const struct {
+    const char* line;
+    const char* needle;
+  } cases[] = {
+      {"", "unexpected end"},
+      {"not json", "unexpected character"},
+      {"[1,2]", "must be a JSON object"},
+      {R"({"op":"backward_slice","node":5} trailing)", "trailing"},
+      {R"({"node":5})", "missing required field \"op\""},
+      {R"({"op":42})", "\"op\" must be a string"},
+      {R"({"op":"warp_speed"})", "unknown op"},
+      {R"({"op":"backward_slice"})", "missing required field \"node\""},
+      {R"({"op":"backward_slice","node":"five"})", "unsigned integer"},
+      {R"({"op":"backward_slice","node":-1})", "unsigned integers"},
+      {R"({"op":"backward_slice","node":1.5})", "unsigned integers"},
+      {R"({"op":"backward_slice","node":99999999999})", "node id range"},
+      {R"({"op":"backward_slice","node":5,"bogus":1})", "unknown field"},
+      {R"({"op":"taint","seed_pages":"all"})", "array of page ids"},
+      {R"({"op":"taint","seed_pages":[1,"x"]})", "unsigned integers"},
+      {R"({"op":"taint","carryover":1})", "must be a boolean"},
+      {R"({"op":"taint","sink_kind":99})", "SyncEventKind"},
+      {R"({"op":"next"})", "missing required field \"cursor\""},
+      {R"({"op":"next","cursor":1,"page_size":9})", "not allowed"},
+      {R"({"op":"stats","node":1})", "unknown field"},
+      {R"({"op":"stats","op":"races"})", "duplicate key"},
+      {R"({"op":"races","limit":18446744073709551616})", "overflows"},
+  };
+  for (const auto& c : cases) {
+    const Status status = parse_error(c.line);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << c.line;
+    EXPECT_NE(status.message().find(c.needle), std::string::npos)
+        << c.line << " -> " << status.message();
+  }
+}
+
+TEST(WireParse, UnicodeEscapesInStrings) {
+  // The serializer emits \u00XX for control characters, so the parser
+  // must accept standard \uXXXX escapes (including surrogate pairs).
+  auto ascii = wire::parse_request(R"({"op":"stats"})");
+  ASSERT_TRUE(ascii.ok()) << ascii.status().message();
+  EXPECT_TRUE(
+      std::holds_alternative<StatsQuery>(std::get<Query>(ascii.value().op)));
+
+  // \u escapes decode to UTF-8: "stats" is "stats"; a BMP
+  // codepoint plus a surrogate pair parse into an op name that does
+  // not exist, so the error is the typed unknown-op one (containing
+  // the decoded UTF-8 bytes), not an escape error.
+  auto escaped = wire::parse_request(R"({"op":"\u0073tats"})");
+  ASSERT_TRUE(escaped.ok()) << escaped.status().message();
+  EXPECT_TRUE(std::holds_alternative<StatsQuery>(
+      std::get<Query>(escaped.value().op)));
+  auto astral = wire::parse_request(R"({"op":"\u00e9\ud83d\ude00"})");
+  EXPECT_EQ(astral.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(
+      astral.status().message().find(
+          "unknown op \"\xC3\xA9\xF0\x9F\x98\x80\""),
+      std::string::npos)
+      << astral.status().message();
+
+  for (const char* line :
+       {R"({"op":"\u12"})", R"({"op":"\uZZZZ"})", R"({"op":"\ud83d"})",
+        R"({"op":"\ude00"})"}) {
+    const Status status = parse_error(line);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(WireParse, EchoIdSurvivesParseErrors) {
+  std::uint64_t id = 0;
+  auto parsed =
+      wire::parse_request(R"({"id":31,"op":"warp_speed"})", &id);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(id, 31u);
+}
+
+TEST(WireSerialize, CanonicalQueryFormIsStable) {
+  EXPECT_EQ(wire::serialize_query(BackwardSliceQuery{5}),
+            R"({"op":"backward_slice","node":5})");
+  EXPECT_EQ(wire::serialize_query(RacesQuery{20, {3, 7}}),
+            R"({"op":"races","limit":20,"ignored_pages":[3,7]})");
+  EXPECT_EQ(
+      wire::serialize_query(TaintQuery{{1, 2}, false}),
+      R"({"op":"taint","seed_pages":[1,2],"carryover":false,"sink_kind":10})");
+  EXPECT_EQ(wire::serialize_query(StatsQuery{}), R"({"op":"stats"})");
+
+  // The canonical form doubles as the engine cache key, so distinct
+  // queries must never collide.
+  EXPECT_NE(wire::serialize_query(BackwardSliceQuery{5}),
+            wire::serialize_query(ForwardSliceQuery{5}));
+}
+
+TEST(WireSerialize, ReplyEnvelopeAndPayloads) {
+  Reply reply;
+  reply.total_items = 3;
+  reply.result = NodeListResult{{1, 2, 3}};
+  EXPECT_EQ(wire::serialize_reply(7, Result<Reply>(reply)),
+            R"({"id":7,"status":"ok","total_items":3,"has_more":false,)"
+            R"("nodes":[1,2,3]})");
+
+  reply.has_more = true;
+  reply.cursor = 2;
+  EXPECT_EQ(wire::serialize_reply(7, Result<Reply>(reply)),
+            R"({"id":7,"status":"ok","total_items":3,"has_more":true,)"
+            R"("cursor":2,"nodes":[1,2,3]})");
+
+  Reply races;
+  races.total_items = 1;
+  races.result = RaceListResult{{{4, 9, 77, true}}};
+  EXPECT_EQ(wire::serialize_reply(1, Result<Reply>(races)),
+            R"({"id":1,"status":"ok","total_items":1,"has_more":false,)"
+            R"("races":[{"first":4,"second":9,"page":77,)"
+            R"("write_write":true}]})");
+
+  Reply edges;
+  edges.total_items = 1;
+  edges.result =
+      EdgeListResult{{cpg::Edge{1, 2, cpg::EdgeKind::kData, 77}}};
+  EXPECT_EQ(wire::serialize_reply(2, Result<Reply>(edges)),
+            R"({"id":2,"status":"ok","total_items":1,"has_more":false,)"
+            R"("edges":[{"from":1,"to":2,"kind":"data","object":77}]})");
+}
+
+TEST(WireSerialize, ErrorRepliesEscapeMessages) {
+  const Result<Reply> error(StatusCode::kNotFound, "no \"page\"\nhere");
+  EXPECT_EQ(wire::serialize_reply(3, error),
+            R"({"id":3,"status":"not_found",)"
+            R"("error":"no \"page\"\nhere"})");
+}
+
+TEST(WireRoundTrip, ParsedQuerySerializesBackToCanonicalForm) {
+  // The canonical form of every query must itself be parseable (logs
+  // of canonical queries are replayable), including taint's sink_kind.
+  const std::string canonicals[] = {
+      R"({"op":"races","limit":5,"ignored_pages":[1,2]})",
+      R"({"op":"taint","seed_pages":[1,2],"carryover":false,"sink_kind":10})",
+      R"({"op":"backward_slice","node":5})",
+      R"({"op":"critical_path"})",
+  };
+  for (const std::string& canonical : canonicals) {
+    auto parsed = wire::parse_request(canonical);
+    ASSERT_TRUE(parsed.ok()) << canonical << ": "
+                             << parsed.status().message();
+    EXPECT_EQ(wire::serialize_query(std::get<Query>(parsed.value().op)),
+              canonical);
+  }
+}
+
+}  // namespace

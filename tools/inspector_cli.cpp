@@ -25,12 +25,10 @@
 //   --image FILE       write the binary image (for inspector_report)
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "analysis/critical_path.h"
-#include "analysis/races.h"
-#include "analysis/taint.h"
 #include "core/inspector.h"
 #include "core/report.h"
 #include "cpg/journal.h"
@@ -38,6 +36,7 @@
 #include "ptsim/image.h"
 #include "memtrack/shared_memory.h"
 #include "perf/data_file.h"
+#include "query/engine.h"
 #include "replay/replay.h"
 #include "util/parallel.h"
 #include "workloads/registry.h"
@@ -162,6 +161,11 @@ int run(const CliArgs& args) {
   const auto result = insp.run(program);
   const auto& stats = result.stats;
   const auto& graph = *result.graph;
+  // The analysis flags below are thin shims over the unified query
+  // engine. The snapshot aliases the run's graph (non-owning: `result`
+  // outlives the engine for the rest of this function).
+  query::QueryEngine engine(
+      std::shared_ptr<const cpg::Graph>(&graph, [](const cpg::Graph*) {}));
   const auto gstats = graph.stats();
 
   std::cout << args.workload << ": " << stats.threads_spawned << " threads, "
@@ -192,25 +196,32 @@ int run(const CliArgs& args) {
     if (!v.ok) std::cout << v.detail;
   }
   if (args.races) {
-    analysis::RaceOptions race_options;
-    race_options.limit = 20;
-    const auto races = analysis::find_races(graph, race_options);
+    query::RacesQuery races_query;
+    races_query.limit = 20;
+    const auto reply = engine.run(races_query);
+    if (!reply.ok()) {
+      std::cerr << "race query failed: " << reply.status().message() << "\n";
+      return 1;
+    }
+    const auto& races = std::get<query::RaceListResult>(reply->result).races;
     std::cout << "race detector: " << races.size()
               << " conflicting concurrent pair(s)\n";
     for (const auto& r : races) std::cout << "  " << r << "\n";
   }
   if (args.taint) {
-    std::unordered_set<std::uint64_t> seeds;
+    query::TaintQuery taint_query;
     for (const auto& w : program.input) {
-      seeds.insert(memtrack::page_id_of(w.addr));
+      taint_query.seed_pages.push_back(memtrack::page_id_of(w.addr));
     }
-    const auto taint = analysis::propagate_taint(graph, seeds);
-    const auto sinks = analysis::tainted_sinks(
-        graph, taint, sync::SyncEventKind::kThreadExit);
-    std::cout << "taint: " << taint.tainted_nodes.size() << "/"
-              << gstats.nodes << " sub-computations, "
-              << taint.tainted_pages.size() << " pages, " << sinks.size()
-              << " tainted output site(s)\n";
+    const auto reply = engine.run(taint_query);  // engine normalizes seeds
+    if (!reply.ok()) {
+      std::cerr << "taint query failed: " << reply.status().message() << "\n";
+      return 1;
+    }
+    const auto& flow = std::get<query::FlowResult>(reply->result);
+    std::cout << "taint: " << flow.nodes.size() << "/" << gstats.nodes
+              << " sub-computations, " << flow.pages.size() << " pages, "
+              << flow.sinks.size() << " tainted output site(s)\n";
   }
   if (args.replay) {
     const bool ok = replay::replay_matches(program, graph, *result.memory);
@@ -219,8 +230,14 @@ int run(const CliArgs& args) {
     if (!ok) return 1;
   }
   if (args.critical_path) {
-    const auto cp = analysis::critical_path(graph);
-    std::cout << "critical path: " << cp.length << " of " << cp.total_nodes
+    const auto reply = engine.run(query::CriticalPathQuery{});
+    if (!reply.ok()) {
+      std::cerr << "critical-path query failed: " << reply.status().message()
+                << "\n";
+      return 1;
+    }
+    const auto& cp = std::get<query::CriticalPathResult>(reply->result);
+    std::cout << "critical path: " << cp.length() << " of " << cp.total_nodes
               << " sub-computations (parallelism "
               << core::format_fixed(cp.parallelism(), 2) << ")\n";
   }

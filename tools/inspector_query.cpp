@@ -1,0 +1,223 @@
+// inspector_query -- serve provenance queries over a captured CPG.
+//
+// The paper's workflow is capture once, ask questions later: a traced
+// run persists its Concurrent Provenance Graph (inspector_cli
+// --dump-cpg), and an analyst -- or a fleet of them -- queries it.
+// This tool is that serving front-end: it loads a serialized CPG into
+// an immutable snapshot, stands a QueryEngine on top, and answers
+// line-delimited JSON requests (query/wire.h) from stdin or a request
+// file.
+//
+//   inspector_query <cpg.bin> [--requests FILE] [--analysis-threads N]
+//                   [--page-size N]
+//
+// With --requests, the whole file is executed as one batch: queries
+// fan out over the analysis pool and replies print in request order --
+// bit-identical at every worker count, which is what the CI smoke test
+// diffs against its golden reply. "next" requests resolve against
+// cursors issued earlier in the same file (cursor ids are assigned in
+// request order, starting at 1). Without --requests, requests are read
+// interactively from stdin, one reply per line.
+//
+// Exit status: 0 even when individual queries fail (their errors are
+// on the wire); nonzero only when the tool itself cannot run (bad
+// usage, unreadable CPG).
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "cpg/serialize.h"
+#include "query/engine.h"
+#include "query/wire.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector;
+
+int usage() {
+  std::cerr << "usage: inspector_query <cpg.bin> [--requests FILE] "
+               "[--analysis-threads N] [--page-size N]\n"
+               "see the header of tools/inspector_query.cpp for the "
+               "wire format\n";
+  return 2;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("read failed: " + path);
+  return bytes;
+}
+
+struct ToolArgs {
+  std::string cpg_path;
+  std::string requests_path;  ///< empty = interactive stdin
+  std::uint64_t default_page_size = 0;
+};
+
+bool parse_args(int argc, char** argv, ToolArgs& args) {
+  if (argc < 2) return false;
+  args.cpg_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--requests") {
+      args.requests_path = next();
+    } else if (a == "--analysis-threads") {
+      const auto workers = util::parse_analysis_threads(next());
+      if (!workers) {
+        std::cerr << "--analysis-threads must be an integer in [1, 1024]\n";
+        return false;
+      }
+      util::set_analysis_threads(*workers);
+    } else if (a == "--page-size") {
+      const std::string value = next();
+      std::uint64_t parsed = 0;
+      bool valid = !value.empty() && value.size() <= 18;
+      for (const char c : value) {
+        if (c < '0' || c > '9') valid = false;
+      }
+      if (valid) parsed = std::stoull(value);
+      if (!valid) {
+        std::cerr << "--page-size must be a non-negative integer\n";
+        return false;
+      }
+      args.default_page_size = parsed;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A parsed line of the request stream, or the parse error to echo.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  query::Result<query::wire::Request> parsed;
+};
+
+query::QueryOptions options_for(const query::wire::Request& request,
+                                const ToolArgs& args) {
+  query::QueryOptions options;
+  options.page_size =
+      request.page_size != 0 ? request.page_size : args.default_page_size;
+  return options;
+}
+
+/// Execute the request file as one deterministic batch: consecutive
+/// queries fan out together; a "next" request is a barrier (it reads a
+/// cursor an earlier request created).
+int serve_batch(query::QueryEngine& engine, const ToolArgs& args) {
+  std::ifstream in(args.requests_path);
+  if (!in) {
+    std::cerr << "error: cannot open " << args.requests_path << "\n";
+    return 1;
+  }
+  std::vector<PendingRequest> pending;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::uint64_t echo_id = 0;
+    PendingRequest p{0, query::wire::parse_request(line, &echo_id)};
+    p.id = echo_id;
+    pending.push_back(std::move(p));
+  }
+
+  std::vector<std::string> replies(pending.size());
+  std::vector<std::size_t> wave;  ///< indices of engine queries to fan out
+  const auto flush_wave = [&] {
+    if (wave.empty()) return;
+    std::vector<query::QueryEngine::BatchItem> items;
+    items.reserve(wave.size());
+    for (const std::size_t i : wave) {
+      const auto& request = pending[i].parsed.value();
+      items.push_back({std::get<query::Query>(request.op),
+                       options_for(request, args)});
+    }
+    const auto results =
+        engine.run_batch(query::QueryEngine::kDefaultSession, items);
+    for (std::size_t k = 0; k < wave.size(); ++k) {
+      replies[wave[k]] =
+          query::wire::serialize_reply(pending[wave[k]].id, results[k]);
+    }
+    wave.clear();
+  };
+
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PendingRequest& p = pending[i];
+    if (!p.parsed.ok()) {
+      replies[i] = query::wire::serialize_reply(
+          p.id, query::Result<query::Reply>(p.parsed.status()));
+      continue;
+    }
+    if (const auto* next_request =
+            std::get_if<query::wire::NextRequest>(&p.parsed.value().op)) {
+      flush_wave();  // the cursor may be issued by an earlier query
+      replies[i] = query::wire::serialize_reply(
+          p.id, engine.next(next_request->cursor));
+      continue;
+    }
+    wave.push_back(i);
+  }
+  flush_wave();
+
+  for (const std::string& reply : replies) std::cout << reply << "\n";
+  return 0;
+}
+
+/// Interactive mode: one request per stdin line, reply immediately.
+int serve_stdin(query::QueryEngine& engine, const ToolArgs& args) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::uint64_t id = 0;
+    const auto parsed = query::wire::parse_request(line, &id);
+    std::string reply;
+    if (!parsed.ok()) {
+      reply = query::wire::serialize_reply(
+          id, query::Result<query::Reply>(parsed.status()));
+    } else if (const auto* next_request =
+                   std::get_if<query::wire::NextRequest>(
+                       &parsed.value().op)) {
+      reply = query::wire::serialize_reply(
+          id, engine.next(next_request->cursor));
+    } else {
+      reply = query::wire::serialize_reply(
+          id, engine.run(std::get<query::Query>(parsed.value().op),
+                         options_for(parsed.value(), args)));
+    }
+    std::cout << reply << "\n" << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolArgs args;
+  try {
+    if (!parse_args(argc, argv, args)) return usage();
+    auto snapshot = std::make_shared<const cpg::Graph>(
+        cpg::deserialize(read_file(args.cpg_path)));
+    query::QueryEngine engine(std::move(snapshot));
+    return args.requests_path.empty() ? serve_stdin(engine, args)
+                                      : serve_batch(engine, args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -11,10 +11,11 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
-#include "analysis/critical_path.h"
 #include "cpg/journal.h"
 #include "cpg/offline.h"
 #include "cpg/serialize.h"
@@ -22,6 +23,7 @@
 #include "perf/data_file.h"
 #include "ptsim/flow.h"
 #include "ptsim/image.h"
+#include "query/engine.h"
 #include "util/parallel.h"
 
 namespace {
@@ -88,12 +90,25 @@ int main(int argc, char** argv) {
       }
     }
 
-    const auto graph =
-        inspector::cpg::rebuild_from_journal(journal, branches);
+    const auto snapshot = std::make_shared<const inspector::cpg::Graph>(
+        inspector::cpg::rebuild_from_journal(journal, branches));
+    const auto& graph = *snapshot;
     std::string reason;
     const bool valid = graph.validate(&reason);
     const auto stats = graph.stats();
-    const auto cp = inspector::analysis::critical_path(graph);
+
+    // Summary analytics go through the unified query engine, like
+    // every other consumer of a captured run.
+    inspector::query::QueryEngine engine(snapshot);
+    const auto cp_reply =
+        engine.run(inspector::query::CriticalPathQuery{});
+    if (!cp_reply.ok()) {
+      std::cerr << "critical-path query failed: "
+                << cp_reply.status().message() << "\n";
+      return 1;
+    }
+    const auto& cp = std::get<inspector::query::CriticalPathResult>(
+        cp_reply->result);
 
     std::cout << "offline CPG rebuilt from " << argv[1] << " + " << argv[2]
               << "\n"
@@ -107,7 +122,7 @@ int main(int argc, char** argv) {
               << "  thunks: " << stats.thunks << ", pages: "
               << stats.read_pages << " read / " << stats.write_pages
               << " written\n"
-              << "  critical path: " << cp.length << " (parallelism "
+              << "  critical path: " << cp.length() << " (parallelism "
               << inspector::core::format_fixed(cp.parallelism(), 2) << ")\n"
               << "  valid: " << (valid ? "yes" : reason) << "\n";
 

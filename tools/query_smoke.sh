@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the provenance query service: capture a CPG with
+# inspector_cli, pipe the canned request file through inspector_query
+# at 1 and 8 analysis workers, and diff both reply streams against the
+# checked-in golden file. Any diff means the wire format, the engine's
+# answers, or the worker-count determinism contract regressed.
+#
+#   query_smoke.sh <inspector_cli> <inspector_query> <data_dir> [tmp_dir]
+set -euo pipefail
+
+if [ $# -lt 3 ]; then
+  echo "usage: $0 <inspector_cli> <inspector_query> <data_dir> [tmp_dir]" >&2
+  exit 2
+fi
+
+CLI=$1
+QUERY=$2
+DATA_DIR=$3
+if [ $# -ge 4 ]; then
+  TMP_DIR=$4
+  trap 'rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w"' EXIT
+else
+  TMP_DIR=$(mktemp -d)
+  trap 'rm -rf "$TMP_DIR"' EXIT
+fi
+
+REQUESTS="$DATA_DIR/query_smoke_requests.jsonl"
+GOLDEN="$DATA_DIR/query_smoke_golden.jsonl"
+
+# The capture is a deterministic simulation: same workload, threads,
+# scale, and seed always produce the same CPG, so the golden replies
+# are stable across machines.
+"$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
+    --dump-cpg "$TMP_DIR/smoke.cpg" > /dev/null
+
+"$QUERY" "$TMP_DIR/smoke.cpg" --requests "$REQUESTS" \
+    --analysis-threads 1 > "$TMP_DIR/smoke.1w"
+"$QUERY" "$TMP_DIR/smoke.cpg" --requests "$REQUESTS" \
+    --analysis-threads 8 > "$TMP_DIR/smoke.8w"
+
+diff -u "$GOLDEN" "$TMP_DIR/smoke.1w" || {
+  echo "FAIL: 1-worker replies differ from the golden file" >&2
+  exit 1
+}
+diff -u "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" || {
+  echo "FAIL: replies differ between 1 and 8 workers" >&2
+  exit 1
+}
+echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers"
