@@ -1,0 +1,232 @@
+// bench_shard_scaling -- cost model of the sharded CPG store
+// (src/shard/): store build time, serving throughput, and the
+// resident-set ceiling as the shard count grows, against the unsharded
+// engine on the same history. One machine-readable JSON line per
+// (shard count, budget mode): build ms, batch qps, resident/peak
+// bytes, loads + evictions, and a reply fingerprint compared to the
+// unsharded baseline -- "identical":false on any line is a correctness
+// bug, not a performance result.
+//
+// Deliberately not a google-benchmark binary (same rationale as
+// bench_query_throughput): the unit of interest is one store build and
+// one serving batch per configuration.
+//
+//   bench_shard_scaling [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpg/recorder.h"
+#include "query/engine.h"
+#include "query/wire.h"
+#include "shard/engine.h"
+#include "shard/planner.h"
+#include "shard/store.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector;
+using Clock = std::chrono::steady_clock;
+
+/// Barrier-round synthetic CPG (the bench_query_throughput shape).
+cpg::Graph synthetic_cpg(std::uint32_t threads, std::uint32_t rounds,
+                         std::uint64_t pages_per_node) {
+  using sync::SyncEventKind;
+  const auto barrier = sync::make_object_id(sync::ObjectKind::kBarrier, 1);
+  cpg::Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      PageSet reads;
+      PageSet writes;
+      const std::uint32_t neighbour = (t + 1) % threads;
+      for (std::uint64_t p = 0; p < pages_per_node; ++p) {
+        writes.push_back((static_cast<std::uint64_t>(t) * pages_per_node + p) %
+                         (threads * pages_per_node));
+        reads.push_back(
+            (static_cast<std::uint64_t>(neighbour) * pages_per_node + p) %
+            (threads * pages_per_node));
+      }
+      std::sort(reads.begin(), reads.end());
+      std::sort(writes.begin(), writes.end());
+      rec.end_subcomputation(t, std::move(reads), std::move(writes),
+                             {SyncEventKind::kBarrierWait, barrier});
+      rec.on_release(t, barrier);
+    }
+    for (std::uint32_t t = 0; t < threads; ++t) rec.on_acquire(t, barrier);
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_exiting(t, {}, {});
+  return std::move(rec).finalize();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// A serving mix: mostly page-local routing plus a few full analyses.
+std::vector<query::Query> serving_batch(const cpg::Graph& g,
+                                        std::size_t count) {
+  const auto nodes = static_cast<cpg::NodeId>(g.nodes().size());
+  const auto pages = g.pages();
+  std::vector<query::Query> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto node = static_cast<cpg::NodeId>(i % nodes);
+    switch (i % 8) {
+      case 0:
+        batch.emplace_back(query::LatestWritersQuery{node});
+        break;
+      case 1:
+        batch.emplace_back(query::PageAccessorsQuery{pages[i % pages.size()]});
+        break;
+      case 2:
+        batch.emplace_back(query::HappensBeforeQuery{
+            node, static_cast<cpg::NodeId>((i * 7 + 1) % nodes)});
+        break;
+      case 3:
+        batch.emplace_back(query::DataDependenciesQuery{node});
+        break;
+      case 4:
+        batch.emplace_back(query::BackwardSliceQuery{node});
+        break;
+      case 5:
+        batch.emplace_back(query::TaintQuery{{pages[i % pages.size()]}, true});
+        break;
+      case 6:
+        batch.emplace_back(query::RacesQuery{20, {}});
+        break;
+      default:
+        batch.emplace_back(query::StatsQuery{});
+        break;
+    }
+  }
+  return batch;
+}
+
+std::uint64_t run_fingerprinted(query::QueryEngine& engine,
+                                const std::vector<query::Query>& batch,
+                                double& out_ms) {
+  query::QueryOptions options;
+  options.skip_cache = true;
+  const auto t0 = Clock::now();
+  const auto replies = engine.run_batch(query::QueryEngine::kDefaultSession,
+                                        batch, options);
+  out_ms = ms_since(t0);
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    hash = fnv1a(hash, query::wire::serialize_reply(i + 1, replies[i]));
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const cpg::Graph source =
+      quick ? synthetic_cpg(8, 16, 12) : synthetic_cpg(16, 48, 20);
+  const std::size_t batch_size = quick ? 64 : 256;
+  const auto batch = serving_batch(source, batch_size);
+
+  double unsharded_ms = 0;
+  std::uint64_t baseline = 0;
+  {
+    query::QueryEngine engine(std::make_shared<const cpg::Graph>(source));
+    baseline = run_fingerprinted(engine, batch, unsharded_ms);
+    std::cout << "{\"bench\":\"shard_scaling\",\"mode\":\"unsharded\","
+              << "\"nodes\":" << source.nodes().size()
+              << ",\"shards\":0,\"batch\":" << batch.size()
+              << ",\"qps\":"
+              << (unsharded_ms > 0
+                      ? 1000.0 * static_cast<double>(batch.size()) /
+                            unsharded_ms
+                      : 0.0)
+              << ",\"ms\":" << unsharded_ms << ",\"identical\":true}\n";
+  }
+
+  const std::string base_dir =
+      (std::filesystem::temp_directory_path() / "bench_shard_scaling")
+          .string();
+  bool all_identical = true;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const std::string dir = base_dir + "_" + std::to_string(shards);
+    std::filesystem::remove_all(dir);
+    const auto t0 = Clock::now();
+    const auto manifest =
+        shard::write_store(source, dir, shard::PlanOptions{shards});
+    const double build_ms = ms_since(t0);
+    if (!manifest.ok()) {
+      std::cerr << "store build failed: " << manifest.status().message()
+                << "\n";
+      return 1;
+    }
+    std::uint64_t total_bytes = 0;
+    std::uint64_t max_shard = 0;
+    for (const auto& info : manifest->shards) {
+      total_bytes += info.byte_size;
+      max_shard = std::max(max_shard, info.byte_size);
+    }
+    // Two budget modes: everything resident, and an out-of-core budget
+    // of about half the store (floored at one shard).
+    const std::uint64_t half_budget = std::max(max_shard, total_bytes / 2);
+    for (const std::uint64_t budget : {std::uint64_t{0}, half_budget}) {
+      shard::StoreOptions options;
+      options.memory_budget_bytes = budget;
+      auto opened = shard::ShardStore::open(dir, options);
+      if (!opened.ok()) {
+        std::cerr << "store open failed: " << opened.status().message()
+                  << "\n";
+        return 1;
+      }
+      const auto store = opened.value();
+      shard::ShardedQueryEngine engine(store);
+      double serve_ms = 0;
+      const std::uint64_t hash = run_fingerprinted(engine, batch, serve_ms);
+      const bool identical = hash == baseline;
+      all_identical = all_identical && identical;
+      const auto stats = store->stats();
+      std::cout << "{\"bench\":\"shard_scaling\",\"mode\":\""
+                << (budget == 0 ? "resident" : "out_of_core")
+                << "\",\"nodes\":" << source.nodes().size()
+                << ",\"shards\":" << shards
+                << ",\"build_ms\":" << build_ms
+                << ",\"store_bytes\":" << total_bytes
+                << ",\"budget_bytes\":" << budget
+                << ",\"peak_resident_bytes\":" << stats.peak_resident_bytes
+                << ",\"loads\":" << stats.loads
+                << ",\"evictions\":" << stats.evictions
+                << ",\"batch\":" << batch.size() << ",\"ms\":" << serve_ms
+                << ",\"qps\":"
+                << (serve_ms > 0 ? 1000.0 * static_cast<double>(batch.size()) /
+                                       serve_ms
+                                 : 0.0)
+                << ",\"slowdown_vs_unsharded\":"
+                << (unsharded_ms > 0 ? serve_ms / unsharded_ms : 0.0)
+                << ",\"identical\":" << (identical ? "true" : "false")
+                << "}\n";
+    }
+    std::filesystem::remove_all(dir);
+  }
+  if (!all_identical) {
+    std::cerr << "CORRECTNESS VIOLATION: sharded replies differ from the "
+                 "unsharded engine\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Storage-independent internals of the race detector.
+//
+// The pair-conflict bookkeeping, the commutative min-merge, and the
+// report emission are shared verbatim between the in-memory scan
+// (analysis/races.cpp) and the sharded out-of-core scan
+// (shard/engine.cpp) -- the two must stay byte-identical, so the
+// pieces that do not touch storage live here once. Only the page
+// scan itself differs per backend (how accessor buckets and node
+// payloads are fetched).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/races.h"
+#include "cpg/node.h"
+#include "util/page_set.h"
+
+namespace inspector::analysis::detail {
+
+using MinPage = std::optional<std::uint64_t>;
+
+inline void note_page(MinPage& slot, std::uint64_t page) {
+  if (!slot || page < *slot) slot = page;
+}
+
+/// Conflict evidence accumulated for one concurrent node pair (first <
+/// second by id). Priority and page choice mirror the pairwise scan
+/// the detector used to do: a write/write conflict wins, then the
+/// smallest page in first's write set vs second's read set, then the
+/// converse.
+struct PairConflicts {
+  MinPage ww;  ///< min page both wrote
+  MinPage wr;  ///< min page first wrote, second read
+  MinPage rw;  ///< min page first read, second wrote
+};
+
+/// Keyed by (first << 32) | second with first < second.
+using PairMap = std::unordered_map<std::uint64_t, PairConflicts>;
+
+/// Per-worker map merge for the parallel full scan: per-slot minimum,
+/// commutative, so the merged map is identical at every worker count.
+inline void merge_min(PairMap& into, const PairMap& from) {
+  for (const auto& [key, c] : from) {
+    auto [it, inserted] = into.try_emplace(key, c);
+    if (!inserted) {
+      if (c.ww) note_page(it->second.ww, *c.ww);
+      if (c.wr) note_page(it->second.wr, *c.wr);
+      if (c.rw) note_page(it->second.rw, *c.rw);
+    }
+  }
+}
+
+/// Reports from an accumulated pair map, in (first, second) order.
+/// `node_of` resolves a node id to its payload (graph lookup or shard
+/// pin) -- only consulted on the truncated path, which re-derives the
+/// minima from the page sets.
+template <typename NodeOf>
+std::vector<RaceReport> emit_reports(NodeOf&& node_of, const PairMap& pairs,
+                                     const PageSet& ignored, bool truncated,
+                                     std::size_t limit) {
+  std::vector<std::uint64_t> racy_keys;
+  racy_keys.reserve(pairs.size());
+  for (const auto& [key, c] : pairs) racy_keys.push_back(key);
+  std::sort(racy_keys.begin(), racy_keys.end());
+
+  std::vector<RaceReport> races;
+  for (const std::uint64_t key : racy_keys) {
+    const auto first = static_cast<cpg::NodeId>(key >> 32);
+    const auto second = static_cast<cpg::NodeId>(key & 0xFFFFFFFF);
+    PairConflicts mins = pairs.at(key);
+    if (truncated) {
+      const cpg::SubComputation& a = node_of(first);
+      const cpg::SubComputation& b = node_of(second);
+      mins.ww = page_set_first_intersection(a.write_set, b.write_set, ignored);
+      mins.wr = page_set_first_intersection(a.write_set, b.read_set, ignored);
+      mins.rw = page_set_first_intersection(a.read_set, b.write_set, ignored);
+    }
+    if (!mins.ww && !mins.wr && !mins.rw) continue;
+    RaceReport report;
+    report.first = first;
+    report.second = second;
+    report.write_write = mins.ww.has_value();
+    report.page = mins.ww ? *mins.ww : (mins.wr ? *mins.wr : *mins.rw);
+    races.push_back(report);
+    if (limit != 0 && races.size() >= limit) break;
+  }
+  return races;
+}
+
+}  // namespace inspector::analysis::detail

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <optional>
 #include <ostream>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "analysis/race_pairs.h"
 #include "util/page_set.h"
 #include "util/parallel.h"
 
@@ -22,23 +21,9 @@ std::ostream& operator<<(std::ostream& os, const RaceReport& report) {
 
 namespace {
 
-using MinPage = std::optional<std::uint64_t>;
-
-void note_page(MinPage& slot, std::uint64_t page) {
-  if (!slot || page < *slot) slot = page;
-}
-
-/// Conflict evidence accumulated for one concurrent node pair (first <
-/// second by id). Priority and page choice mirror the pairwise scan the
-/// detector used to do: a write/write conflict wins, then the smallest
-/// page in first's write set vs second's read set, then the converse.
-struct PairConflicts {
-  MinPage ww;  ///< min page both wrote
-  MinPage wr;  ///< min page first wrote, second read
-  MinPage rw;  ///< min page first read, second wrote
-};
-
-using PairMap = std::unordered_map<std::uint64_t, PairConflicts>;
+using detail::note_page;
+using detail::PairConflicts;
+using detail::PairMap;
 
 /// Scan one page's writer/reader buckets into `pairs`. Only concurrent
 /// (racy) pairs are stored -- hb-ordered pairs are recheck-on-probe (a
@@ -79,40 +64,6 @@ void scan_page(const cpg::Graph& graph, std::uint64_t page,
   }
 }
 
-/// Reports from an accumulated pair map, in (first, second) order.
-std::vector<RaceReport> emit_reports(const cpg::Graph& graph,
-                                     const PairMap& pairs,
-                                     const PageSet& ignored, bool truncated,
-                                     std::size_t limit) {
-  std::vector<std::uint64_t> racy_keys;
-  racy_keys.reserve(pairs.size());
-  for (const auto& [key, c] : pairs) racy_keys.push_back(key);
-  std::sort(racy_keys.begin(), racy_keys.end());
-
-  std::vector<RaceReport> races;
-  for (const std::uint64_t key : racy_keys) {
-    const auto first = static_cast<cpg::NodeId>(key >> 32);
-    const auto second = static_cast<cpg::NodeId>(key & 0xFFFFFFFF);
-    PairConflicts mins = pairs.at(key);
-    if (truncated) {
-      const auto& a = graph.node(first);
-      const auto& b = graph.node(second);
-      mins.ww = page_set_first_intersection(a.write_set, b.write_set, ignored);
-      mins.wr = page_set_first_intersection(a.write_set, b.read_set, ignored);
-      mins.rw = page_set_first_intersection(a.read_set, b.write_set, ignored);
-    }
-    if (!mins.ww && !mins.wr && !mins.rw) continue;
-    RaceReport report;
-    report.first = first;
-    report.second = second;
-    report.write_write = mins.ww.has_value();
-    report.page = mins.ww ? *mins.ww : (mins.wr ? *mins.wr : *mins.rw);
-    races.push_back(report);
-    if (limit != 0 && races.size() >= limit) break;
-  }
-  return races;
-}
-
 }  // namespace
 
 std::vector<RaceReport> find_races(const cpg::Graph& graph,
@@ -120,6 +71,9 @@ std::vector<RaceReport> find_races(const cpg::Graph& graph,
   PageSet ignored = options.ignored_pages;
   page_set_normalize(ignored);
   const auto pages = graph.pages();
+  const auto node_of = [&graph](cpg::NodeId id) -> const cpg::SubComputation& {
+    return graph.node(id);
+  };
 
   // Page-major scan over the inverted index: candidate pairs are only
   // the nodes that actually touched the same page, instead of all
@@ -147,7 +101,8 @@ std::vector<RaceReport> find_races(const cpg::Graph& graph,
       scan_page(graph, page, graph.writers_at(idx), graph.readers_at(idx),
                 pairs);
     }
-    return emit_reports(graph, pairs, ignored, truncated, options.limit);
+    return detail::emit_reports(node_of, pairs, ignored, truncated,
+                                options.limit);
   }
 
   // Full scan, partitioned by dense page index: per-page buckets are
@@ -169,17 +124,10 @@ std::vector<RaceReport> find_races(const cpg::Graph& graph,
       });
   PairMap merged = std::move(local[0]);
   for (unsigned w = 1; w < pool->worker_count(); ++w) {
-    for (auto& [key, c] : local[w]) {
-      auto [it, inserted] = merged.try_emplace(key, c);
-      if (!inserted) {
-        if (c.ww) note_page(it->second.ww, *c.ww);
-        if (c.wr) note_page(it->second.wr, *c.wr);
-        if (c.rw) note_page(it->second.rw, *c.rw);
-      }
-    }
+    detail::merge_min(merged, local[w]);
   }
-  return emit_reports(graph, merged, ignored, /*truncated=*/false,
-                      /*limit=*/0);
+  return detail::emit_reports(node_of, merged, ignored, /*truncated=*/false,
+                              /*limit=*/0);
 }
 
 bool race_free(const cpg::Graph& graph) {

@@ -1,0 +1,183 @@
+// Little-endian binary readers/writers shared by the CPG file formats.
+//
+// serialize.cpp (whole-graph "CPG1" files) and the sharded store
+// (src/shard/, per-shard files plus a manifest) encode with the same
+// primitives, and both open with the same versioned header: a u32
+// magic identifying the file kind followed by a u32 format version.
+// check_header() turns the two classic stale-file failure modes --
+// "this is not one of our files at all" and "this file is from
+// another format generation" -- into precise SerializeError messages
+// instead of whatever a misparsed length field would have produced
+// downstream; callers convert SerializeError into a typed Status at
+// their API boundary.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace inspector::cpg::detail {
+
+/// Any structural problem with an encoded buffer: truncation, a bad
+/// magic, an unsupported version, an implausible length field.
+class SerializeError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u32_vec(const std::vector<std::uint32_t>& v) {
+    u64(v.size());
+    for (std::uint32_t x : v) u32(x);
+  }
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+  void u8_vec(const std::vector<std::uint8_t>& v) {
+    u64(v.size());
+    out_.insert(out_.end(), v.begin(), v.end());
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return in_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::vector<std::uint32_t> u32_vec() {
+    const std::uint64_t n = counted(4, "u32 vector");
+    std::vector<std::uint32_t> v(n);
+    for (auto& x : v) x = u32();
+    return v;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = counted(8, "u64 vector");
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = u64();
+    return v;
+  }
+  std::vector<std::uint8_t> u8_vec() {
+    const auto v = u8_view();
+    return {v.begin(), v.end()};
+  }
+  /// Zero-copy form of u8_vec(): a length-prefixed view into the
+  /// underlying buffer, valid only while that buffer lives. Nested
+  /// sections (a shard's embedded graph) decode through this so the
+  /// dominant payload is never duplicated.
+  std::span<const std::uint8_t> u8_view() {
+    const std::uint64_t n = counted(1, "byte vector");
+    need(n, "byte vector payload");
+    const auto v = in_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = counted(1, "string");
+    need(n, "string payload");
+    std::string s(reinterpret_cast<const char*>(in_.data()) + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return in_.size() - pos_;
+  }
+
+  /// Read a length prefix and reject counts the buffer cannot hold
+  /// (`element_size` = the record's minimum encoded size). The one
+  /// plausibility guard for every counted section in every format --
+  /// the vec readers above use it, and callers decoding records by
+  /// hand must too, so no reserve() ever honors a corrupt count.
+  std::uint64_t counted(std::uint64_t element_size, const char* what) {
+    const std::uint64_t n = u64();
+    if (n > remaining() / element_size) {
+      throw SerializeError(std::string("implausible ") + what + " length " +
+                           std::to_string(n) + " with " +
+                           std::to_string(remaining()) + " bytes left");
+    }
+    return n;
+  }
+
+ private:
+  void need(std::uint64_t n, const char* what) const {
+    if (n > in_.size() - pos_) {
+      throw SerializeError(std::string("truncated buffer reading ") + what +
+                           " at offset " + std::to_string(pos_));
+    }
+  }
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+inline void write_header(ByteWriter& w, std::uint32_t magic,
+                         std::uint32_t version) {
+  w.u32(magic);
+  w.u32(version);
+}
+
+/// Check magic + exact version, with messages that name the file kind.
+inline void check_header(ByteReader& r, std::uint32_t magic,
+                         std::uint32_t version, const char* what) {
+  const std::uint32_t got_magic = r.u32();
+  if (got_magic != magic) {
+    throw SerializeError(std::string("not a ") + what +
+                         " file (bad magic 0x" + [&] {
+                           char buf[9];
+                           std::snprintf(buf, sizeof buf, "%08x", got_magic);
+                           return std::string(buf);
+                         }() + ")");
+  }
+  const std::uint32_t got_version = r.u32();
+  if (got_version != version) {
+    throw SerializeError(std::string(what) + " format version " +
+                         std::to_string(got_version) +
+                         " is not supported (this build reads version " +
+                         std::to_string(version) +
+                         "); re-export the file with a matching build");
+  }
+}
+
+}  // namespace inspector::cpg::detail

@@ -1,79 +1,21 @@
 #include "cpg/serialize.h"
 
-#include <cstring>
+#include <exception>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "cpg/binary_io.h"
 
 namespace inspector::cpg {
 
-namespace {
-
-constexpr std::uint32_t kMagic = 0x31475043;  // "CPG1"
-
-class Writer {
- public:
-  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
-
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64_vec(const std::vector<std::uint64_t>& v) {
-    u64(v.size());
-    for (std::uint64_t x : v) u64(x);
-  }
-
- private:
-  std::vector<std::uint8_t>& out_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return in_[pos_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
-    return v;
-  }
-  std::vector<std::uint64_t> u64_vec() {
-    const std::uint64_t n = u64();
-    if (n > in_.size()) throw std::runtime_error("CPG deserialize: bad vector size");
-    std::vector<std::uint64_t> v(n);
-    for (auto& x : v) x = u64();
-    return v;
-  }
-
- private:
-  void need(std::size_t n) const {
-    if (pos_ + n > in_.size()) {
-      throw std::runtime_error("CPG deserialize: truncated buffer");
-    }
-  }
-  const std::vector<std::uint8_t>& in_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
+using detail::ByteReader;
+using detail::ByteWriter;
 
 std::vector<std::uint8_t> serialize(const Graph& graph) {
   std::vector<std::uint8_t> out;
-  Writer w(out);
-  w.u32(kMagic);
+  ByteWriter w(out);
+  detail::write_header(w, kCpgMagic, kCpgFormatVersion);
   w.u64(graph.nodes().size());
   for (const auto& n : graph.nodes()) {
     w.u32(n.id);
@@ -112,64 +54,75 @@ std::vector<std::uint8_t> serialize(const Graph& graph) {
   return out;
 }
 
-Graph deserialize(const std::vector<std::uint8_t>& bytes) {
-  Reader r(bytes);
-  if (r.u32() != kMagic) {
-    throw std::runtime_error("CPG deserialize: bad magic");
-  }
-  const std::uint64_t node_count = r.u64();
-  std::vector<SubComputation> nodes;
-  nodes.reserve(node_count);
-  for (std::uint64_t i = 0; i < node_count; ++i) {
-    SubComputation n;
-    n.id = r.u32();
-    n.thread = r.u32();
-    n.alpha = r.u64();
-    const auto clock = r.u64_vec();
-    for (std::size_t j = 0; j < clock.size(); ++j) n.clock.set(j, clock[j]);
-    n.read_set = r.u64_vec();
-    n.write_set = r.u64_vec();
-    const std::uint64_t thunk_count = r.u64();
-    n.thunks.reserve(thunk_count);
-    for (std::uint64_t j = 0; j < thunk_count; ++j) {
-      Thunk t;
-      t.beta = r.u32();
-      t.branch.ip = r.u64();
-      t.branch.target = r.u64();
-      const std::uint8_t flags = r.u8();
-      t.branch.taken = (flags & 1) != 0;
-      t.branch.indirect = (flags & 2) != 0;
-      n.thunks.push_back(t);
+Result<Graph> deserialize_checked(std::span<const std::uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    detail::check_header(r, kCpgMagic, kCpgFormatVersion, "CPG");
+    const std::uint64_t node_count = r.counted(65, "node");
+    std::vector<SubComputation> nodes;
+    nodes.reserve(node_count);
+    for (std::uint64_t i = 0; i < node_count; ++i) {
+      SubComputation n;
+      n.id = r.u32();
+      n.thread = r.u32();
+      n.alpha = r.u64();
+      const auto clock = r.u64_vec();
+      for (std::size_t j = 0; j < clock.size(); ++j) n.clock.set(j, clock[j]);
+      n.read_set = r.u64_vec();
+      n.write_set = r.u64_vec();
+      const std::uint64_t thunk_count = r.counted(21, "thunk");
+      n.thunks.reserve(thunk_count);
+      for (std::uint64_t j = 0; j < thunk_count; ++j) {
+        Thunk t;
+        t.beta = r.u32();
+        t.branch.ip = r.u64();
+        t.branch.target = r.u64();
+        const std::uint8_t flags = r.u8();
+        t.branch.taken = (flags & 1) != 0;
+        t.branch.indirect = (flags & 2) != 0;
+        n.thunks.push_back(t);
+      }
+      n.end.kind = static_cast<sync::SyncEventKind>(r.u8());
+      n.end.object = r.u64();
+      n.start_seq = r.u64();
+      n.end_seq = r.u64();
+      nodes.push_back(std::move(n));
     }
-    n.end.kind = static_cast<sync::SyncEventKind>(r.u8());
-    n.end.object = r.u64();
-    n.start_seq = r.u64();
-    n.end_seq = r.u64();
-    nodes.push_back(std::move(n));
+    const std::uint64_t edge_count = r.counted(17, "edge");
+    std::vector<Edge> edges;
+    edges.reserve(edge_count);
+    for (std::uint64_t i = 0; i < edge_count; ++i) {
+      Edge e;
+      e.from = r.u32();
+      e.to = r.u32();
+      e.kind = static_cast<EdgeKind>(r.u8());
+      e.object = r.u64();
+      edges.push_back(e);
+    }
+    const std::uint64_t sched_count = r.counted(21, "schedule event");
+    std::vector<sync::SyncEvent> schedule;
+    schedule.reserve(sched_count);
+    for (std::uint64_t i = 0; i < sched_count; ++i) {
+      sync::SyncEvent s;
+      s.seq = r.u64();
+      s.thread = r.u32();
+      s.object = r.u64();
+      s.kind = static_cast<sync::SyncEventKind>(r.u8());
+      schedule.push_back(s);
+    }
+    // Graph construction validates edge endpoints and may throw; fold
+    // that into the same typed error path as the decode itself.
+    return Graph(std::move(nodes), std::move(edges), std::move(schedule));
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("CPG deserialize: ") + e.what());
   }
-  const std::uint64_t edge_count = r.u64();
-  std::vector<Edge> edges;
-  edges.reserve(edge_count);
-  for (std::uint64_t i = 0; i < edge_count; ++i) {
-    Edge e;
-    e.from = r.u32();
-    e.to = r.u32();
-    e.kind = static_cast<EdgeKind>(r.u8());
-    e.object = r.u64();
-    edges.push_back(e);
-  }
-  const std::uint64_t sched_count = r.u64();
-  std::vector<sync::SyncEvent> schedule;
-  schedule.reserve(sched_count);
-  for (std::uint64_t i = 0; i < sched_count; ++i) {
-    sync::SyncEvent s;
-    s.seq = r.u64();
-    s.thread = r.u32();
-    s.object = r.u64();
-    s.kind = static_cast<sync::SyncEventKind>(r.u8());
-    schedule.push_back(s);
-  }
-  return Graph(std::move(nodes), std::move(edges), std::move(schedule));
+}
+
+Graph deserialize(std::span<const std::uint8_t> bytes) {
+  auto result = deserialize_checked(bytes);
+  if (!result.ok()) throw std::runtime_error(result.status().message());
+  return std::move(result).value();
 }
 
 std::string to_text(const Graph& graph) {

@@ -5,20 +5,40 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cpg/graph.h"
+#include "util/status.h"
 
 namespace inspector::cpg {
 
+/// "CPG1" magic opening every whole-graph file.
+inline constexpr std::uint32_t kCpgMagic = 0x31475043;
+/// Current format generation. Version 1 was the headerless pre-shard
+/// layout (magic only); version 2 added this explicit version field,
+/// so stale files fail with a clear error instead of a misparsed node
+/// count. Bump on any layout change.
+inline constexpr std::uint32_t kCpgFormatVersion = 2;
+
 /// Compact binary encoding (little-endian, varint-free for simplicity).
-/// Layout: magic "CPG1", node count, nodes, edge count, edges, schedule.
+/// Layout: magic "CPG1", format version, node count, nodes, edge
+/// count, edges, schedule.
 [[nodiscard]] std::vector<std::uint8_t> serialize(const Graph& graph);
 
-/// Inverse of serialize(). Throws std::runtime_error on a malformed or
-/// truncated buffer.
-[[nodiscard]] Graph deserialize(const std::vector<std::uint8_t>& bytes);
+/// Inverse of serialize(). A malformed, truncated, or wrong-version
+/// buffer comes back as kInvalidArgument with a precise message; this
+/// is the form tools and the sharded store load through. Accepts a
+/// view so nested sections (a shard file's embedded graph) decode in
+/// place without copying the payload.
+[[nodiscard]] Result<Graph> deserialize_checked(
+    std::span<const std::uint8_t> bytes);
+
+/// Throwing form of deserialize_checked() for callers with established
+/// exception flows (the snapshot ring). Throws std::runtime_error with
+/// the same message a Status would carry.
+[[nodiscard]] Graph deserialize(std::span<const std::uint8_t> bytes);
 
 /// Human-readable dump, one node per line plus edges; the shape a
 /// `perf script` post-processor would print.

@@ -35,10 +35,20 @@ Query canonicalized(Query q) {
   return q;
 }
 
+}  // namespace
+
+namespace detail {
+
 Status node_range_error(cpg::NodeId id, std::size_t count) {
   return {StatusCode::kOutOfRange,
           "node id " + std::to_string(id) + " out of range [0, " +
               std::to_string(count) + ")"};
+}
+
+Status untouched_page_error(std::uint64_t page) {
+  return {StatusCode::kNotFound,
+          "page " + std::to_string(page) +
+              " was not touched by any recorded node"};
 }
 
 Status cyclic_error(const char* what) {
@@ -47,18 +57,53 @@ Status cyclic_error(const char* what) {
               " requires a topological order, but the graph has a cycle"};
 }
 
-}  // namespace
+}  // namespace detail
 
-QueryEngine::QueryEngine(std::shared_ptr<const cpg::Graph> graph,
-                         Options options)
-    : graph_(std::move(graph)), options_(options) {
+using detail::cyclic_error;
+using detail::node_range_error;
+using detail::untouched_page_error;
+
+GraphQueryBackend::GraphQueryBackend(std::shared_ptr<const cpg::Graph> graph)
+    : graph_(std::move(graph)) {
   if (!graph_) graph_ = std::make_shared<const cpg::Graph>();
   try {
     (void)graph_->topological_view();
   } catch (const std::logic_error&) {
     cyclic_ = true;
   }
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const cpg::Graph> graph,
+                         Options options)
+    : QueryEngine(std::make_shared<const GraphQueryBackend>(std::move(graph)),
+                  options) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<const QueryBackend> backend,
+                         Options options)
+    : backend_(std::move(backend)), options_(options) {
+  if (!backend_) {
+    backend_ = std::make_shared<const GraphQueryBackend>(nullptr);
+  }
   sessions_.emplace(kDefaultSession, Session{});
+}
+
+const cpg::Graph& QueryEngine::graph() const {
+  const auto* graph_backend =
+      dynamic_cast<const GraphQueryBackend*>(backend_.get());
+  if (graph_backend == nullptr) {
+    throw std::logic_error("QueryEngine::graph(): engine is not graph-backed");
+  }
+  return graph_backend->graph();
+}
+
+std::shared_ptr<const cpg::Graph> QueryEngine::snapshot() const {
+  const auto* graph_backend =
+      dynamic_cast<const GraphQueryBackend*>(backend_.get());
+  if (graph_backend == nullptr) {
+    throw std::logic_error(
+        "QueryEngine::snapshot(): engine is not graph-backed");
+  }
+  return graph_backend->snapshot();
 }
 
 QueryEngine::SessionId QueryEngine::open_session() {
@@ -81,7 +126,7 @@ Status QueryEngine::close_session(SessionId session) {
   return Status::Ok();
 }
 
-Result<QueryResult> QueryEngine::dispatch(const Query& q) const {
+Result<QueryResult> GraphQueryBackend::execute(const Query& q) const {
   const cpg::Graph& g = *graph_;
   const std::size_t node_count = g.nodes().size();
   const auto valid_node = [&](cpg::NodeId id) { return id < node_count; };
@@ -106,9 +151,7 @@ Result<QueryResult> QueryEngine::dispatch(const Query& q) const {
           },
           [&](const PageAccessorsQuery& s) -> Result<QueryResult> {
             if (!g.page_index_of(s.page)) {
-              return Status(StatusCode::kNotFound,
-                            "page " + std::to_string(s.page) +
-                                " was not touched by any recorded node");
+              return untouched_page_error(s.page);
             }
             PageAccessorsResult out;
             out.page = s.page;
@@ -189,7 +232,7 @@ Result<std::shared_ptr<const QueryResult>> QueryEngine::execute_full(
       key = wire::cache_key(canonical);
       if (auto hit = cache_get(key)) return FullResult(std::move(hit));
     }
-    Result<QueryResult> computed = dispatch(canonical);
+    Result<QueryResult> computed = backend_->execute(canonical);
     if (!computed.ok()) return FullResult(computed.status());
     // Built non-const so a sole owner may later move the payload out
     // (paginate()'s unpaginated fast path); shared as pointer-to-const.

@@ -1,12 +1,14 @@
 // QueryEngine -- the one front door to the provenance analyses.
 //
-// An engine wraps an immutable cpg::Graph snapshot (shared_ptr, so a
-// serving process can hot-swap snapshots while in-flight queries keep
-// theirs) and executes Query variants against it: validation up front,
-// typed Status instead of exceptions, a per-engine result cache, and
-// batched fan-out over the shared util::TaskPool with the analysis
-// runtime's determinism contract -- run_batch() output, including
-// cursor page boundaries, is bit-identical at every worker count.
+// An engine wraps a QueryBackend -- usually an immutable cpg::Graph
+// snapshot (shared_ptr, so a serving process can hot-swap snapshots
+// while in-flight queries keep theirs), alternatively the out-of-core
+// sharded store -- and executes Query variants against it: validation
+// up front, typed Status instead of exceptions, a per-engine result
+// cache, and batched fan-out over the shared util::TaskPool with the
+// analysis runtime's determinism contract -- run_batch() output,
+// including cursor page boundaries, is bit-identical at every worker
+// count and at every backend.
 //
 // Sessions scope cursors: each session has its own cursor id space,
 // ids are handed out in request order (deterministic), and closing a
@@ -35,6 +37,51 @@ struct EngineOptions {
   std::size_t cache_entries = 128;
 };
 
+/// Where the answers come from. The engine owns everything
+/// backend-independent -- canonicalization, the result cache, sessions,
+/// cursors, pagination, batched fan-out -- and delegates the actual
+/// analysis to a backend: the in-memory graph (GraphQueryBackend) or
+/// the out-of-core sharded store (shard::ShardBackend). Backends must
+/// return the exact same QueryResult payloads and Status messages for
+/// the same graph, so a reply stream never reveals which backend
+/// served it.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Validate + execute one canonicalized query (page-set fields
+  /// sorted/deduplicated) to its full, unpaginated result. Must be
+  /// safe to call concurrently. May throw on infrastructure failures
+  /// (e.g. shard file IO); the engine converts escapes to kInternal.
+  [[nodiscard]] virtual Result<QueryResult> execute(const Query& q) const = 0;
+};
+
+/// The classic backend: every query answered from one immutable
+/// in-memory cpg::Graph snapshot.
+class GraphQueryBackend final : public QueryBackend {
+ public:
+  explicit GraphQueryBackend(std::shared_ptr<const cpg::Graph> graph);
+
+  [[nodiscard]] Result<QueryResult> execute(const Query& q) const override;
+
+  [[nodiscard]] const cpg::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::shared_ptr<const cpg::Graph> snapshot() const noexcept {
+    return graph_;
+  }
+
+ private:
+  std::shared_ptr<const cpg::Graph> graph_;
+  bool cyclic_ = false;  ///< detected once at construction
+};
+
+namespace detail {
+/// Shared error constructors: every backend must produce these exact
+/// messages so replies are backend-independent byte for byte.
+[[nodiscard]] Status node_range_error(cpg::NodeId id, std::size_t count);
+[[nodiscard]] Status untouched_page_error(std::uint64_t page);
+[[nodiscard]] Status cyclic_error(const char* what);
+}  // namespace detail
+
 class QueryEngine {
  public:
   using Options = EngineOptions;
@@ -52,14 +99,20 @@ class QueryEngine {
 
   explicit QueryEngine(std::shared_ptr<const cpg::Graph> graph,
                        Options options = Options());
+  /// Serve from an arbitrary backend (the sharded store). graph() and
+  /// snapshot() are unavailable on such engines.
+  explicit QueryEngine(std::shared_ptr<const QueryBackend> backend,
+                       Options options = Options());
 
+  virtual ~QueryEngine() = default;
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  [[nodiscard]] const cpg::Graph& graph() const noexcept { return *graph_; }
-  [[nodiscard]] std::shared_ptr<const cpg::Graph> snapshot() const noexcept {
-    return graph_;
-  }
+  /// The in-memory snapshot, for graph-backed engines only; throws
+  /// std::logic_error on a backend-constructed engine (use the backend
+  /// you constructed it with instead).
+  [[nodiscard]] const cpg::Graph& graph() const;
+  [[nodiscard]] std::shared_ptr<const cpg::Graph> snapshot() const;
 
   /// Open an isolated cursor namespace. Never fails.
   [[nodiscard]] SessionId open_session();
@@ -128,7 +181,6 @@ class QueryEngine {
   /// Validate + execute one query to its full (unpaginated) result.
   [[nodiscard]] Result<std::shared_ptr<const QueryResult>> execute_full(
       const Query& q, const QueryOptions& options);
-  [[nodiscard]] Result<QueryResult> dispatch(const Query& q) const;
 
   /// Cut the first page (payload copies happen outside the engine
   /// lock; only cursor registration locks). Called serially in request
@@ -144,9 +196,8 @@ class QueryEngine {
   void cache_put(const std::string& key,
                  std::shared_ptr<const QueryResult> value);
 
-  std::shared_ptr<const cpg::Graph> graph_;
+  std::shared_ptr<const QueryBackend> backend_;
   Options options_;
-  bool cyclic_ = false;  ///< detected once at construction
 
   mutable std::mutex mu_;  ///< guards sessions_ and the cache
   std::unordered_map<SessionId, Session> sessions_;

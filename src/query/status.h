@@ -1,111 +1,18 @@
 // Error model of the provenance query API.
 //
-// Nothing in inspector::query throws across the API boundary: every
-// way a request can be wrong -- an out-of-range node id, a page no
-// node ever touched, a cursor that was already drained, a graph that
-// is not a DAG -- maps to a StatusCode, and every entry point returns
-// Result<T> (a value or a Status, never an exception). Analyses and
-// graph accessors underneath may still throw; the QueryEngine converts
-// anything that escapes them into kInternal at the boundary.
+// The Status/Result vocabulary moved to util/status.h (the sharded
+// on-disk store needs it below the query layer); this header keeps the
+// historical inspector::query spellings working for every existing
+// caller. See util/status.h for the semantics of each code.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <string>
-#include <utility>
+#include "util/status.h"
 
 namespace inspector::query {
 
-enum class StatusCode : std::uint8_t {
-  kOk = 0,
-  /// The request itself is malformed: unknown operation, missing or
-  /// ill-typed field, unparsable JSON.
-  kInvalidArgument,
-  /// The request names something that does not exist: a page no node
-  /// touched, a cursor id never issued (or issued by another session),
-  /// an unknown session.
-  kNotFound,
-  /// A node id outside [0, graph.nodes().size()).
-  kOutOfRange,
-  /// The graph cannot answer this query shape: e.g. a cyclic graph has
-  /// no topological order, so flow and critical-path queries fail.
-  kFailedPrecondition,
-  /// The cursor was valid but has no pages left.
-  kExhausted,
-  /// An unexpected exception reached the API boundary (engine bug).
-  kInternal,
-};
-
-/// Stable lower-snake names, used verbatim on the wire.
-[[nodiscard]] constexpr const char* to_string(StatusCode code) noexcept {
-  switch (code) {
-    case StatusCode::kOk:
-      return "ok";
-    case StatusCode::kInvalidArgument:
-      return "invalid_argument";
-    case StatusCode::kNotFound:
-      return "not_found";
-    case StatusCode::kOutOfRange:
-      return "out_of_range";
-    case StatusCode::kFailedPrecondition:
-      return "failed_precondition";
-    case StatusCode::kExhausted:
-      return "exhausted";
-    case StatusCode::kInternal:
-      return "internal";
-  }
-  return "internal";
-}
-
-class [[nodiscard]] Status {
- public:
-  Status() = default;
-  Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  [[nodiscard]] static Status Ok() { return {}; }
-
-  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
-  [[nodiscard]] StatusCode code() const noexcept { return code_; }
-  [[nodiscard]] const std::string& message() const noexcept {
-    return message_;
-  }
-
-  bool operator==(const Status&) const = default;
-
- private:
-  StatusCode code_ = StatusCode::kOk;
-  std::string message_;
-};
-
-/// A value or the Status explaining why there is none. Check ok()
-/// first: value()/operator* on an error Result dereferences an empty
-/// optional, which is undefined behavior.
-template <typename T>
-class [[nodiscard]] Result {
- public:
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
-  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
-    if (status_.ok()) {
-      status_ = Status(StatusCode::kInternal, "ok status without a value");
-    }
-  }
-  Result(StatusCode code, std::string message)
-      : status_(code, std::move(message)) {}
-
-  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
-  [[nodiscard]] const Status& status() const noexcept { return status_; }
-
-  [[nodiscard]] const T& value() const& { return *value_; }
-  [[nodiscard]] T& value() & { return *value_; }
-  [[nodiscard]] T&& value() && { return *std::move(value_); }
-
-  [[nodiscard]] const T* operator->() const { return &*value_; }
-  [[nodiscard]] const T& operator*() const& { return *value_; }
-
- private:
-  Status status_;
-  std::optional<T> value_;
-};
+using inspector::Result;
+using inspector::Status;
+using inspector::StatusCode;
+using inspector::to_string;
 
 }  // namespace inspector::query

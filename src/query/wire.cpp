@@ -521,6 +521,18 @@ Result<Request> parse_request(std::string_view line,
     return Status::Ok();
   };
 
+  // Scalar-reply ops never paginate, so an explicit "page_size" would
+  // be silently ignored -- reject it like any other ineffective field
+  // (the same policy "next" applies below).
+  const auto reject_page_size = [&](const char* why) {
+    if (find(*object, "page_size") != nullptr) {
+      return invalid(std::string("field \"page_size\" is not allowed for op "
+                                 "\"") +
+                     *op + "\" (" + why + ")");
+    }
+    return Status::Ok();
+  };
+
   const auto node_query = [&](auto make) -> Result<Request> {
     if (auto st = check({"node"}); !st.ok()) return st;
     auto node = require_node(*object, "node");
@@ -550,6 +562,11 @@ Result<Request> parse_request(std::string_view line,
   }
   if (*op == "happens_before") {
     if (auto st = check({"first", "second"}); !st.ok()) return st;
+    if (auto st = reject_page_size("the reply is a single ordering and "
+                                   "never paginates");
+        !st.ok()) {
+      return st;
+    }
     auto first = require_node(*object, "first");
     if (!first.ok()) return first.status();
     auto second = require_node(*object, "second");
@@ -613,18 +630,22 @@ Result<Request> parse_request(std::string_view line,
   }
   if (*op == "stats") {
     if (auto st = check({}); !st.ok()) return st;
+    if (auto st = reject_page_size("the reply is a single statistics "
+                                   "object and never paginates");
+        !st.ok()) {
+      return st;
+    }
     request.op = Query(StatsQuery{});
     return request;
   }
   if (*op == "next") {
     if (auto st = check({"cursor"}); !st.ok()) return st;
     // page_size is envelope-level for queries, but a cursor's page
-    // size is fixed at creation -- accepting it here would silently
-    // ignore it, so reject like any other ineffective field.
-    if (find(*object, "page_size") != nullptr) {
-      return invalid(
-          "field \"page_size\" is not allowed for op \"next\" (the page "
-          "size is fixed when the cursor is created)");
+    // size is fixed at creation.
+    if (auto st = reject_page_size("the page size is fixed when the "
+                                   "cursor is created");
+        !st.ok()) {
+      return st;
     }
     auto cursor = require_uint(*object, "cursor");
     if (!cursor.ok()) return cursor.status();

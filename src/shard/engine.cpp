@@ -1,0 +1,740 @@
+#include "shard/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/race_pairs.h"
+#include "analysis/races.h"
+#include "query/overloaded.h"
+#include "util/page_set.h"
+#include "util/parallel.h"
+
+namespace inspector::shard {
+
+namespace {
+
+using query::detail::node_range_error;
+using query::detail::Overloaded;
+using query::detail::untouched_page_error;
+using query::Query;
+using query::QueryResult;
+
+/// A pin set: shards load on first touch and stay alive (and
+/// pointer-stable) until the Pins object dies, whatever the store's
+/// LRU does underneath. Scope discipline is what keeps the memory
+/// budget honest -- whole-graph passes (races, slices, propagation,
+/// critical path) must scope their pins per page / per node / per
+/// level / per shard, never per operation, so residency is bounded by
+/// one unit of work plus the store's budgeted cache. Load failures
+/// throw; the query engine converts escapes to kInternal at its
+/// boundary.
+class Pins {
+ public:
+  explicit Pins(ShardStore& store)
+      : store_(store), held_(store.manifest().shard_count) {}
+
+  const LoadedShard& shard(std::uint32_t index) {
+    if (!held_[index]) {
+      auto loaded = store_.load(index);
+      if (!loaded.ok()) throw std::runtime_error(loaded.status().message());
+      held_[index] = std::move(loaded).value();
+    }
+    return *held_[index];
+  }
+
+  struct NodeView {
+    const cpg::SubComputation* node = nullptr;
+    const LoadedShard* shard = nullptr;
+    std::uint32_t local = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t level = 0;
+  };
+
+  NodeView node(cpg::NodeId global) {
+    const std::uint32_t shard_index = store_.shard_of(global);
+    const LoadedShard& ls = shard(shard_index);
+    const auto local = ls.local_of(global);
+    if (!local) {
+      // The manifest routed here but the file disagrees: mixed or
+      // corrupt store files. A typed failure, never UB.
+      throw std::runtime_error(
+          "sharded store is inconsistent: the manifest places node " +
+          std::to_string(global) + " in shard " +
+          std::to_string(shard_index) + " but the shard file lacks it");
+    }
+    return {&ls.data.graph.nodes()[*local], &ls, *local,
+            ls.data.global_ranks[*local], ls.data.global_levels[*local]};
+  }
+
+ private:
+  ShardStore& store_;
+  std::vector<std::shared_ptr<const LoadedShard>> held_;
+};
+
+/// Exact replica of Graph::happens_before over shard-resident nodes:
+/// same-thread alpha order, then the global-rank fast reject, then the
+/// vector-clock compare.
+bool happens_before(Pins& pins, cpg::NodeId a, cpg::NodeId b) {
+  const auto na = pins.node(a);
+  const auto nb = pins.node(b);
+  if (na.node->thread == nb.node->thread) {
+    return na.node->alpha < nb.node->alpha;
+  }
+  if (na.rank >= nb.rank) return false;
+  return na.node->clock.happens_before(nb.node->clock);
+}
+
+/// One page's accessor list merged across its owning shards, in global
+/// hb-rank order -- exactly the bucket the unsharded inverted index
+/// holds (per-shard buckets are rank-sorted restrictions, rank is a
+/// global permutation, so the merge is unique). Each entry carries its
+/// node payload pointer (valid while the building Pins lives), so the
+/// pair-dense race scan never re-resolves nodes through the store.
+struct Bucket {
+  std::vector<cpg::NodeId> nodes;    ///< global ids
+  std::vector<std::uint32_t> ranks;  ///< aligned, strictly ascending
+  std::vector<const cpg::SubComputation*> meta;  ///< aligned payloads
+};
+
+Bucket merged_bucket(Pins& pins, const Manifest& m, std::uint64_t page,
+                     bool writers) {
+  struct Entry {
+    std::uint32_t rank;
+    cpg::NodeId id;
+    const cpg::SubComputation* node;
+  };
+  std::vector<Entry> entries;
+  for (std::uint32_t s = 0; s < m.shard_count; ++s) {
+    const ShardInfo& info = m.shards[s];
+    if (info.min_page == kNoPage || page < info.min_page ||
+        page > info.max_page) {
+      continue;  // fence-pruned without touching the file
+    }
+    const LoadedShard& ls = pins.shard(s);
+    const auto span = writers ? ls.data.graph.page_writers(page)
+                              : ls.data.graph.page_readers(page);
+    for (const cpg::NodeId local : span) {
+      entries.push_back({ls.data.global_ranks[local],
+                         ls.data.global_ids[local],
+                         &ls.data.graph.nodes()[local]});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.rank < b.rank; });
+  Bucket out;
+  out.nodes.reserve(entries.size());
+  out.ranks.reserve(entries.size());
+  out.meta.reserve(entries.size());
+  for (const Entry& e : entries) {
+    out.ranks.push_back(e.rank);
+    out.nodes.push_back(e.id);
+    out.meta.push_back(e.node);
+  }
+  return out;
+}
+
+/// First position in `ranks` (ascending) holding a rank >= bound.
+std::size_t rank_lower_bound(const std::vector<std::uint32_t>& ranks,
+                             std::uint32_t bound) {
+  return static_cast<std::size_t>(
+      std::lower_bound(ranks.begin(), ranks.end(), bound) - ranks.begin());
+}
+
+bool page_in_universe(const Manifest& m, std::uint64_t page) {
+  return std::binary_search(m.pages.begin(), m.pages.end(), page);
+}
+
+// --- dependence queries ----------------------------------------------
+
+std::vector<cpg::Edge> latest_writers(Pins& pins, const Manifest& m,
+                                      cpg::NodeId reader) {
+  const auto r = pins.node(reader);
+  std::vector<cpg::Edge> result;
+  std::vector<cpg::NodeId> maximal;
+  for (const std::uint64_t page : r.node->read_set) {
+    if (!page_in_universe(m, page)) continue;
+    const Bucket writers = merged_bucket(pins, m, page, /*writers=*/true);
+    const std::size_t end = rank_lower_bound(writers.ranks, r.rank);
+    maximal.clear();
+    // Same backward rank walk as Graph::latest_writers: a superseding
+    // writer has a higher rank and was already collected.
+    for (std::size_t i = end; i-- > 0;) {
+      const cpg::NodeId w = writers.nodes[i];
+      if (!happens_before(pins, w, reader)) continue;
+      const bool superseded =
+          std::any_of(maximal.begin(), maximal.end(), [&](cpg::NodeId d) {
+            return happens_before(pins, w, d);
+          });
+      if (!superseded) maximal.push_back(w);
+    }
+    std::sort(maximal.begin(), maximal.end());
+    for (const cpg::NodeId w : maximal) {
+      result.push_back({w, reader, cpg::EdgeKind::kData, page});
+    }
+  }
+  return result;
+}
+
+std::vector<cpg::Edge> data_dependencies(Pins& pins, const Manifest& m,
+                                         cpg::NodeId reader) {
+  const auto r = pins.node(reader);
+  std::vector<cpg::Edge> result;
+  for (const std::uint64_t page : r.node->read_set) {
+    if (!page_in_universe(m, page)) continue;
+    const Bucket writers = merged_bucket(pins, m, page, /*writers=*/true);
+    const std::size_t end = rank_lower_bound(writers.ranks, r.rank);
+    for (std::size_t i = 0; i < end; ++i) {
+      const cpg::NodeId w = writers.nodes[i];
+      if (happens_before(pins, w, reader)) {
+        result.push_back({w, reader, cpg::EdgeKind::kData, page});
+      }
+    }
+  }
+  return result;
+}
+
+// --- traversal queries ------------------------------------------------
+
+std::vector<cpg::NodeId> backward_slice(ShardStore& store, const Manifest& m,
+                                        cpg::NodeId start) {
+  std::vector<char> visited(m.total_nodes, 0);
+  std::deque<cpg::NodeId> frontier{start};
+  visited[start] = 1;
+  std::vector<cpg::NodeId> slice;
+  const auto visit = [&](cpg::NodeId id) {
+    if (visited[id] == 0) {
+      visited[id] = 1;
+      frontier.push_back(id);
+    }
+  };
+  while (!frontier.empty()) {
+    const cpg::NodeId cur = frontier.front();
+    frontier.pop_front();
+    slice.push_back(cur);
+    // Pins per expansion: residency is one node's shard plus its data
+    // predecessors' shards, not the whole reachable set.
+    Pins pins(store);
+    const auto v = pins.node(cur);
+    const LoadedShard& ls = *v.shard;
+    // Recorded predecessors: intra-shard edges plus the stored
+    // cross-shard in-frontier.
+    for (const std::uint32_t e : ls.data.graph.in_edges(v.local)) {
+      visit(ls.data.global_ids[ls.data.graph.edges()[e].from]);
+    }
+    for (const std::uint32_t f : ls.frontier_in_of(v.local)) {
+      visit(ls.data.frontier_in[f].from);
+    }
+    // Data predecessors: latest writers of each page read.
+    for (const cpg::Edge& e : latest_writers(pins, m, cur)) {
+      visit(e.from);
+    }
+  }
+  std::sort(slice.begin(), slice.end());
+  return slice;
+}
+
+std::vector<cpg::NodeId> forward_slice(ShardStore& store, const Manifest& m,
+                                       cpg::NodeId start) {
+  std::vector<char> visited(m.total_nodes, 0);
+  std::deque<cpg::NodeId> frontier{start};
+  visited[start] = 1;
+  std::vector<cpg::NodeId> slice;
+  while (!frontier.empty()) {
+    const cpg::NodeId cur = frontier.front();
+    frontier.pop_front();
+    slice.push_back(cur);
+    Pins pins(store);  // per expansion, same rationale as backward
+    const auto v = pins.node(cur);
+    const LoadedShard& ls = *v.shard;
+    const auto visit = [&](cpg::NodeId id) {
+      if (visited[id] == 0) {
+        visited[id] = 1;
+        frontier.push_back(id);
+      }
+    };
+    for (const std::uint32_t e : ls.data.graph.out_edges(v.local)) {
+      visit(ls.data.global_ids[ls.data.graph.edges()[e].to]);
+    }
+    for (const std::uint32_t f : ls.frontier_out_of(v.local)) {
+      visit(ls.data.frontier_out[f].to);
+    }
+    // Data successors: happens-after readers of the pages written.
+    for (const std::uint64_t page : v.node->write_set) {
+      const Bucket readers = merged_bucket(pins, m, page, /*writers=*/false);
+      for (std::size_t i = rank_lower_bound(readers.ranks, v.rank + 1);
+           i < readers.nodes.size(); ++i) {
+        const cpg::NodeId reader = readers.nodes[i];
+        if (visited[reader] == 0 && happens_before(pins, cur, reader)) {
+          visit(reader);
+        }
+      }
+    }
+  }
+  std::sort(slice.begin(), slice.end());
+  return slice;
+}
+
+// --- races ------------------------------------------------------------
+//
+// A structural replica of analysis/races.cpp over merged buckets: the
+// same page-major order, limit short-circuit, and report emission --
+// the storage-independent pair bookkeeping is literally shared
+// (analysis/race_pairs.h), so reports and their truncation point are
+// identical by construction.
+
+using analysis::detail::note_page;
+using analysis::detail::PairConflicts;
+using analysis::detail::PairMap;
+
+void scan_page(std::uint64_t page, const Bucket& writers,
+               const Bucket& readers, PairMap& pairs) {
+  // One metadata map per page, built from the buckets themselves, so
+  // the O(W^2 + W*R) pair loops never go back through the store.
+  struct Meta {
+    const cpg::SubComputation* node;
+    std::uint32_t rank;
+  };
+  std::unordered_map<cpg::NodeId, Meta> meta;
+  meta.reserve(writers.nodes.size() + readers.nodes.size());
+  for (std::size_t i = 0; i < writers.nodes.size(); ++i) {
+    meta.try_emplace(writers.nodes[i],
+                     Meta{writers.meta[i], writers.ranks[i]});
+  }
+  for (std::size_t i = 0; i < readers.nodes.size(); ++i) {
+    meta.try_emplace(readers.nodes[i],
+                     Meta{readers.meta[i], readers.ranks[i]});
+  }
+  // Graph::happens_before / concurrent on the cached payloads.
+  const auto hb = [&](const Meta& a, const Meta& b) {
+    if (a.node->thread == b.node->thread) {
+      return a.node->alpha < b.node->alpha;
+    }
+    if (a.rank >= b.rank) return false;
+    return a.node->clock.happens_before(b.node->clock);
+  };
+  const auto conflicts_of = [&](cpg::NodeId a,
+                                cpg::NodeId b) -> PairConflicts* {
+    const auto key = std::minmax(a, b);
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(key.first) << 32) | key.second;
+    if (const auto it = pairs.find(packed); it != pairs.end()) {
+      return &it->second;
+    }
+    const Meta& ma = meta.at(key.first);
+    const Meta& mb = meta.at(key.second);
+    if (hb(ma, mb) || hb(mb, ma)) return nullptr;  // ordered, not racy
+    return &pairs.try_emplace(packed).first->second;
+  };
+  for (std::size_t i = 0; i < writers.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < writers.nodes.size(); ++j) {
+      const cpg::NodeId a = writers.nodes[i];
+      const cpg::NodeId b = writers.nodes[j];
+      if (writers.meta[i]->thread == writers.meta[j]->thread) continue;
+      if (PairConflicts* c = conflicts_of(a, b)) {
+        note_page(c->ww, page);
+      }
+    }
+    for (std::size_t j = 0; j < readers.nodes.size(); ++j) {
+      const cpg::NodeId w = writers.nodes[i];
+      const cpg::NodeId r = readers.nodes[j];
+      if (w == r) continue;
+      if (writers.meta[i]->thread == readers.meta[j]->thread) continue;
+      if (PairConflicts* c = conflicts_of(w, r)) {
+        note_page(w < r ? c->wr : c->rw, page);
+      }
+    }
+  }
+}
+
+std::vector<analysis::RaceReport> find_races(ShardStore& store,
+                                             const PageSet& ignored_pages,
+                                             std::size_t limit) {
+  const Manifest& m = store.manifest();
+  PageSet ignored = ignored_pages;
+  page_set_normalize(ignored);
+
+  if (limit != 0) {
+    // Limited scans are scan-order dependent (they stop at a page
+    // boundary), so they stay serial, in global page order. Pins are
+    // per page: residency is one page's owning shards, and the
+    // store's budgeted cache absorbs the shard reuse across pages.
+    PairMap pairs;
+    bool truncated = false;
+    for (const std::uint64_t page : m.pages) {
+      if (pairs.size() >= limit) {
+        truncated = true;
+        break;
+      }
+      if (page_set_contains(ignored, page)) continue;
+      Pins pins(store);
+      const Bucket writers = merged_bucket(pins, m, page, /*writers=*/true);
+      const Bucket readers = merged_bucket(pins, m, page, /*writers=*/false);
+      scan_page(page, writers, readers, pairs);
+    }
+    // The truncated re-derivation touches only the racy pairs' nodes
+    // (at most `limit` of them), so one pin set is bounded here.
+    Pins pins(store);
+    const auto node_of =
+        [&pins](cpg::NodeId id) -> const cpg::SubComputation& {
+      return *pins.node(id).node;
+    };
+    return analysis::detail::emit_reports(node_of, pairs, ignored, truncated,
+                                          limit);
+  }
+
+  // Full scan: pages fan out over the pool, per-worker pair maps merge
+  // by min -- commutative, so the report list is identical at every
+  // worker and shard count.
+  const auto pool = util::shared_pool();
+  util::WorkerLocal<PairMap> local(*pool);
+  pool->parallel_for(
+      0, m.pages.size(), 32, [&](std::size_t b, std::size_t e, unsigned w) {
+        PairMap& pairs = local[w];
+        for (std::size_t idx = b; idx < e; ++idx) {
+          const std::uint64_t page = m.pages[idx];
+          if (page_set_contains(ignored, page)) continue;
+          // Per-page pins (one page's owning shards resident per
+          // worker); cross-page shard reuse is the cache's job.
+          Pins pins(store);
+          const Bucket writers =
+              merged_bucket(pins, m, page, /*writers=*/true);
+          const Bucket readers =
+              merged_bucket(pins, m, page, /*writers=*/false);
+          scan_page(page, writers, readers, pairs);
+        }
+      });
+  PairMap merged = std::move(local[0]);
+  for (unsigned w = 1; w < pool->worker_count(); ++w) {
+    analysis::detail::merge_min(merged, local[w]);
+  }
+  // Full scans never take the truncated path, so node_of is never
+  // consulted; a throwaway pin set satisfies the signature.
+  Pins pins(store);
+  const auto node_of = [&pins](cpg::NodeId id) -> const cpg::SubComputation& {
+    return *pins.node(id).node;
+  };
+  return analysis::detail::emit_reports(node_of, merged, ignored,
+                                        /*truncated=*/false, /*limit=*/0);
+}
+
+// --- flow propagation (taint / invalidate) ----------------------------
+//
+// The level-synchronous fixpoint of analysis/propagation.cpp over the
+// *global* topological levels stored in the shard sidecars. Each
+// level's delta is the set of pending nodes markable against the
+// current bitmap snapshot -- order-independent -- so the rounds, and
+// therefore the final marked sets, match the unsharded pass exactly.
+
+struct Flow {
+  std::vector<cpg::NodeId> nodes;  ///< ascending
+  PageSet pages;
+  std::vector<char> node_marked;   ///< dense over global node ids
+};
+
+Flow propagate(ShardStore& store, const PageSet& seed_pages,
+               bool thread_carryover) {
+  const Manifest& m = store.manifest();
+  Flow result;
+  result.pages = seed_pages;
+  page_set_normalize(result.pages);
+  result.node_marked.assign(m.total_nodes, 0);
+
+  std::vector<char> page_marked(m.pages.size(), 0);
+  for (const std::uint64_t page : result.pages) {
+    const auto it = std::lower_bound(m.pages.begin(), m.pages.end(), page);
+    if (it != m.pages.end() && *it == page) {
+      page_marked[static_cast<std::size_t>(it - m.pages.begin())] = 1;
+    }
+  }
+  std::vector<char> thread_marked(m.thread_count, 0);
+
+  struct Delta {
+    std::vector<cpg::NodeId> nodes;
+    std::vector<std::size_t> pages;  ///< dense global page indices
+    std::vector<cpg::ThreadId> threads;
+  };
+  const auto pool = util::shared_pool();
+  util::WorkerLocal<Delta> local(*pool);
+
+  struct PendingNode {
+    cpg::NodeId id;
+    const cpg::SubComputation* node;
+  };
+  std::vector<PendingNode> pending;
+  std::vector<PendingNode> still_unmarked;
+
+  // Index into the manifest's page universe; m.pages.size() when the
+  // page is unknown. Every page of a consistent store is in the
+  // universe, but a stale shard file mixed into the directory can
+  // pass the load-time checks (those bound ids/levels/threads, not
+  // pages) -- an unknown page must be skipped, not written through.
+  const auto page_index = [&](std::uint64_t page) {
+    const auto it = std::lower_bound(m.pages.begin(), m.pages.end(), page);
+    if (it == m.pages.end() || *it != page) return m.pages.size();
+    return static_cast<std::size_t>(it - m.pages.begin());
+  };
+
+  for (std::uint32_t lvl = 0; lvl < m.level_count; ++lvl) {
+    // Pins scope per level: a level's nodes pin only the shards whose
+    // level fences cover it, so residency stays bounded by the level's
+    // span, not the store.
+    Pins pins(store);
+    pending.clear();
+    for (std::uint32_t s = 0; s < m.shard_count; ++s) {
+      const ShardInfo& info = m.shards[s];
+      if (info.node_count == 0 || lvl < info.min_level ||
+          lvl > info.max_level) {
+        continue;
+      }
+      const LoadedShard& ls = pins.shard(s);
+      for (const std::uint32_t local : ls.level_locals(lvl)) {
+        pending.push_back(
+            {ls.data.global_ids[local], &ls.data.graph.nodes()[local]});
+      }
+    }
+    while (!pending.empty()) {
+      pool->parallel_for(
+          0, pending.size(), 64,
+          [&](std::size_t b, std::size_t e, unsigned worker) {
+            Delta& d = local[worker];
+            for (std::size_t k = b; k < e; ++k) {
+              const PendingNode& p = pending[k];
+              bool marked =
+                  thread_carryover && thread_marked[p.node->thread] != 0;
+              if (!marked) {
+                for (const std::uint64_t page : p.node->read_set) {
+                  const std::size_t idx = page_index(page);
+                  if (idx < page_marked.size() && page_marked[idx] != 0) {
+                    marked = true;
+                    break;
+                  }
+                }
+              }
+              if (!marked) continue;
+              d.nodes.push_back(p.id);
+              if (thread_carryover) d.threads.push_back(p.node->thread);
+              for (const std::uint64_t page : p.node->write_set) {
+                const std::size_t idx = page_index(page);
+                if (idx < page_marked.size() && page_marked[idx] == 0) {
+                  d.pages.push_back(idx);
+                }
+              }
+            }
+          });
+      bool marks_grew = false;
+      for (unsigned w = 0; w < pool->worker_count(); ++w) {
+        Delta& d = local[w];
+        result.nodes.insert(result.nodes.end(), d.nodes.begin(),
+                            d.nodes.end());
+        for (const cpg::NodeId id : d.nodes) result.node_marked[id] = 1;
+        for (const cpg::ThreadId t : d.threads) {
+          if (char& bit = thread_marked[t]; bit == 0) {
+            bit = 1;
+            marks_grew = true;
+          }
+        }
+        for (const std::size_t idx : d.pages) {
+          if (char& bit = page_marked[idx]; bit == 0) {
+            bit = 1;
+            marks_grew = true;
+            result.pages.push_back(m.pages[idx]);
+          }
+        }
+        d.nodes.clear();
+        d.pages.clear();
+        d.threads.clear();
+      }
+      if (!marks_grew) break;
+      still_unmarked.clear();
+      for (const PendingNode& p : pending) {
+        if (result.node_marked[p.id] == 0) still_unmarked.push_back(p);
+      }
+      pending.swap(still_unmarked);
+    }
+  }
+  std::sort(result.nodes.begin(), result.nodes.end());
+  page_set_normalize(result.pages);
+  return result;
+}
+
+/// Nodes ending in `sink_kind` that carry a mark, ascending global id
+/// (the unsharded pass iterates nodes in id order). One shard resident
+/// at a time.
+std::vector<cpg::NodeId> marked_sinks(ShardStore& store, const Flow& flow,
+                                      sync::SyncEventKind sink_kind) {
+  const Manifest& m = store.manifest();
+  std::vector<cpg::NodeId> sinks;
+  for (std::uint32_t s = 0; s < m.shard_count; ++s) {
+    Pins pins(store);
+    const LoadedShard& ls = pins.shard(s);
+    for (const cpg::SubComputation& node : ls.data.graph.nodes()) {
+      const cpg::NodeId global = ls.data.global_ids[node.id];
+      if (node.end.kind == sink_kind && flow.node_marked[global] != 0) {
+        sinks.push_back(global);
+      }
+    }
+  }
+  std::sort(sinks.begin(), sinks.end());
+  return sinks;
+}
+
+// --- critical path ----------------------------------------------------
+
+query::CriticalPathResult critical_path(ShardStore& store) {
+  const Manifest& m = store.manifest();
+  query::CriticalPathResult out;
+  out.total_nodes = m.total_nodes;
+  if (m.total_nodes == 0) return out;
+  // Rank-range shards are topological sections: every dependence
+  // points into the same or a later shard, so one forward pass with a
+  // single shard resident computes the same DP as the whole-graph
+  // topological sweep. The predecessor tie-break (first incoming edge
+  // in *global* edge order achieving the max) is preserved by merging
+  // intra-shard and frontier in-edges on their stored global indices.
+  std::vector<std::uint64_t> depth(m.total_nodes, 1);
+  std::vector<cpg::NodeId> pred(m.total_nodes, cpg::kInvalidNode);
+  for (std::uint32_t s = 0; s < m.shard_count; ++s) {
+    Pins pins(store);
+    const LoadedShard& ls = pins.shard(s);
+    const cpg::Graph& g = ls.data.graph;
+    for (const cpg::NodeId local : g.topological_view()) {
+      const cpg::NodeId gv = ls.data.global_ids[local];
+      const auto relax = [&](cpg::NodeId u) {
+        if (depth[u] + 1 > depth[gv]) {
+          depth[gv] = depth[u] + 1;
+          pred[gv] = u;
+        }
+      };
+      const auto locals = g.in_edges(local);
+      const auto fins = ls.frontier_in_of(local);
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < locals.size() || j < fins.size()) {
+        const bool take_local =
+            j >= fins.size() ||
+            (i < locals.size() &&
+             ls.data.edge_globals[locals[i]] <
+                 ls.data.frontier_in[fins[j]].edge_index);
+        if (take_local) {
+          relax(ls.data.global_ids[g.edges()[locals[i]].from]);
+          ++i;
+        } else {
+          relax(ls.data.frontier_in[fins[j]].from);
+          ++j;
+        }
+      }
+    }
+  }
+  const auto tail = static_cast<cpg::NodeId>(
+      std::max_element(depth.begin(), depth.end()) - depth.begin());
+  for (cpg::NodeId v = tail; v != cpg::kInvalidNode; v = pred[v]) {
+    out.nodes.push_back(v);
+  }
+  std::reverse(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+}  // namespace
+
+ShardBackend::ShardBackend(std::shared_ptr<ShardStore> store)
+    : store_(std::move(store)) {}
+
+Result<QueryResult> ShardBackend::execute(const Query& q) const {
+  ShardStore& store = *store_;
+  const Manifest& m = store.manifest();
+  const std::size_t node_count = m.total_nodes;
+  const auto valid_node = [&](cpg::NodeId id) { return id < node_count; };
+
+  return std::visit(
+      Overloaded{
+          [&](const query::BackwardSliceQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            return QueryResult(
+                query::NodeListResult{backward_slice(store, m, s.node)});
+          },
+          [&](const query::ForwardSliceQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            return QueryResult(
+                query::NodeListResult{forward_slice(store, m, s.node)});
+          },
+          [&](const query::LatestWritersQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            Pins pins(store);
+            return QueryResult(
+                query::EdgeListResult{latest_writers(pins, m, s.node)});
+          },
+          [&](const query::DataDependenciesQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
+            Pins pins(store);
+            return QueryResult(
+                query::EdgeListResult{data_dependencies(pins, m, s.node)});
+          },
+          [&](const query::PageAccessorsQuery& s) -> Result<QueryResult> {
+            if (!page_in_universe(m, s.page)) {
+              return untouched_page_error(s.page);
+            }
+            Pins pins(store);
+            query::PageAccessorsResult out;
+            out.page = s.page;
+            out.writers = merged_bucket(pins, m, s.page, /*writers=*/true).nodes;
+            out.readers =
+                merged_bucket(pins, m, s.page, /*writers=*/false).nodes;
+            return QueryResult(std::move(out));
+          },
+          [&](const query::HappensBeforeQuery& s) -> Result<QueryResult> {
+            if (!valid_node(s.first)) {
+              return node_range_error(s.first, node_count);
+            }
+            if (!valid_node(s.second)) {
+              return node_range_error(s.second, node_count);
+            }
+            Pins pins(store);
+            query::HappensBeforeResult out;
+            if (s.first == s.second) {
+              out.ordering = query::Ordering::kEqual;
+            } else if (happens_before(pins, s.first, s.second)) {
+              out.ordering = query::Ordering::kBefore;
+            } else if (happens_before(pins, s.second, s.first)) {
+              out.ordering = query::Ordering::kAfter;
+            } else {
+              out.ordering = query::Ordering::kConcurrent;
+            }
+            return QueryResult(out);
+          },
+          [&](const query::RacesQuery& s) -> Result<QueryResult> {
+            return QueryResult(query::RaceListResult{find_races(
+                store, s.ignored_pages, static_cast<std::size_t>(s.limit))});
+          },
+          [&](const query::TaintQuery& s) -> Result<QueryResult> {
+            const Flow flow =
+                propagate(store, s.seed_pages, s.track_register_carryover);
+            query::FlowResult out;
+            out.sinks = marked_sinks(store, flow, s.sink_kind);
+            out.nodes = flow.nodes;
+            out.pages = flow.pages;
+            return QueryResult(std::move(out));
+          },
+          [&](const query::InvalidateQuery& s) -> Result<QueryResult> {
+            Flow flow =
+                propagate(store, s.changed_pages, /*thread_carryover=*/true);
+            query::FlowResult out;
+            out.nodes = std::move(flow.nodes);
+            out.pages = std::move(flow.pages);
+            return QueryResult(std::move(out));
+          },
+          [&](const query::CriticalPathQuery&) -> Result<QueryResult> {
+            return QueryResult(critical_path(store));
+          },
+          [&](const query::StatsQuery&) -> Result<QueryResult> {
+            return QueryResult(query::StatsResult{m.stats});
+          },
+      },
+      q);
+}
+
+}  // namespace inspector::shard

@@ -1,0 +1,63 @@
+// ShardedQueryEngine: the unsharded Query surface served out-of-core.
+//
+// ShardBackend implements query::QueryBackend over a ShardStore, and
+// ShardedQueryEngine is a query::QueryEngine wired to one -- sessions,
+// cursors, caching, pagination, and batched fan-out are all inherited,
+// so a reply stream (cursor page boundaries included) is bit-identical
+// to the unsharded engine on the same history at every shard count and
+// every worker count. Dispatch by query shape:
+//
+//   - page-local queries (latest_writers, data_dependencies,
+//     page_accessors, happens_before) route to the owning shards via
+//     the manifest fences and merge per-shard inverted-index buckets
+//     in global hb-rank order;
+//   - traversal queries (slices) run breadth-first waves whose
+//     frontier sets cross shards through the stored edge frontier;
+//   - flow queries (taint, invalidate) run the same level-synchronous
+//     fixpoint as analysis/propagation.cpp over the *global*
+//     topological levels, scanning each level's resident shards
+//     chunk-parallel on the shared util::TaskPool;
+//   - races scan the global page universe page-major (parallel when
+//     unlimited, with the same commutative min-merge as
+//     analysis/races.cpp);
+//   - critical path is one forward pass over the shards in rank order
+//     (rank ranges are topological sections, so dependence values only
+//     flow to later shards);
+//   - stats answers straight from the manifest.
+#pragma once
+
+#include <memory>
+
+#include "query/engine.h"
+#include "shard/store.h"
+
+namespace inspector::shard {
+
+class ShardBackend final : public query::QueryBackend {
+ public:
+  explicit ShardBackend(std::shared_ptr<ShardStore> store);
+
+  [[nodiscard]] Result<query::QueryResult> execute(
+      const query::Query& q) const override;
+
+  [[nodiscard]] const ShardStore& store() const noexcept { return *store_; }
+
+ private:
+  std::shared_ptr<ShardStore> store_;
+};
+
+class ShardedQueryEngine : public query::QueryEngine {
+ public:
+  explicit ShardedQueryEngine(std::shared_ptr<ShardStore> store,
+                              query::EngineOptions options = {})
+      : query::QueryEngine(
+            std::make_shared<const ShardBackend>(store), options),
+        store_(std::move(store)) {}
+
+  [[nodiscard]] const ShardStore& store() const noexcept { return *store_; }
+
+ private:
+  std::shared_ptr<ShardStore> store_;
+};
+
+}  // namespace inspector::shard

@@ -1,0 +1,306 @@
+#include "shard/format.h"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+#include <utility>
+
+#include "cpg/binary_io.h"
+#include "cpg/serialize.h"
+
+namespace inspector::shard {
+
+using cpg::detail::ByteReader;
+using cpg::detail::ByteWriter;
+
+namespace {
+
+void write_stats(ByteWriter& w, const cpg::GraphStats& s) {
+  w.u64(s.nodes);
+  w.u64(s.control_edges);
+  w.u64(s.sync_edges);
+  w.u64(s.threads);
+  w.u64(s.thunks);
+  w.u64(s.read_pages);
+  w.u64(s.write_pages);
+}
+
+cpg::GraphStats read_stats(ByteReader& r) {
+  cpg::GraphStats s;
+  s.nodes = r.u64();
+  s.control_edges = r.u64();
+  s.sync_edges = r.u64();
+  s.threads = r.u64();
+  s.thunks = r.u64();
+  s.read_pages = r.u64();
+  s.write_pages = r.u64();
+  return s;
+}
+
+void write_frontier(ByteWriter& w, const std::vector<FrontierEdge>& edges) {
+  w.u64(edges.size());
+  for (const FrontierEdge& e : edges) {
+    w.u64(e.edge_index);
+    w.u32(e.from);
+    w.u32(e.to);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(e.object);
+  }
+}
+
+std::vector<FrontierEdge> read_frontier(ByteReader& r) {
+  const std::uint64_t count = r.counted(25, "frontier edge");  // 8+4+4+1+8
+  std::vector<FrontierEdge> edges(count);
+  for (FrontierEdge& e : edges) {
+    e.edge_index = r.u64();
+    e.from = r.u32();
+    e.to = r.u32();
+    e.kind = static_cast<cpg::EdgeKind>(r.u8());
+    e.object = r.u64();
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  cpg::detail::write_header(w, kManifestMagic, kManifestFormatVersion);
+  w.u32(m.shard_count);
+  w.u64(m.total_nodes);
+  w.u64(m.total_edges);
+  w.u64(m.thread_count);
+  w.u64(m.level_count);
+  write_stats(w, m.stats);
+  w.u64_vec(m.pages);
+  w.u8_vec(m.node_shard);
+  w.u64(m.shards.size());
+  for (const ShardInfo& s : m.shards) {
+    w.str(s.file);
+    w.u32(s.rank_lo);
+    w.u32(s.rank_hi);
+    w.u64(s.node_count);
+    w.u64(s.edge_count);
+    w.u64(s.frontier_count);
+    w.u64(s.min_page);
+    w.u64(s.max_page);
+    w.u32(s.min_level);
+    w.u32(s.max_level);
+    w.u64(s.byte_size);
+  }
+  return out;
+}
+
+Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
+  try {
+    ByteReader r(bytes);
+    cpg::detail::check_header(r, kManifestMagic, kManifestFormatVersion,
+                              "CPG shard manifest");
+    Manifest m;
+    m.shard_count = r.u32();
+    m.total_nodes = r.u64();
+    m.total_edges = r.u64();
+    m.thread_count = r.u64();
+    m.level_count = r.u64();
+    m.stats = read_stats(r);
+    m.pages = r.u64_vec();
+    m.node_shard = r.u8_vec();
+    // 72 = minimum encoded ShardInfo (empty file name).
+    const std::uint64_t shard_count = r.counted(72, "shard info");
+    m.shards.reserve(shard_count);
+    for (std::uint64_t i = 0; i < shard_count; ++i) {
+      ShardInfo s;
+      s.file = r.str();
+      s.rank_lo = r.u32();
+      s.rank_hi = r.u32();
+      s.node_count = r.u64();
+      s.edge_count = r.u64();
+      s.frontier_count = r.u64();
+      s.min_page = r.u64();
+      s.max_page = r.u64();
+      s.min_level = r.u32();
+      s.max_level = r.u32();
+      s.byte_size = r.u64();
+      m.shards.push_back(std::move(s));
+    }
+    if (m.shards.size() != m.shard_count) {
+      return Status(StatusCode::kInvalidArgument,
+                    "shard manifest: shard table holds " +
+                        std::to_string(m.shards.size()) + " entries but " +
+                        std::to_string(m.shard_count) + " were declared");
+    }
+    if (m.node_shard.size() != m.total_nodes) {
+      return Status(StatusCode::kInvalidArgument,
+                    "shard manifest: node->shard map covers " +
+                        std::to_string(m.node_shard.size()) + " of " +
+                        std::to_string(m.total_nodes) + " nodes");
+    }
+    for (const std::uint8_t s : m.node_shard) {
+      if (s >= m.shard_count) {
+        return Status(StatusCode::kInvalidArgument,
+                      "shard manifest: node->shard map references shard " +
+                          std::to_string(s) + " of " +
+                          std::to_string(m.shard_count));
+      }
+    }
+    return m;
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("shard manifest: ") + e.what());
+  }
+}
+
+std::vector<std::uint8_t> serialize_shard(const ShardData& s) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  cpg::detail::write_header(w, kShardMagic, kShardFormatVersion);
+  w.u32(s.shard_index);
+  w.u32(s.shard_count);
+  w.u32(s.rank_lo);
+  w.u32(s.rank_hi);
+  w.u32_vec(s.global_ids);
+  w.u32_vec(s.global_ranks);
+  w.u32_vec(s.global_levels);
+  w.u64_vec(s.edge_globals);
+  write_frontier(w, s.frontier_in);
+  write_frontier(w, s.frontier_out);
+  // The shard's nodes and intra-shard edges reuse the whole-graph
+  // encoding (with its own nested version header), so the two formats
+  // cannot drift.
+  const std::vector<std::uint8_t> graph_bytes = cpg::serialize(s.graph);
+  w.u8_vec(graph_bytes);
+  return out;
+}
+
+Result<ShardData> deserialize_shard(const std::vector<std::uint8_t>& bytes) {
+  try {
+    ByteReader r(bytes);
+    cpg::detail::check_header(r, kShardMagic, kShardFormatVersion,
+                              "CPG shard");
+    ShardData s;
+    s.shard_index = r.u32();
+    s.shard_count = r.u32();
+    s.rank_lo = r.u32();
+    s.rank_hi = r.u32();
+    s.global_ids = r.u32_vec();
+    s.global_ranks = r.u32_vec();
+    s.global_levels = r.u32_vec();
+    s.edge_globals = r.u64_vec();
+    s.frontier_in = read_frontier(r);
+    s.frontier_out = read_frontier(r);
+    // In-place view: the embedded graph is the dominant payload, and
+    // every budget-driven cache miss decodes one -- no second copy.
+    auto graph = cpg::deserialize_checked(r.u8_view());
+    if (!graph.ok()) return graph.status();
+    s.graph = std::move(graph).value();
+    const std::size_t n = s.graph.nodes().size();
+    if (s.global_ids.size() != n || s.global_ranks.size() != n ||
+        s.global_levels.size() != n) {
+      return Status(StatusCode::kInvalidArgument,
+                    "CPG shard: sidecar arrays do not match the node count");
+    }
+    if (s.edge_globals.size() != s.graph.edges().size()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "CPG shard: edge index sidecar does not match the edge "
+                    "count");
+    }
+    // Structural invariants the lookup builders and the query layer
+    // dereference without further checks -- a corrupt or foreign file
+    // must die here as a typed error, not as UB downstream.
+    for (std::size_t i = 1; i < s.global_ids.size(); ++i) {
+      if (s.global_ids[i] <= s.global_ids[i - 1]) {
+        return Status(StatusCode::kInvalidArgument,
+                      "CPG shard: global id table is not strictly "
+                      "ascending");
+      }
+    }
+    const auto owns = [&](cpg::NodeId global) {
+      return std::binary_search(s.global_ids.begin(), s.global_ids.end(),
+                                global);
+    };
+    const auto check_frontier = [&](const std::vector<FrontierEdge>& edges,
+                                    bool to_is_local,
+                                    const char* what) -> Status {
+      std::uint64_t prev_index = 0;
+      bool first = true;
+      for (const FrontierEdge& e : edges) {
+        const cpg::NodeId local_end = to_is_local ? e.to : e.from;
+        const cpg::NodeId remote_end = to_is_local ? e.from : e.to;
+        if (!owns(local_end) || owns(remote_end)) {
+          return Status(StatusCode::kInvalidArgument,
+                        std::string("CPG shard: ") + what +
+                            " edge endpoints do not match the shard's "
+                            "node set");
+        }
+        if (!first && e.edge_index <= prev_index) {
+          return Status(StatusCode::kInvalidArgument,
+                        std::string("CPG shard: ") + what +
+                            " edges are not in ascending edge-index order");
+        }
+        prev_index = e.edge_index;
+        first = false;
+      }
+      return Status::Ok();
+    };
+    if (Status st = check_frontier(s.frontier_in, /*to_is_local=*/true,
+                                   "frontier-in");
+        !st.ok()) {
+      return st;
+    }
+    if (Status st = check_frontier(s.frontier_out, /*to_is_local=*/false,
+                                   "frontier-out");
+        !st.ok()) {
+      return st;
+    }
+    return s;
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("CPG shard: ") + e.what());
+  }
+}
+
+Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "cannot open " + path);
+  }
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) {
+    return Status(StatusCode::kInternal, "read failed: " + path);
+  }
+  return bytes;
+}
+
+Status write_file_bytes(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kInternal, "cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return Status(StatusCode::kInternal, "write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Manifest> ShardReader::read_manifest(const std::string& dir) {
+  auto bytes = read_file_bytes(dir + "/" + kManifestFileName);
+  if (!bytes.ok()) return bytes.status();
+  return deserialize_manifest(bytes.value());
+}
+
+Result<ShardData> ShardReader::read_shard(const std::string& dir,
+                                          const ShardInfo& info) {
+  auto bytes = read_file_bytes(dir + "/" + info.file);
+  if (!bytes.ok()) return bytes.status();
+  return deserialize_shard(bytes.value());
+}
+
+}  // namespace inspector::shard

@@ -1,0 +1,137 @@
+// On-disk layout of a sharded CPG store.
+//
+// A store is a directory: one self-contained file per shard plus a
+// MANIFEST.bin that routes queries. The planner (planner.h) cuts the
+// captured history into contiguous happens-before-rank ranges, which
+// makes the shard sequence a topological partition: every recorded
+// edge either stays inside a shard or crosses from a lower-ranked
+// shard to a higher-ranked one, never backward. Each shard file holds
+//
+//   - the shard's sub-computations as a local cpg::Graph (local node
+//     ids 0..m-1, intra-shard edges only, own CSR + page inverted
+//     index built at load), serialized with the versioned CPG format,
+//   - sidecar arrays mapping local ids back to the global graph:
+//     global node ids (ascending, so local id = position), global
+//     hb-ranks, global topological levels, and the global edge index
+//     of every intra-shard edge (analysis tie-breaks depend on it),
+//   - the explicit cross-shard edge frontier: every edge entering
+//     (frontier_in) or leaving (frontier_out) the shard, with global
+//     endpoints and its global edge index.
+//
+// The manifest carries the routing fences -- per-shard rank ranges,
+// page ranges, and topological-level ranges -- plus the global page
+// universe, a node -> shard map, and precomputed whole-graph
+// statistics, so page-local queries touch only owning shards and a
+// stats query touches none. Both file kinds open with the shared
+// magic+version header (cpg/binary_io.h); stale or foreign files fail
+// with a typed kInvalidArgument, never a misparsed length.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "util/page_set.h"
+#include "util/status.h"
+
+namespace inspector::shard {
+
+/// "CPGM" -- the manifest file.
+inline constexpr std::uint32_t kManifestMagic = 0x4D475043;
+inline constexpr std::uint32_t kManifestFormatVersion = 1;
+/// "CPGS" -- one shard file.
+inline constexpr std::uint32_t kShardMagic = 0x53475043;
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+inline constexpr const char* kManifestFileName = "MANIFEST.bin";
+
+/// Sentinel for the page fences of a shard that touched no pages.
+inline constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
+/// One recorded edge whose endpoints live in different shards.
+struct FrontierEdge {
+  std::uint64_t edge_index = 0;  ///< position in the global edge list
+  cpg::NodeId from = cpg::kInvalidNode;  ///< global ids
+  cpg::NodeId to = cpg::kInvalidNode;
+  cpg::EdgeKind kind = cpg::EdgeKind::kControl;
+  std::uint64_t object = 0;
+
+  bool operator==(const FrontierEdge&) const = default;
+};
+
+/// Manifest entry for one shard: everything routing needs without
+/// opening the file.
+struct ShardInfo {
+  std::string file;            ///< relative to the store directory
+  std::uint32_t rank_lo = 0;   ///< hb-rank fence [rank_lo, rank_hi)
+  std::uint32_t rank_hi = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t edge_count = 0;      ///< intra-shard edges
+  std::uint64_t frontier_count = 0;  ///< in + out frontier edges
+  std::uint64_t min_page = kNoPage;  ///< page fences (kNoPage when none)
+  std::uint64_t max_page = 0;
+  std::uint32_t min_level = 0;  ///< global topological-level fence
+  std::uint32_t max_level = 0;
+  std::uint64_t byte_size = 0;  ///< file size (the store's budget unit)
+
+  bool operator==(const ShardInfo&) const = default;
+};
+
+struct Manifest {
+  std::uint32_t shard_count = 0;
+  std::uint64_t total_nodes = 0;
+  std::uint64_t total_edges = 0;
+  std::uint64_t thread_count = 0;
+  std::uint64_t level_count = 0;  ///< global topological levels
+  cpg::GraphStats stats;          ///< whole-graph stats, precomputed
+  PageSet pages;                  ///< global page universe, sorted
+  std::vector<std::uint8_t> node_shard;  ///< global node id -> shard
+  std::vector<ShardInfo> shards;
+
+  bool operator==(const Manifest&) const = default;
+};
+
+/// Payload of one shard file, decoded.
+struct ShardData {
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  std::uint32_t rank_lo = 0;
+  std::uint32_t rank_hi = 0;
+  std::vector<cpg::NodeId> global_ids;  ///< local id -> global id, ascending
+  std::vector<std::uint32_t> global_ranks;   ///< local id -> global hb-rank
+  std::vector<std::uint32_t> global_levels;  ///< local id -> global level
+  std::vector<std::uint64_t> edge_globals;   ///< local edge -> global index
+  std::vector<FrontierEdge> frontier_in;   ///< ascending edge_index
+  std::vector<FrontierEdge> frontier_out;  ///< ascending edge_index
+  cpg::Graph graph;  ///< local nodes + intra-shard edges, indices built
+};
+
+// --- encoding ---------------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_manifest(const Manifest& m);
+[[nodiscard]] Result<Manifest> deserialize_manifest(
+    const std::vector<std::uint8_t>& bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_shard(const ShardData& s);
+[[nodiscard]] Result<ShardData> deserialize_shard(
+    const std::vector<std::uint8_t>& bytes);
+
+// --- files ------------------------------------------------------------
+
+/// Read a whole file; kNotFound when it cannot be opened.
+[[nodiscard]] Result<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path);
+[[nodiscard]] Status write_file_bytes(const std::string& path,
+                                      const std::vector<std::uint8_t>& bytes);
+
+/// Loads the pieces of a store directory. The heavier ShardStore
+/// (store.h) adds caching and the memory budget on top.
+class ShardReader {
+ public:
+  [[nodiscard]] static Result<Manifest> read_manifest(const std::string& dir);
+  [[nodiscard]] static Result<ShardData> read_shard(const std::string& dir,
+                                                    const ShardInfo& info);
+};
+
+}  // namespace inspector::shard

@@ -1,0 +1,224 @@
+#include "shard/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace inspector::shard {
+
+Result<ShardPlan> ShardPlanner::plan(const cpg::Graph& graph) const {
+  const std::uint32_t k = options_.shard_count;
+  if (k == 0 || k > 255) {
+    return Status(StatusCode::kInvalidArgument,
+                  "shard count must be in [1, 255], got " +
+                      std::to_string(k));
+  }
+  try {
+    (void)graph.topological_view();
+  } catch (const std::logic_error&) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "cannot shard a cyclic graph: the rank partition needs a "
+                  "topological order");
+  }
+  const std::size_t n = graph.nodes().size();
+  // The whole design rests on edges never pointing to a lower rank --
+  // that is what makes rank ranges topological sections. A recorder
+  // history always satisfies it; a crafted or corrupt graph may not.
+  for (const cpg::Edge& e : graph.edges()) {
+    if (graph.rank(e.from) >= graph.rank(e.to)) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "edge " + std::to_string(e.from) + " -> " +
+                        std::to_string(e.to) +
+                        " does not advance the happens-before rank; the "
+                        "history's clocks are inconsistent");
+    }
+  }
+
+  ShardPlan plan;
+  plan.shard_count = k;
+  plan.rank_fences.resize(k + 1);
+  for (std::uint32_t i = 0; i <= k; ++i) {
+    plan.rank_fences[i] = static_cast<std::uint32_t>(n * i / k);
+  }
+  plan.node_shard.resize(n);
+  plan.node_level.resize(n);
+  plan.shard_nodes.resize(k);
+  for (std::size_t lvl = 0; lvl < graph.level_count(); ++lvl) {
+    for (const cpg::NodeId id : graph.level_nodes(lvl)) {
+      plan.node_level[id] = static_cast<std::uint32_t>(lvl);
+    }
+  }
+  for (cpg::NodeId id = 0; id < n; ++id) {
+    const std::uint32_t rank = graph.rank(id);
+    const auto it = std::upper_bound(plan.rank_fences.begin(),
+                                     plan.rank_fences.end(), rank);
+    const auto shard =
+        static_cast<std::uint8_t>(it - plan.rank_fences.begin() - 1);
+    plan.node_shard[id] = shard;
+    plan.shard_nodes[shard].push_back(id);  // ascending: id loop order
+  }
+  return plan;
+}
+
+namespace {
+
+std::string shard_file_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%03u.bin", index);
+  return buf;
+}
+
+}  // namespace
+
+Result<Manifest> ShardWriter::write(const cpg::Graph& graph,
+                                    const ShardPlan& plan) const {
+  const std::uint32_t k = plan.shard_count;
+  const std::size_t n = graph.nodes().size();
+  if (plan.node_shard.size() != n || plan.node_level.size() != n ||
+      plan.shard_nodes.size() != k) {
+    return Status(StatusCode::kInvalidArgument,
+                  "shard plan does not match the graph");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status(StatusCode::kInternal,
+                  "cannot create store directory " + dir_ + ": " +
+                      ec.message());
+  }
+
+  // Bucket the global edge list once: intra-shard edges per owner,
+  // frontier edges per both endpoints' shards, all in global edge
+  // index order (the order analyses tie-break on).
+  std::vector<std::vector<std::uint64_t>> intra(k);
+  std::vector<std::vector<std::uint64_t>> fin(k);
+  std::vector<std::vector<std::uint64_t>> fout(k);
+  const auto& edges = graph.edges();
+  for (std::uint64_t e = 0; e < edges.size(); ++e) {
+    const std::uint8_t sf = plan.node_shard[edges[e].from];
+    const std::uint8_t st = plan.node_shard[edges[e].to];
+    if (sf == st) {
+      intra[sf].push_back(e);
+    } else {
+      fout[sf].push_back(e);
+      fin[st].push_back(e);
+    }
+  }
+
+  Manifest manifest;
+  manifest.shard_count = k;
+  manifest.total_nodes = n;
+  manifest.total_edges = edges.size();
+  manifest.thread_count = graph.thread_count();
+  manifest.level_count = graph.level_count();
+  manifest.stats = graph.stats();
+  const auto universe = graph.pages();
+  manifest.pages.assign(universe.begin(), universe.end());
+  manifest.node_shard = plan.node_shard;
+  manifest.shards.resize(k);
+
+  // Per-shard payloads are independent: build + serialize + write each
+  // on the shared pool, filling disjoint manifest slots.
+  Status failure = Status::Ok();
+  std::mutex failure_mu;
+  const auto pool = util::shared_pool();
+  pool->parallel_for(0, k, 1, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t s = b; s < e; ++s) {
+      ShardData data;
+      data.shard_index = static_cast<std::uint32_t>(s);
+      data.shard_count = k;
+      data.rank_lo = plan.rank_fences[s];
+      data.rank_hi = plan.rank_fences[s + 1];
+      data.global_ids = plan.shard_nodes[s];
+      const std::size_t m = data.global_ids.size();
+      data.global_ranks.resize(m);
+      data.global_levels.resize(m);
+      std::vector<cpg::SubComputation> nodes;
+      nodes.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const cpg::NodeId gid = data.global_ids[i];
+        data.global_ranks[i] = graph.rank(gid);
+        data.global_levels[i] = plan.node_level[gid];
+        cpg::SubComputation node = graph.node(gid);
+        node.id = static_cast<cpg::NodeId>(i);
+        nodes.push_back(std::move(node));
+      }
+      const auto local_of = [&](cpg::NodeId gid) {
+        return static_cast<cpg::NodeId>(
+            std::lower_bound(data.global_ids.begin(), data.global_ids.end(),
+                             gid) -
+            data.global_ids.begin());
+      };
+      std::vector<cpg::Edge> local_edges;
+      local_edges.reserve(intra[s].size());
+      data.edge_globals.reserve(intra[s].size());
+      for (const std::uint64_t ei : intra[s]) {
+        cpg::Edge edge = edges[ei];
+        edge.from = local_of(edge.from);
+        edge.to = local_of(edge.to);
+        local_edges.push_back(edge);
+        data.edge_globals.push_back(ei);
+      }
+      const auto frontier_of = [&](const std::vector<std::uint64_t>& list) {
+        std::vector<FrontierEdge> out;
+        out.reserve(list.size());
+        for (const std::uint64_t ei : list) {
+          const cpg::Edge& edge = edges[ei];
+          out.push_back({ei, edge.from, edge.to, edge.kind, edge.object});
+        }
+        return out;
+      };
+      data.frontier_in = frontier_of(fin[s]);
+      data.frontier_out = frontier_of(fout[s]);
+      data.graph = cpg::Graph(std::move(nodes), std::move(local_edges), {});
+
+      ShardInfo& info = manifest.shards[s];
+      info.file = shard_file_name(static_cast<std::uint32_t>(s));
+      info.rank_lo = data.rank_lo;
+      info.rank_hi = data.rank_hi;
+      info.node_count = m;
+      info.edge_count = data.edge_globals.size();
+      info.frontier_count = data.frontier_in.size() + data.frontier_out.size();
+      const auto local_pages = data.graph.pages();
+      if (!local_pages.empty()) {
+        info.min_page = local_pages.front();
+        info.max_page = local_pages.back();
+      }
+      if (m > 0) {
+        const auto [lo, hi] = std::minmax_element(data.global_levels.begin(),
+                                                  data.global_levels.end());
+        info.min_level = *lo;
+        info.max_level = *hi;
+      }
+      const std::vector<std::uint8_t> bytes = serialize_shard(data);
+      info.byte_size = bytes.size();
+      if (Status st = write_file_bytes(dir_ + "/" + info.file, bytes);
+          !st.ok()) {
+        std::lock_guard lock(failure_mu);
+        if (failure.ok()) failure = std::move(st);
+      }
+    }
+  });
+  if (!failure.ok()) return failure;
+
+  if (Status st = write_file_bytes(dir_ + "/" + kManifestFileName,
+                                   serialize_manifest(manifest));
+      !st.ok()) {
+    return st;
+  }
+  return manifest;
+}
+
+Result<Manifest> write_store(const cpg::Graph& graph, const std::string& dir,
+                             PlanOptions options) {
+  ShardPlanner planner(options);
+  auto plan = planner.plan(graph);
+  if (!plan.ok()) return plan.status();
+  return ShardWriter(dir).write(graph, plan.value());
+}
+
+}  // namespace inspector::shard

@@ -1,0 +1,201 @@
+#include "shard/store.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace inspector::shard {
+
+std::optional<std::uint32_t> LoadedShard::local_of(cpg::NodeId global) const {
+  const auto& ids = data.global_ids;
+  const auto it = std::lower_bound(ids.begin(), ids.end(), global);
+  if (it == ids.end() || *it != global) return std::nullopt;
+  return static_cast<std::uint32_t>(it - ids.begin());
+}
+
+std::span<const std::uint32_t> LoadedShard::frontier_in_of(
+    std::uint32_t local) const {
+  return {fin_ids_.data() + fin_offsets_[local],
+          fin_ids_.data() + fin_offsets_[local + 1]};
+}
+
+std::span<const std::uint32_t> LoadedShard::frontier_out_of(
+    std::uint32_t local) const {
+  return {fout_ids_.data() + fout_offsets_[local],
+          fout_ids_.data() + fout_offsets_[local + 1]};
+}
+
+std::span<const std::uint32_t> LoadedShard::level_locals(
+    std::uint32_t level) const {
+  if (level < min_level_ ||
+      level - min_level_ + 1 >= level_offsets_.size()) {
+    return {};
+  }
+  const std::uint32_t bucket = level - min_level_;
+  return {level_ids_.data() + level_offsets_[bucket],
+          level_ids_.data() + level_offsets_[bucket + 1]};
+}
+
+void LoadedShard::build_lookup() {
+  const std::size_t n = data.global_ids.size();
+  // Frontier buckets by local endpoint; iterating the (edge-index-
+  // sorted) frontier lists in order keeps each bucket ascending by
+  // global edge index, which the critical-path tie-break relies on.
+  const auto bucket = [&](const std::vector<FrontierEdge>& edges,
+                          const bool by_to, std::vector<std::uint32_t>& offsets,
+                          std::vector<std::uint32_t>& out) {
+    offsets.assign(n + 1, 0);
+    out.resize(edges.size());
+    std::vector<std::uint32_t> locals(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const cpg::NodeId endpoint = by_to ? edges[i].to : edges[i].from;
+      locals[i] = *local_of(endpoint);
+      ++offsets[locals[i] + 1];
+    }
+    std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      out[cursor[locals[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  };
+  bucket(data.frontier_in, /*by_to=*/true, fin_offsets_, fin_ids_);
+  bucket(data.frontier_out, /*by_to=*/false, fout_offsets_, fout_ids_);
+
+  // Level buckets over the shard's global-level window. Scattering in
+  // local-id order keeps each bucket ascending by local (hence global)
+  // node id.
+  min_level_ = 0;
+  level_offsets_.assign(1, 0);
+  level_ids_.clear();
+  if (n == 0) return;
+  const auto [lo, hi] = std::minmax_element(data.global_levels.begin(),
+                                            data.global_levels.end());
+  min_level_ = *lo;
+  const std::uint32_t buckets = *hi - *lo + 1;
+  level_offsets_.assign(buckets + 1, 0);
+  for (const std::uint32_t lvl : data.global_levels) {
+    ++level_offsets_[lvl - min_level_ + 1];
+  }
+  std::partial_sum(level_offsets_.begin(), level_offsets_.end(),
+                   level_offsets_.begin());
+  level_ids_.resize(n);
+  std::vector<std::uint32_t> cursor(level_offsets_.begin(),
+                                    level_offsets_.end() - 1);
+  for (std::uint32_t local = 0; local < n; ++local) {
+    level_ids_[cursor[data.global_levels[local] - min_level_]++] = local;
+  }
+}
+
+ShardStore::ShardStore(std::string dir, Manifest manifest,
+                       StoreOptions options)
+    : dir_(std::move(dir)), manifest_(std::move(manifest)),
+      options_(options) {
+  for (const ShardInfo& info : manifest_.shards) {
+    stats_.total_bytes += info.byte_size;
+  }
+}
+
+Result<std::shared_ptr<ShardStore>> ShardStore::open(std::string dir,
+                                                     StoreOptions options) {
+  auto manifest = ShardReader::read_manifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  return std::shared_ptr<ShardStore>(new ShardStore(
+      std::move(dir), std::move(manifest).value(), options));
+}
+
+Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
+    std::uint32_t shard) {
+  if (shard >= manifest_.shard_count) {
+    return Status(StatusCode::kOutOfRange,
+                  "shard " + std::to_string(shard) + " out of range [0, " +
+                      std::to_string(manifest_.shard_count) + ")");
+  }
+  std::lock_guard lock(mu_);
+  if (const auto it = resident_.find(shard); it != resident_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->loaded;
+  }
+  // Miss: decode under the lock (loads serialize; correctness first,
+  // and per-page scans hit the cache far more often than they miss).
+  auto data = ShardReader::read_shard(dir_, manifest_.shards[shard]);
+  if (!data.ok()) return data.status();
+  // The file is internally consistent (deserialize_shard checked);
+  // now it must also be the file this manifest wrote, not a stray
+  // from another store generation sharing the directory.
+  if (data->shard_index != shard ||
+      data->global_ids.size() != manifest_.shards[shard].node_count) {
+    return Status(StatusCode::kInvalidArgument,
+                  dir_ + "/" + manifest_.shards[shard].file +
+                      " does not match the manifest (expected shard " +
+                      std::to_string(shard) + " with " +
+                      std::to_string(manifest_.shards[shard].node_count) +
+                      " nodes; found shard " +
+                      std::to_string(data->shard_index) + " with " +
+                      std::to_string(data->global_ids.size()) + ")");
+  }
+  // Bound every sidecar value the query layer indexes dense arrays
+  // with (visited/node_marked by global id, thread_marked by thread):
+  // deserialize_shard checked internal consistency, but only the
+  // manifest knows the global universe sizes.
+  const auto mismatch = [&](const char* what) {
+    return Status(StatusCode::kInvalidArgument,
+                  dir_ + "/" + manifest_.shards[shard].file + ": " + what +
+                      " exceeds the manifest's bounds");
+  };
+  for (const cpg::NodeId gid : data->global_ids) {
+    if (gid >= manifest_.total_nodes) return mismatch("a global node id");
+  }
+  for (const auto& e : data->frontier_in) {
+    if (e.from >= manifest_.total_nodes || e.to >= manifest_.total_nodes) {
+      return mismatch("a frontier edge endpoint");
+    }
+  }
+  for (const auto& e : data->frontier_out) {
+    if (e.from >= manifest_.total_nodes || e.to >= manifest_.total_nodes) {
+      return mismatch("a frontier edge endpoint");
+    }
+  }
+  for (const std::uint32_t level : data->global_levels) {
+    if (manifest_.level_count == 0 || level >= manifest_.level_count) {
+      return mismatch("a topological level");
+    }
+  }
+  for (const auto& node : data->graph.nodes()) {
+    if (node.thread >= manifest_.thread_count) {
+      return mismatch("a thread id");
+    }
+  }
+  auto loaded = std::make_shared<LoadedShard>();
+  loaded->data = std::move(data).value();
+  loaded->byte_size = manifest_.shards[shard].byte_size;
+  loaded->build_lookup();
+  ++stats_.loads;
+  // Evict before inserting, so the resident ceiling never exceeds
+  // max(budget, one shard). Pinned shards stay alive through their
+  // shared_ptrs; eviction only drops the cache reference.
+  if (options_.memory_budget_bytes > 0) {
+    while (!lru_.empty() &&
+           stats_.resident_bytes + loaded->byte_size >
+               options_.memory_budget_bytes) {
+      const Entry& victim = lru_.back();
+      stats_.resident_bytes -= victim.loaded->byte_size;
+      ++stats_.evictions;
+      resident_.erase(victim.shard);
+      lru_.pop_back();
+    }
+  }
+  stats_.resident_bytes += loaded->byte_size;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  lru_.push_front(Entry{shard, loaded});
+  resident_.emplace(shard, lru_.begin());
+  return std::shared_ptr<const LoadedShard>(std::move(loaded));
+}
+
+ShardStore::Stats ShardStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace inspector::shard

@@ -1,0 +1,119 @@
+// ShardStore: memory-budgeted access to a sharded CPG store.
+//
+// A store keeps at most `memory_budget_bytes` of decoded shards
+// resident (file size is the budget unit), evicting the least recently
+// used shard when a load would exceed it -- the out-of-core mode: a
+// query session over a store larger than memory streams shards through
+// the budget instead of materializing the graph. load() hands out
+// shared_ptrs, so an evicted shard stays valid for the operation that
+// pinned it and is freed when the last pin drops. All entry points are
+// thread-safe; per-shard scan fan-outs hit the cache concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shard/format.h"
+#include "util/status.h"
+
+namespace inspector::shard {
+
+/// A decoded shard plus the lookup structures queries walk: frontier
+/// edges bucketed by their local endpoint and local nodes bucketed by
+/// global topological level.
+struct LoadedShard {
+  ShardData data;
+  std::uint64_t byte_size = 0;  ///< encoded size (budget accounting)
+
+  /// Local id of a global node, if this shard owns it.
+  [[nodiscard]] std::optional<std::uint32_t> local_of(
+      cpg::NodeId global) const;
+
+  /// Indices into data.frontier_in whose `to` is local node `v`
+  /// (ascending global edge index), and into data.frontier_out whose
+  /// `from` is local node `v`.
+  [[nodiscard]] std::span<const std::uint32_t> frontier_in_of(
+      std::uint32_t local) const;
+  [[nodiscard]] std::span<const std::uint32_t> frontier_out_of(
+      std::uint32_t local) const;
+
+  /// Local node ids at global topological level `level`, ascending
+  /// (empty when the shard has no nodes on that level).
+  [[nodiscard]] std::span<const std::uint32_t> level_locals(
+      std::uint32_t level) const;
+
+  /// Built once after decode.
+  void build_lookup();
+
+ private:
+  std::uint32_t min_level_ = 0;
+  std::vector<std::uint32_t> fin_offsets_, fin_ids_;
+  std::vector<std::uint32_t> fout_offsets_, fout_ids_;
+  std::vector<std::uint32_t> level_offsets_, level_ids_;
+};
+
+struct StoreOptions {
+  /// Resident-shard ceiling in bytes (0 = unlimited). A single shard
+  /// larger than the budget still loads -- the cache then holds just
+  /// that shard.
+  std::uint64_t memory_budget_bytes = 0;
+};
+
+class ShardStore {
+ public:
+  struct Stats {
+    std::uint64_t loads = 0;      ///< file reads + decodes (cache misses)
+    std::uint64_t hits = 0;       ///< served from the resident set
+    std::uint64_t evictions = 0;  ///< shards dropped for the budget
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t peak_resident_bytes = 0;
+    std::uint64_t total_bytes = 0;  ///< whole store on disk
+  };
+
+  /// Open a store directory: reads + validates the manifest only;
+  /// shards load lazily.
+  [[nodiscard]] static Result<std::shared_ptr<ShardStore>> open(
+      std::string dir, StoreOptions options = {});
+
+  [[nodiscard]] const Manifest& manifest() const noexcept {
+    return manifest_;
+  }
+  [[nodiscard]] const std::string& directory() const noexcept { return dir_; }
+
+  /// The shard owning a global node id (caller checks the id range).
+  [[nodiscard]] std::uint32_t shard_of(cpg::NodeId global) const {
+    return manifest_.node_shard[global];
+  }
+
+  /// Fetch one shard, loading and evicting as needed.
+  [[nodiscard]] Result<std::shared_ptr<const LoadedShard>> load(
+      std::uint32_t shard);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  ShardStore(std::string dir, Manifest manifest, StoreOptions options);
+
+  std::string dir_;
+  Manifest manifest_;
+  StoreOptions options_;
+
+  mutable std::mutex mu_;
+  struct Entry {
+    std::uint32_t shard = 0;
+    std::shared_ptr<const LoadedShard> loaded;
+  };
+  /// LRU: front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> resident_;
+  Stats stats_;
+};
+
+}  // namespace inspector::shard

@@ -122,6 +122,18 @@ TEST(WireParse, MalformedRequestsAreTypedErrors) {
       {R"({"op":"stats","node":1})", "unknown field"},
       {R"({"op":"stats","op":"races"})", "duplicate key"},
       {R"({"op":"races","limit":18446744073709551616})", "overflows"},
+      // Scalar replies never paginate: a page_size here would be
+      // silently ignored, so it is rejected like any unknown key.
+      {R"({"op":"stats","page_size":8})", "not allowed"},
+      {R"({"op":"happens_before","first":0,"second":1,"page_size":2})",
+       "not allowed"},
+      // Unknown top-level keys are unknown whatever their value type.
+      {R"({"op":"happens_before","first":0,"second":1,"third":2})",
+       "unknown field"},
+      {R"({"op":"critical_path","limit":5})", "unknown field"},
+      {R"({"op":"invalidate","changed_pages":[1],"seed_pages":[2]})",
+       "unknown field"},
+      {R"({"op":"next","cursor":1,"junk":null})", "unknown field"},
   };
   for (const auto& c : cases) {
     const Status status = parse_error(c.line);

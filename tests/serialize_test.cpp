@@ -72,6 +72,57 @@ TEST(Serialize, BadMagicThrows) {
   EXPECT_THROW((void)deserialize(bytes), std::runtime_error);
 }
 
+TEST(Serialize, BadMagicIsATypedStatus) {
+  auto bytes = serialize(sample_graph());
+  bytes[0] ^= 0xFF;
+  const auto result = deserialize_checked(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), inspector::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("bad magic"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(Serialize, WrongFormatVersionIsAClearError) {
+  auto bytes = serialize(sample_graph());
+  // The version field sits right after the 4-byte magic.
+  bytes[4] = static_cast<std::uint8_t>(kCpgFormatVersion + 1);
+  const auto result = deserialize_checked(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), inspector::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("format version"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find(
+                std::to_string(kCpgFormatVersion + 1)),
+            std::string::npos)
+      << "the error should name the version it saw: "
+      << result.status().message();
+}
+
+TEST(Serialize, HeaderlessVersion1FilesAreRejectedWithVersionError) {
+  // A pre-version-field file (format generation 1) starts its node
+  // count where version 2 keeps the version; the reader must call that
+  // out as a version mismatch rather than misparse the layout.
+  const Graph g = sample_graph();
+  std::vector<std::uint8_t> legacy;
+  const auto current = serialize(g);
+  legacy.insert(legacy.end(), current.begin(), current.begin() + 4);  // magic
+  legacy.insert(legacy.end(), current.begin() + 8, current.end());  // no ver
+  const auto result = deserialize_checked(legacy);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("format version"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(Serialize, TruncationIsATypedStatus) {
+  const auto bytes = serialize(sample_graph());
+  std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + 16);
+  const auto result = deserialize_checked(prefix);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), inspector::StatusCode::kInvalidArgument);
+}
+
 TEST(Serialize, TruncationThrows) {
   const auto bytes = serialize(sample_graph());
   for (std::size_t cut : {4u, 16u, 64u}) {

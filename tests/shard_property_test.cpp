@@ -1,0 +1,207 @@
+// Sharded replies are byte-identical to the unsharded engine.
+//
+// The contract of src/shard/: for any captured history, a
+// ShardedQueryEngine over a store written at any shard count serves
+// the exact reply stream -- per-query statuses, payload bytes, cursor
+// ids, and cursor page boundaries -- the unsharded QueryEngine serves
+// from the in-memory graph, at every worker count. Randomized
+// histories come from tests/history_fixtures.h; the serialized-session
+// shape mirrors tests/query_determinism_test.cpp so the two contracts
+// cannot drift apart.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "history_fixtures.h"
+#include "query/engine.h"
+#include "query/wire.h"
+#include "shard/engine.h"
+#include "shard/planner.h"
+#include "shard/store.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector;
+using namespace inspector::query;
+namespace fixtures = inspector::fixtures;
+
+/// One mixed batch -- paginated list queries, scalar queries, and
+/// deliberately invalid requests -- followed by a full drain of every
+/// cursor, all serialized to wire bytes.
+std::string serialized_session(QueryEngine& engine, cpg::NodeId last,
+                               std::uint64_t first_page) {
+  const auto paged = [](Query q, std::uint64_t page_size) {
+    QueryOptions options;
+    options.page_size = page_size;
+    return QueryEngine::BatchItem{std::move(q), options};
+  };
+  const std::vector<QueryEngine::BatchItem> items = {
+      paged(BackwardSliceQuery{last}, 7),
+      paged(ForwardSliceQuery{0}, 5),
+      paged(RacesQuery{}, 13),
+      {RacesQuery{3, {first_page}}, {}},  // limited + ignored pages
+      paged(TaintQuery{{0, 3, 7}, true}, 9),
+      {TaintQuery{{0, 3, 7}, false}, {}},  // no register carry-over
+      paged(InvalidateQuery{{0, 3, 7}}, 11),
+      paged(CriticalPathQuery{}, 6),
+      {StatsQuery{}, {}},
+      {HappensBeforeQuery{0, last}, {}},
+      paged(PageAccessorsQuery{first_page}, 4),
+      paged(LatestWritersQuery{last}, 3),
+      paged(DataDependenciesQuery{last}, 3),
+      {BackwardSliceQuery{static_cast<cpg::NodeId>(1u << 30)}, {}},  // error
+      {PageAccessorsQuery{0xDEADBEEF}, {}},                          // error
+  };
+  const auto replies = engine.run_batch(QueryEngine::kDefaultSession, items);
+
+  std::string out;
+  std::uint64_t id = 1;
+  std::vector<std::uint64_t> cursors;
+  for (const auto& reply : replies) {
+    out += wire::serialize_reply(id++, reply);
+    out += '\n';
+    if (reply.ok() && reply->cursor != 0) cursors.push_back(reply->cursor);
+  }
+  // Drain every cursor to exhaustion, plus one fetch past the end so
+  // the kExhausted reply bytes are part of the comparison too.
+  for (const std::uint64_t cursor : cursors) {
+    while (true) {
+      const auto page = engine.next(cursor);
+      out += wire::serialize_reply(id++, page);
+      out += '\n';
+      if (!page.ok() || !page->has_more) break;
+    }
+    out += wire::serialize_reply(id++, engine.next(cursor));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string store_dir(std::uint64_t seed, std::uint32_t shards,
+                      unsigned workers) {
+  return ::testing::TempDir() + "shard_prop_" + std::to_string(seed) + "_" +
+         std::to_string(shards) + "_" + std::to_string(workers);
+}
+
+class ShardProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardProperty, RepliesIdenticalAcrossShardAndWorkerCounts) {
+  fixtures::ThreadCountGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  util::set_analysis_threads(1);
+  const cpg::Graph source = fixtures::random_history(seed);
+  const auto last = static_cast<cpg::NodeId>(source.nodes().size() - 1);
+  const std::uint64_t first_page =
+      source.page_count() > 0 ? source.pages()[0] : 0;
+  std::string reference;
+  {
+    QueryEngine engine(std::make_shared<const cpg::Graph>(source));
+    reference = serialized_session(engine, last, first_page);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::uint32_t shards : {1u, 2u, 7u}) {
+    for (const unsigned workers : {1u, 8u}) {
+      util::set_analysis_threads(workers);
+      // Rebuild the history and the store under this worker count too:
+      // the plan, the shard payloads, and the replies must all be
+      // independent of the pool size.
+      const cpg::Graph graph = fixtures::random_history(seed);
+      const std::string dir = store_dir(seed, shards, workers);
+      const auto manifest =
+          shard::write_store(graph, dir, shard::PlanOptions{shards});
+      ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+      EXPECT_EQ(manifest->shard_count, shards);
+      EXPECT_EQ(manifest->total_nodes, graph.nodes().size());
+
+      auto store = shard::ShardStore::open(dir);
+      ASSERT_TRUE(store.ok()) << store.status().message();
+      shard::ShardedQueryEngine engine(std::move(store).value());
+      EXPECT_EQ(serialized_session(engine, last, first_page), reference)
+          << "seed " << seed << ", " << shards << " shard(s), " << workers
+          << " worker(s)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHistories, ShardProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// Dense histories engage the multi-chunk scans and parallel sorts
+// underneath both the store build and the sharded analyses.
+TEST(ShardPropertyDense, RepliesIdenticalAcrossShardCounts) {
+  fixtures::ThreadCountGuard guard;
+  for (const std::uint64_t seed : {1ULL, 5ULL}) {
+    util::set_analysis_threads(1);
+    const cpg::Graph source = fixtures::dense_history(seed);
+    const auto last = static_cast<cpg::NodeId>(source.nodes().size() - 1);
+    const std::uint64_t first_page = source.pages()[0];
+    std::string reference;
+    {
+      QueryEngine engine(std::make_shared<const cpg::Graph>(source));
+      reference = serialized_session(engine, last, first_page);
+    }
+    EXPECT_GT(reference.size(), 1000u);
+    for (const std::uint32_t shards : {2u, 7u}) {
+      util::set_analysis_threads(8);
+      const std::string dir =
+          ::testing::TempDir() + "shard_prop_dense_" + std::to_string(seed) +
+          "_" + std::to_string(shards);
+      const auto manifest =
+          shard::write_store(source, dir, shard::PlanOptions{shards});
+      ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+      auto store = shard::ShardStore::open(dir);
+      ASSERT_TRUE(store.ok()) << store.status().message();
+      shard::ShardedQueryEngine engine(std::move(store).value());
+      EXPECT_EQ(serialized_session(engine, last, first_page), reference)
+          << "dense seed " << seed << ", " << shards << " shard(s)";
+    }
+  }
+}
+
+// Out-of-core: a resident budget smaller than the store still serves
+// the full session correctly, evicting and reloading shards under it.
+TEST(ShardPropertyBudget, TightBudgetStillByteIdentical) {
+  fixtures::ThreadCountGuard guard;
+  util::set_analysis_threads(1);
+  const cpg::Graph source = fixtures::dense_history(3);
+  const auto last = static_cast<cpg::NodeId>(source.nodes().size() - 1);
+  const std::uint64_t first_page = source.pages()[0];
+  std::string reference;
+  {
+    QueryEngine engine(std::make_shared<const cpg::Graph>(source));
+    reference = serialized_session(engine, last, first_page);
+  }
+  const std::string dir = ::testing::TempDir() + "shard_prop_budget";
+  const auto manifest = shard::write_store(source, dir, shard::PlanOptions{7});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  std::uint64_t total_bytes = 0;
+  std::uint64_t max_shard = 0;
+  for (const auto& info : manifest->shards) {
+    total_bytes += info.byte_size;
+    max_shard = std::max(max_shard, info.byte_size);
+  }
+  // Room for about two shards: far below the store, above one shard.
+  shard::StoreOptions options;
+  options.memory_budget_bytes = max_shard * 2;
+  ASSERT_LT(options.memory_budget_bytes, total_bytes);
+  auto store = shard::ShardStore::open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  const auto store_ptr = store.value();
+  shard::ShardedQueryEngine engine(store_ptr);
+  EXPECT_EQ(serialized_session(engine, last, first_page), reference);
+  const auto stats = store_ptr->stats();
+  EXPECT_GT(stats.evictions, 0u) << "budget never forced an eviction";
+  EXPECT_LE(stats.peak_resident_bytes,
+            std::max(options.memory_budget_bytes, max_shard));
+  EXPECT_LT(stats.peak_resident_bytes, stats.total_bytes);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Unit tests for the sharded store: format round-trips, versioned
+// header errors, planner invariants, and the store's LRU budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "cpg/serialize.h"
+#include "history_fixtures.h"
+#include "shard/engine.h"
+#include "shard/format.h"
+#include "shard/planner.h"
+#include "shard/store.h"
+
+namespace {
+
+using namespace inspector;
+namespace fixtures = inspector::fixtures;
+
+std::string temp_store(const std::string& name) {
+  return ::testing::TempDir() + "shard_unit_" + name;
+}
+
+TEST(ShardPlanner, RejectsBadShardCounts) {
+  const cpg::Graph graph = fixtures::random_history(1);
+  for (const std::uint32_t k : {0u, 256u, 1000u}) {
+    shard::ShardPlanner planner(shard::PlanOptions{k});
+    const auto plan = planner.plan(graph);
+    ASSERT_FALSE(plan.ok()) << k;
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ShardPlanner, RankFencesPartitionEveryNode) {
+  const cpg::Graph graph = fixtures::random_history(2);
+  shard::ShardPlanner planner(shard::PlanOptions{5});
+  const auto plan = planner.plan(graph);
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  std::size_t assigned = 0;
+  for (std::uint32_t s = 0; s < plan->shard_count; ++s) {
+    for (const cpg::NodeId id : plan->shard_nodes[s]) {
+      EXPECT_EQ(plan->node_shard[id], s);
+      EXPECT_GE(graph.rank(id), plan->rank_fences[s]);
+      EXPECT_LT(graph.rank(id), plan->rank_fences[s + 1]);
+      ++assigned;
+    }
+    // Within a shard, local order is ascending global id.
+    EXPECT_TRUE(std::is_sorted(plan->shard_nodes[s].begin(),
+                               plan->shard_nodes[s].end()));
+  }
+  EXPECT_EQ(assigned, graph.nodes().size());
+}
+
+TEST(ShardFormat, ManifestRoundTrips) {
+  const cpg::Graph graph = fixtures::random_history(3);
+  const std::string dir = temp_store("manifest_roundtrip");
+  const auto written = shard::write_store(graph, dir, shard::PlanOptions{3});
+  ASSERT_TRUE(written.ok()) << written.status().message();
+  const auto read = shard::ShardReader::read_manifest(dir);
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(*read, *written);
+  EXPECT_EQ(read->stats, graph.stats());
+  const auto universe = graph.pages();
+  EXPECT_TRUE(std::equal(read->pages.begin(), read->pages.end(),
+                         universe.begin(), universe.end()));
+}
+
+TEST(ShardFormat, ShardFilesRoundTripAndCoverTheGraph) {
+  const cpg::Graph graph = fixtures::random_history(4);
+  const std::string dir = temp_store("shard_roundtrip");
+  const auto manifest = shard::write_store(graph, dir, shard::PlanOptions{4});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  std::size_t nodes_seen = 0;
+  std::size_t intra_edges = 0;
+  std::size_t frontier_in = 0;
+  std::size_t frontier_out = 0;
+  for (const auto& info : manifest->shards) {
+    const auto data = shard::ShardReader::read_shard(dir, info);
+    ASSERT_TRUE(data.ok()) << data.status().message();
+    nodes_seen += data->global_ids.size();
+    intra_edges += data->edge_globals.size();
+    frontier_in += data->frontier_in.size();
+    frontier_out += data->frontier_out.size();
+    for (std::size_t local = 0; local < data->global_ids.size(); ++local) {
+      const cpg::NodeId gid = data->global_ids[local];
+      EXPECT_EQ(data->global_ranks[local], graph.rank(gid));
+      // The shard keeps the node payload verbatim (modulo local id).
+      EXPECT_EQ(data->graph.nodes()[local].clock, graph.node(gid).clock);
+      EXPECT_EQ(data->graph.nodes()[local].read_set, graph.node(gid).read_set);
+    }
+  }
+  // Every node once; every edge exactly once as intra or frontier
+  // (each frontier edge is stored in both endpoint shards).
+  EXPECT_EQ(nodes_seen, graph.nodes().size());
+  EXPECT_EQ(frontier_in, frontier_out);
+  EXPECT_EQ(intra_edges + frontier_in, graph.edges().size());
+}
+
+TEST(ShardFormat, WrongVersionAndMagicAreTypedErrors) {
+  const cpg::Graph graph = fixtures::random_history(5);
+  const std::string dir = temp_store("version_check");
+  const auto manifest = shard::write_store(graph, dir, shard::PlanOptions{2});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+
+  auto bytes = shard::read_file_bytes(dir + "/" + shard::kManifestFileName);
+  ASSERT_TRUE(bytes.ok());
+  // Corrupt the version field (bytes 4..7).
+  auto wrong_version = bytes.value();
+  wrong_version[4] = 0x77;
+  const auto version_error = shard::deserialize_manifest(wrong_version);
+  ASSERT_FALSE(version_error.ok());
+  EXPECT_EQ(version_error.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(version_error.status().message().find("format version"),
+            std::string::npos)
+      << version_error.status().message();
+  // Corrupt the magic.
+  auto wrong_magic = bytes.value();
+  wrong_magic[0] ^= 0xFF;
+  const auto magic_error = shard::deserialize_manifest(wrong_magic);
+  ASSERT_FALSE(magic_error.ok());
+  EXPECT_NE(magic_error.status().message().find("bad magic"),
+            std::string::npos)
+      << magic_error.status().message();
+
+  // Same discipline for a shard file.
+  auto shard_bytes =
+      shard::read_file_bytes(dir + "/" + manifest->shards[0].file);
+  ASSERT_TRUE(shard_bytes.ok());
+  auto stale = shard_bytes.value();
+  stale[4] = 0x63;
+  const auto stale_error = shard::deserialize_shard(stale);
+  ASSERT_FALSE(stale_error.ok());
+  EXPECT_EQ(stale_error.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale_error.status().message().find("format version"),
+            std::string::npos);
+}
+
+TEST(ShardFormat, CorruptFrontierEndpointsAreTypedErrors) {
+  // A shard whose frontier edges reference nodes the shard does not
+  // own (bit flip, or files mixed from two stores) must fail decoding
+  // with a typed error -- the lookup builders dereference endpoint
+  // ids without rechecking.
+  const cpg::Graph graph = fixtures::random_history(8);
+  const std::string dir = temp_store("corrupt_frontier");
+  const auto manifest = shard::write_store(graph, dir, shard::PlanOptions{3});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  // Find a shard with at least one frontier edge and swap its in/out
+  // lists' roles by rewriting one endpoint to a foreign node id.
+  for (const auto& info : manifest->shards) {
+    if (info.frontier_count == 0) continue;
+    auto data = shard::ShardReader::read_shard(dir, info);
+    ASSERT_TRUE(data.ok());
+    if (data->frontier_in.empty()) continue;
+    auto corrupt = std::move(data).value();
+    // Point the local endpoint at a node this shard cannot own.
+    corrupt.frontier_in[0].to = corrupt.frontier_in[0].from;
+    const auto reparsed =
+        shard::deserialize_shard(shard::serialize_shard(corrupt));
+    ASSERT_FALSE(reparsed.ok());
+    EXPECT_EQ(reparsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(reparsed.status().message().find("endpoints"),
+              std::string::npos)
+        << reparsed.status().message();
+    return;
+  }
+  GTEST_SKIP() << "history produced no cross-shard edges";
+}
+
+TEST(ShardStore, MixedStoreFilesAreRejectedAtLoad) {
+  // Two stores sharing file names: swapping a shard file between them
+  // must be caught by the manifest cross-check at load, not served.
+  const std::string dir_a = temp_store("mixed_a");
+  const std::string dir_b = temp_store("mixed_b");
+  ASSERT_TRUE(shard::write_store(fixtures::random_history(9), dir_a,
+                                 shard::PlanOptions{2})
+                  .ok());
+  ASSERT_TRUE(shard::write_store(fixtures::dense_history(4), dir_b,
+                                 shard::PlanOptions{2})
+                  .ok());
+  const auto stolen = shard::read_file_bytes(dir_b + "/shard-001.bin");
+  ASSERT_TRUE(stolen.ok());
+  ASSERT_TRUE(
+      shard::write_file_bytes(dir_a + "/shard-001.bin", stolen.value()).ok());
+  auto store = shard::ShardStore::open(dir_a);
+  ASSERT_TRUE(store.ok());
+  const auto loaded = store.value()->load(1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("does not match the manifest"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(ShardStore, OpenFailsCleanlyOnMissingDirectory) {
+  const auto store = shard::ShardStore::open(temp_store("does_not_exist"));
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardStore, BudgetEvictsLeastRecentlyUsed) {
+  const cpg::Graph graph = fixtures::dense_history(2);
+  const std::string dir = temp_store("lru");
+  const auto manifest = shard::write_store(graph, dir, shard::PlanOptions{4});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  std::uint64_t max_shard = 0;
+  for (const auto& info : manifest->shards) {
+    max_shard = std::max(max_shard, info.byte_size);
+  }
+  shard::StoreOptions options;
+  options.memory_budget_bytes = max_shard;  // room for ~one shard
+  auto opened = shard::ShardStore::open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto store = opened.value();
+
+  ASSERT_TRUE(store->load(0).ok());
+  ASSERT_TRUE(store->load(1).ok());  // evicts shard 0
+  auto stats = store->stats();
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.resident_bytes, options.memory_budget_bytes);
+
+  ASSERT_TRUE(store->load(1).ok());  // hit
+  EXPECT_EQ(store->stats().hits, 1u);
+  ASSERT_TRUE(store->load(0).ok());  // miss again: it was evicted
+  EXPECT_EQ(store->stats().loads, 3u);
+  EXPECT_LE(store->stats().peak_resident_bytes,
+            std::max(options.memory_budget_bytes, max_shard));
+
+  // A pinned shard survives its own eviction.
+  const auto pinned = store->load(2);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(store->load(3).ok());
+  EXPECT_FALSE(pinned.value()->data.global_ids.empty());
+}
+
+TEST(ShardStore, UnlimitedBudgetNeverEvicts) {
+  const cpg::Graph graph = fixtures::random_history(6);
+  const std::string dir = temp_store("unlimited");
+  ASSERT_TRUE(shard::write_store(graph, dir, shard::PlanOptions{3}).ok());
+  auto store = shard::ShardStore::open(dir);
+  ASSERT_TRUE(store.ok());
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    ASSERT_TRUE(store.value()->load(s).ok());
+  }
+  const auto stats = store.value()->stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_bytes, stats.total_bytes);
+  EXPECT_EQ(stats.peak_resident_bytes, stats.total_bytes);
+}
+
+TEST(ShardedEngine, GraphAccessorThrowsAndStoreAccessorWorks) {
+  const cpg::Graph graph = fixtures::random_history(7);
+  const std::string dir = temp_store("accessors");
+  ASSERT_TRUE(shard::write_store(graph, dir, shard::PlanOptions{2}).ok());
+  auto store = shard::ShardStore::open(dir);
+  ASSERT_TRUE(store.ok());
+  shard::ShardedQueryEngine engine(store.value());
+  EXPECT_EQ(engine.store().manifest().total_nodes, graph.nodes().size());
+  EXPECT_THROW((void)engine.graph(), std::logic_error);
+  // And the engine still answers queries (smoke).
+  const auto reply = engine.run(query::StatsQuery{});
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+}
+
+}  // namespace

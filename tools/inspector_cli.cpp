@@ -18,6 +18,8 @@
 //   --replay           replay from the CPG and verify the final state
 //   --critical-path    print dependency-chain statistics
 //   --dump-cpg FILE    write the CPG (binary format)
+//   --shard-out DIR    write the CPG as a sharded store (see src/shard/)
+//   --shards N         shard count for --shard-out (default 4, max 255)
 //   --dump-dot FILE    write the CPG as graphviz dot
 //   --dump-text FILE   write the CPG as text
 //   --perf-data FILE   write the perf.data-style trace container
@@ -38,6 +40,7 @@
 #include "perf/data_file.h"
 #include "query/engine.h"
 #include "replay/replay.h"
+#include "shard/planner.h"
 #include "util/parallel.h"
 #include "workloads/registry.h"
 
@@ -57,6 +60,9 @@ struct CliArgs {
   bool critical_path = false;
   unsigned analysis_threads = 0;  ///< 0 = keep the environment default
   std::string dump_cpg, dump_dot, dump_text, perf_data, journal, image;
+  std::string shard_out;          ///< sharded store directory
+  std::uint32_t shards = 4;
+  bool shards_given = false;
 };
 
 int usage() {
@@ -114,6 +120,21 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.critical_path = true;
     } else if (a == "--dump-cpg") {
       args.dump_cpg = next();
+    } else if (a == "--shard-out") {
+      args.shard_out = next();
+    } else if (a == "--shards") {
+      const std::string value = next();
+      bool digits = !value.empty() && value.size() <= 3;
+      for (const char c : value) {
+        if (c < '0' || c > '9') digits = false;
+      }
+      const unsigned long parsed = digits ? std::stoul(value) : 0;
+      if (parsed == 0 || parsed > 255) {
+        std::cerr << "--shards must be in [1, 255]\n";
+        return false;
+      }
+      args.shards = static_cast<std::uint32_t>(parsed);
+      args.shards_given = true;
     } else if (a == "--dump-dot") {
       args.dump_dot = next();
     } else if (a == "--dump-text") {
@@ -128,6 +149,10 @@ bool parse(int argc, char** argv, CliArgs& args) {
       std::cerr << "unknown option: " << a << "\n";
       return false;
     }
+  }
+  if (args.shards_given && args.shard_out.empty()) {
+    std::cerr << "--shards requires --shard-out\n";
+    return false;
   }
   return true;
 }
@@ -244,6 +269,22 @@ int run(const CliArgs& args) {
   if (!args.dump_cpg.empty()) {
     write_file(args.dump_cpg, cpg::serialize(graph));
     std::cout << "wrote " << args.dump_cpg << "\n";
+  }
+  if (!args.shard_out.empty()) {
+    shard::PlanOptions plan_options;
+    plan_options.shard_count = args.shards;
+    const auto manifest =
+        shard::write_store(graph, args.shard_out, plan_options);
+    if (!manifest.ok()) {
+      std::cerr << "sharded store failed: " << manifest.status().message()
+                << "\n";
+      return 1;
+    }
+    std::uint64_t bytes = 0;
+    for (const auto& info : manifest->shards) bytes += info.byte_size;
+    std::cout << "wrote " << args.shard_out << ": " << manifest->shard_count
+              << " shard(s), " << manifest->total_nodes << " nodes, "
+              << bytes << " shard bytes\n";
   }
   if (!args.dump_dot.empty()) {
     write_file(args.dump_dot, cpg::to_dot(graph));

@@ -4,12 +4,15 @@
 // run persists its Concurrent Provenance Graph (inspector_cli
 // --dump-cpg), and an analyst -- or a fleet of them -- queries it.
 // This tool is that serving front-end: it loads a serialized CPG into
-// an immutable snapshot, stands a QueryEngine on top, and answers
+// an immutable snapshot -- or opens a sharded store directory
+// (inspector_cli --shard-out) for out-of-core serving under a resident
+// memory budget -- stands a QueryEngine on top, and answers
 // line-delimited JSON requests (query/wire.h) from stdin or a request
-// file.
+// file. Replies are bit-identical between the two storage forms.
 //
-//   inspector_query <cpg.bin> [--requests FILE] [--analysis-threads N]
-//                   [--page-size N]
+//   inspector_query <cpg.bin> [options]
+//   inspector_query --store <dir> [--shard-budget BYTES] [options]
+//   options: [--requests FILE] [--analysis-threads N] [--page-size N]
 //
 // With --requests, the whole file is executed as one batch: queries
 // fan out over the analysis pool and replies print in request order --
@@ -33,6 +36,7 @@
 #include "cpg/serialize.h"
 #include "query/engine.h"
 #include "query/wire.h"
+#include "shard/engine.h"
 #include "util/parallel.h"
 
 namespace {
@@ -40,8 +44,11 @@ namespace {
 using namespace inspector;
 
 int usage() {
-  std::cerr << "usage: inspector_query <cpg.bin> [--requests FILE] "
-               "[--analysis-threads N] [--page-size N]\n"
+  std::cerr << "usage: inspector_query <cpg.bin> [options]\n"
+               "       inspector_query --store <dir> [--shard-budget BYTES] "
+               "[options]\n"
+               "options: [--requests FILE] [--analysis-threads N] "
+               "[--page-size N]\n"
                "see the header of tools/inspector_query.cpp for the "
                "wire format\n";
   return 2;
@@ -60,21 +67,48 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 }
 
 struct ToolArgs {
-  std::string cpg_path;
+  std::string cpg_path;       ///< whole-graph file (exclusive with store)
+  std::string store_path;     ///< sharded store directory
+  std::uint64_t shard_budget = 0;  ///< resident bytes, 0 = unlimited
   std::string requests_path;  ///< empty = interactive stdin
   std::uint64_t default_page_size = 0;
 };
 
+bool parse_uint(const std::string& value, std::uint64_t& out) {
+  if (value.empty() || value.size() > 18) return false;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+  }
+  out = std::stoull(value);
+  return true;
+}
+
 bool parse_args(int argc, char** argv, ToolArgs& args) {
   if (argc < 2) return false;
-  args.cpg_path = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int i = 2;
+  if (std::string(argv[1]) == "--store") {
+    if (argc < 3) return false;
+    args.store_path = argv[2];
+    i = 3;
+  } else {
+    args.cpg_path = argv[1];
+  }
+  for (; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
       return argv[++i];
     };
-    if (a == "--requests") {
+    if (a == "--shard-budget") {
+      if (args.store_path.empty()) {
+        std::cerr << "--shard-budget requires --store\n";
+        return false;
+      }
+      if (!parse_uint(next(), args.shard_budget)) {
+        std::cerr << "--shard-budget must be a non-negative byte count\n";
+        return false;
+      }
+    } else if (a == "--requests") {
       args.requests_path = next();
     } else if (a == "--analysis-threads") {
       const auto workers = util::parse_analysis_threads(next());
@@ -84,18 +118,10 @@ bool parse_args(int argc, char** argv, ToolArgs& args) {
       }
       util::set_analysis_threads(*workers);
     } else if (a == "--page-size") {
-      const std::string value = next();
-      std::uint64_t parsed = 0;
-      bool valid = !value.empty() && value.size() <= 18;
-      for (const char c : value) {
-        if (c < '0' || c > '9') valid = false;
-      }
-      if (valid) parsed = std::stoull(value);
-      if (!valid) {
+      if (!parse_uint(next(), args.default_page_size)) {
         std::cerr << "--page-size must be a non-negative integer\n";
         return false;
       }
-      args.default_page_size = parsed;
     } else {
       std::cerr << "unknown option: " << a << "\n";
       return false;
@@ -211,11 +237,28 @@ int main(int argc, char** argv) {
   ToolArgs args;
   try {
     if (!parse_args(argc, argv, args)) return usage();
-    auto snapshot = std::make_shared<const cpg::Graph>(
-        cpg::deserialize(read_file(args.cpg_path)));
-    query::QueryEngine engine(std::move(snapshot));
-    return args.requests_path.empty() ? serve_stdin(engine, args)
-                                      : serve_batch(engine, args);
+    std::unique_ptr<query::QueryEngine> engine;
+    if (!args.store_path.empty()) {
+      shard::StoreOptions store_options;
+      store_options.memory_budget_bytes = args.shard_budget;
+      auto store = shard::ShardStore::open(args.store_path, store_options);
+      if (!store.ok()) {
+        std::cerr << "error: " << store.status().message() << "\n";
+        return 1;
+      }
+      engine = std::make_unique<shard::ShardedQueryEngine>(
+          std::move(store).value());
+    } else {
+      auto snapshot = cpg::deserialize_checked(read_file(args.cpg_path));
+      if (!snapshot.ok()) {
+        std::cerr << "error: " << snapshot.status().message() << "\n";
+        return 1;
+      }
+      engine = std::make_unique<query::QueryEngine>(
+          std::make_shared<const cpg::Graph>(std::move(snapshot).value()));
+    }
+    return args.requests_path.empty() ? serve_stdin(*engine, args)
+                                      : serve_batch(*engine, args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

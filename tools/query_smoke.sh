@@ -2,8 +2,13 @@
 # End-to-end smoke of the provenance query service: capture a CPG with
 # inspector_cli, pipe the canned request file through inspector_query
 # at 1 and 8 analysis workers, and diff both reply streams against the
-# checked-in golden file. Any diff means the wire format, the engine's
-# answers, or the worker-count determinism contract regressed.
+# checked-in golden file. Then re-serve the same session from a
+# *sharded* store (inspector_cli --shard-out) under a resident-shard
+# budget smaller than the store, at two shard counts -- the sharded
+# engine must reproduce the golden replies byte for byte. Any diff
+# means the wire format, the engine's answers, the worker-count
+# determinism contract, or the shard-count equivalence contract
+# regressed.
 #
 #   query_smoke.sh <inspector_cli> <inspector_query> <data_dir> [tmp_dir]
 set -euo pipefail
@@ -18,7 +23,9 @@ QUERY=$2
 DATA_DIR=$3
 if [ $# -ge 4 ]; then
   TMP_DIR=$4
-  trap 'rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w"' EXIT
+  trap 'rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" \
+        "$TMP_DIR/smoke.shard3" "$TMP_DIR/smoke.shard7"; \
+        rm -rf "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.store7"' EXIT
 else
   TMP_DIR=$(mktemp -d)
   trap 'rm -rf "$TMP_DIR"' EXIT
@@ -29,9 +36,13 @@ GOLDEN="$DATA_DIR/query_smoke_golden.jsonl"
 
 # The capture is a deterministic simulation: same workload, threads,
 # scale, and seed always produce the same CPG, so the golden replies
-# are stable across machines.
+# are stable across machines. The same run also exports two sharded
+# stores.
 "$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
-    --dump-cpg "$TMP_DIR/smoke.cpg" > /dev/null
+    --dump-cpg "$TMP_DIR/smoke.cpg" \
+    --shard-out "$TMP_DIR/smoke.store3" --shards 3 > /dev/null
+"$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
+    --shard-out "$TMP_DIR/smoke.store7" --shards 7 > /dev/null
 
 "$QUERY" "$TMP_DIR/smoke.cpg" --requests "$REQUESTS" \
     --analysis-threads 1 > "$TMP_DIR/smoke.1w"
@@ -46,4 +57,20 @@ diff -u "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" || {
   echo "FAIL: replies differ between 1 and 8 workers" >&2
   exit 1
 }
-echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers"
+
+# Sharded serving: a 40 KB budget is far below either store (~75 KB of
+# shards), so the session runs genuinely out-of-core with evictions.
+"$QUERY" --store "$TMP_DIR/smoke.store3" --shard-budget 40000 \
+    --requests "$REQUESTS" --analysis-threads 8 > "$TMP_DIR/smoke.shard3"
+"$QUERY" --store "$TMP_DIR/smoke.store7" --shard-budget 40000 \
+    --requests "$REQUESTS" --analysis-threads 1 > "$TMP_DIR/smoke.shard7"
+
+diff -u "$GOLDEN" "$TMP_DIR/smoke.shard3" || {
+  echo "FAIL: 3-shard store replies differ from the golden file" >&2
+  exit 1
+}
+diff -u "$GOLDEN" "$TMP_DIR/smoke.shard7" || {
+  echo "FAIL: 7-shard store replies differ from the golden file" >&2
+  exit 1
+}
+echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, and from 3- and 7-shard stores under a 40000-byte budget"
