@@ -53,6 +53,9 @@ int main() {
       const auto& t = result.perf_session->trace_for(pid);
       log.insert(log.end(), t.begin(), t.end());
     }
+    // compress() always emits at least its header, so the ratio
+    // column's denominator is never zero; an empty log reads as 0.0
+    // (nothing captured), which is the honest value for that row.
     const auto packed = inspector::snapshot::compress(log);
     const double seconds = static_cast<double>(s.sim_time_ns) * 1e-9;
     const double bandwidth = static_cast<double>(log.size()) / seconds;

@@ -121,6 +121,16 @@ class ByteReader {
     pos_ += n;
     return s;
   }
+  /// Everything left in the buffer as a zero-copy view (the reader is
+  /// drained afterwards). The framing form for a format's final,
+  /// file-end-delimited section -- a shard file's codec payload -- where
+  /// a length prefix would only duplicate what the file size already
+  /// says.
+  std::span<const std::uint8_t> rest() {
+    const auto v = in_.subspan(pos_);
+    pos_ = in_.size();
+    return v;
+  }
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return in_.size() - pos_;

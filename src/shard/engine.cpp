@@ -30,9 +30,12 @@ using query::QueryResult;
 /// budget honest -- whole-graph passes (races, slices, propagation,
 /// critical path) must scope their pins per page / per node / per
 /// level / per shard, never per operation, so residency is bounded by
-/// one unit of work plus the store's budgeted cache. Load failures
-/// throw; the query engine converts escapes to kInternal at its
-/// boundary.
+/// one unit of work plus the store's budgeted cache. The store counts
+/// evicted-but-pinned shards in Stats::peak_resident_bytes, so a pass
+/// that outgrows its scope shows up in the numbers instead of hiding.
+/// Load failures (including a corrupt compressed payload, surfaced by
+/// the store as a typed Status) throw here; the query engine converts
+/// escapes to kInternal at its boundary.
 class Pins {
  public:
   explicit Pins(ShardStore& store)

@@ -1,12 +1,18 @@
 #include "shard/format.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <utility>
 
 #include "cpg/binary_io.h"
 #include "cpg/serialize.h"
+#include "snapshot/compress.h"
 
 namespace inspector::shard {
 
@@ -68,6 +74,7 @@ std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
   ByteWriter w(out);
   cpg::detail::write_header(w, kManifestMagic, kManifestFormatVersion);
   w.u32(m.shard_count);
+  w.u64(m.generation);
   w.u64(m.total_nodes);
   w.u64(m.total_edges);
   w.u64(m.thread_count);
@@ -88,6 +95,8 @@ std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
     w.u32(s.min_level);
     w.u32(s.max_level);
     w.u64(s.byte_size);
+    w.u64(s.decoded_bytes);
+    w.u8(static_cast<std::uint8_t>(s.codec));
   }
   return out;
 }
@@ -99,6 +108,16 @@ Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
                               "CPG shard manifest");
     Manifest m;
     m.shard_count = r.u32();
+    // The planner writes 1..255 shards (the node->shard map is one
+    // byte); anything else is a corrupt or crafted file, and callers
+    // (ShardStore, append's tail sizing) divide and index by it.
+    if (m.shard_count == 0 || m.shard_count > 255) {
+      return Status(StatusCode::kInvalidArgument,
+                    "shard manifest: shard count " +
+                        std::to_string(m.shard_count) +
+                        " is outside [1, 255]");
+    }
+    m.generation = r.u64();
     m.total_nodes = r.u64();
     m.total_edges = r.u64();
     m.thread_count = r.u64();
@@ -106,8 +125,8 @@ Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
     m.stats = read_stats(r);
     m.pages = r.u64_vec();
     m.node_shard = r.u8_vec();
-    // 72 = minimum encoded ShardInfo (empty file name).
-    const std::uint64_t shard_count = r.counted(72, "shard info");
+    // 81 = minimum encoded ShardInfo (empty file name).
+    const std::uint64_t shard_count = r.counted(81, "shard info");
     m.shards.reserve(shard_count);
     for (std::uint64_t i = 0; i < shard_count; ++i) {
       ShardInfo s;
@@ -122,6 +141,14 @@ Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
       s.min_level = r.u32();
       s.max_level = r.u32();
       s.byte_size = r.u64();
+      s.decoded_bytes = r.u64();
+      const std::uint8_t codec = r.u8();
+      if (codec > static_cast<std::uint8_t>(ShardCodec::kLz)) {
+        return Status(StatusCode::kInvalidArgument,
+                      "shard manifest: unknown shard codec tag " +
+                          std::to_string(codec));
+      }
+      s.codec = static_cast<ShardCodec>(codec);
       m.shards.push_back(std::move(s));
     }
     if (m.shards.size() != m.shard_count) {
@@ -151,10 +178,13 @@ Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
   }
 }
 
-std::vector<std::uint8_t> serialize_shard(const ShardData& s) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(out);
-  cpg::detail::write_header(w, kShardMagic, kShardFormatVersion);
+namespace {
+
+/// The shard body: every field behind the codec frame. Kept separate
+/// from the frame so raw and compressed files share one encoding;
+/// writes into the caller's writer so the raw path can serialize
+/// straight into the framed output without a second full-body buffer.
+void write_shard_body(ByteWriter& w, const ShardData& s) {
   w.u32(s.shard_index);
   w.u32(s.shard_count);
   w.u32(s.rank_lo);
@@ -170,14 +200,123 @@ std::vector<std::uint8_t> serialize_shard(const ShardData& s) {
   // cannot drift.
   const std::vector<std::uint8_t> graph_bytes = cpg::serialize(s.graph);
   w.u8_vec(graph_bytes);
+}
+
+Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body);
+
+/// The codec frame behind the versioned header. Parsed in one place
+/// so the reader's manifest cross-check and the decoder can never
+/// disagree about the layout. Throws SerializeError on truncation
+/// (callers sit inside a try like every other decode path).
+struct ShardFrame {
+  ShardCodec codec = ShardCodec::kRaw;
+  std::uint64_t decoded_size = 0;
+};
+
+Result<ShardFrame> parse_shard_frame(ByteReader& r) {
+  cpg::detail::check_header(r, kShardMagic, kShardFormatVersion, "CPG shard");
+  const std::uint8_t codec_tag = r.u8();
+  if (codec_tag > static_cast<std::uint8_t>(ShardCodec::kLz)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "CPG shard: unknown codec tag " +
+                      std::to_string(codec_tag));
+  }
+  ShardFrame frame;
+  frame.codec = static_cast<ShardCodec>(codec_tag);
+  frame.decoded_size = r.u64();
+  return frame;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_shard(const ShardData& s,
+                                          ShardCodec codec,
+                                          std::uint64_t* decoded_bytes) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  cpg::detail::write_header(w, kShardMagic, kShardFormatVersion);
+  w.u8(static_cast<std::uint8_t>(codec));
+  // The payload is the file's final section: delimited by the file end
+  // rather than a redundant length prefix (ByteReader::rest()).
+  if (codec == ShardCodec::kLz) {
+    std::vector<std::uint8_t> body;
+    {
+      ByteWriter body_writer(body);
+      write_shard_body(body_writer, s);
+    }
+    if (decoded_bytes != nullptr) *decoded_bytes = body.size();
+    w.u64(body.size());
+    const std::vector<std::uint8_t> packed = snapshot::compress(body);
+    out.insert(out.end(), packed.begin(), packed.end());
+  } else {
+    // Raw: serialize the body straight into the framed output (no
+    // second full-body buffer) and patch the decoded-size field once
+    // the length is known.
+    w.u64(0);
+    const std::size_t body_start = out.size();
+    write_shard_body(w, s);
+    const std::uint64_t body_size = out.size() - body_start;
+    if (decoded_bytes != nullptr) *decoded_bytes = body_size;
+    for (int i = 0; i < 8; ++i) {
+      out[body_start - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(body_size >> (8 * i));
+    }
+  }
   return out;
 }
+
+namespace {
+
+/// Decode + validate a frame's payload into the shard body (the one
+/// site that knows how each codec stores the body, shared by
+/// deserialize_shard and the reader's cross-checked load path).
+Result<ShardData> decode_shard_payload(const ShardFrame& frame,
+                                       std::span<const std::uint8_t> payload) {
+  if (frame.codec == ShardCodec::kRaw) {
+    if (payload.size() != frame.decoded_size) {
+      return Status(StatusCode::kInvalidArgument,
+                    "CPG shard: raw body holds " +
+                        std::to_string(payload.size()) +
+                        " bytes but the frame declares " +
+                        std::to_string(frame.decoded_size));
+    }
+    return deserialize_shard_body(payload);
+  }
+  auto body = snapshot::decompress_checked(payload);
+  if (!body.ok()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "CPG shard: corrupt compressed body: " +
+                      body.status().message());
+  }
+  if (body->size() != frame.decoded_size) {
+    return Status(StatusCode::kInvalidArgument,
+                  "CPG shard: compressed body decodes to " +
+                      std::to_string(body->size()) +
+                      " bytes but the frame declares " +
+                      std::to_string(frame.decoded_size));
+  }
+  return deserialize_shard_body(body.value());
+}
+
+}  // namespace
 
 Result<ShardData> deserialize_shard(const std::vector<std::uint8_t>& bytes) {
   try {
     ByteReader r(bytes);
-    cpg::detail::check_header(r, kShardMagic, kShardFormatVersion,
-                              "CPG shard");
+    const auto frame = parse_shard_frame(r);
+    if (!frame.ok()) return frame.status();
+    return decode_shard_payload(*frame, r.rest());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("CPG shard: ") + e.what());
+  }
+}
+
+namespace {
+
+Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body) {
+  try {
+    ByteReader r(body);
     ShardData s;
     s.shard_index = r.u32();
     s.shard_count = r.u32();
@@ -260,6 +399,8 @@ Result<ShardData> deserialize_shard(const std::vector<std::uint8_t>& bytes) {
   }
 }
 
+}  // namespace
+
 Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
@@ -278,16 +419,72 @@ Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
 
 Status write_file_bytes(const std::string& path,
                         const std::vector<std::uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
+  // POSIX I/O rather than ofstream so the bytes can be fsynced: the
+  // store's manifest-commit protocol orders shard data before the
+  // manifest rename, which only holds if writes actually reach disk.
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
     return Status(StatusCode::kInternal, "cannot open " + path);
   }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    return Status(StatusCode::kInternal, "write failed: " + path);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status(StatusCode::kInternal, "write failed: " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kInternal, "fsync failed: " + path);
+  }
+  if (::close(fd) != 0) {
+    return Status(StatusCode::kInternal, "close failed: " + path);
   }
   return Status::Ok();
+}
+
+Status sync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal, "cannot open directory " + dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status(StatusCode::kInternal, "fsync failed: " + dir);
+  }
+  return Status::Ok();
+}
+
+Status replace_file_bytes(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  if (Status st = write_file_bytes(tmp, bytes); !st.ok()) {
+    // Disk-full or fsync failure can leave a partial temp file; do
+    // not strand it next to the store.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return st;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    // Capture the rename failure before the cleanup can clear it.
+    const std::string reason = ec.message();
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    return Status(StatusCode::kInternal,
+                  "cannot replace " + path + ": " + reason);
+  }
+  // Make the rename itself durable; without this a power cut can
+  // resurrect the old directory entry after the new bytes were
+  // acknowledged.
+  const auto parent = std::filesystem::path(path).parent_path();
+  return sync_directory(parent.empty() ? "." : parent.string());
 }
 
 Result<Manifest> ShardReader::read_manifest(const std::string& dir) {
@@ -300,7 +497,35 @@ Result<ShardData> ShardReader::read_shard(const std::string& dir,
                                           const ShardInfo& info) {
   auto bytes = read_file_bytes(dir + "/" + info.file);
   if (!bytes.ok()) return bytes.status();
-  return deserialize_shard(bytes.value());
+  // The manifest's encoded/decoded sizes and codec must match the
+  // frame on disk: the store charges its memory budget with the
+  // manifest's decoded_bytes, so a stale or swapped file that decodes
+  // to a different size would corrupt the accounting, not just the
+  // answer.
+  if (bytes->size() != info.byte_size) {
+    return Status(StatusCode::kInvalidArgument,
+                  dir + "/" + info.file +
+                      " does not match the manifest (file holds " +
+                      std::to_string(bytes->size()) +
+                      " bytes, manifest records " +
+                      std::to_string(info.byte_size) + ")");
+  }
+  try {
+    ByteReader r(bytes.value());
+    const auto frame = parse_shard_frame(r);
+    if (!frame.ok()) return frame.status();
+    if (frame->codec != info.codec ||
+        frame->decoded_size != info.decoded_bytes) {
+      return Status(StatusCode::kInvalidArgument,
+                    dir + "/" + info.file +
+                        ": codec frame does not match the manifest "
+                        "(codec or decoded size differs)");
+    }
+    return decode_shard_payload(*frame, r.rest());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("CPG shard: ") + e.what());
+  }
 }
 
 }  // namespace inspector::shard

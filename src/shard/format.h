@@ -18,13 +18,20 @@
 //     (frontier_in) or leaving (frontier_out) the shard, with global
 //     endpoints and its global edge index.
 //
+// A shard file's body sits behind a small codec frame (codec tag +
+// decoded size): stored raw or run through the checksummed LZ block
+// codec (snapshot/compress.h) -- the paper compresses its provenance
+// logs the same way and reports 6-37x (§VII-D, Fig. 9). Readers
+// decompress transparently; a corrupt payload is a typed error.
+//
 // The manifest carries the routing fences -- per-shard rank ranges,
 // page ranges, and topological-level ranges -- plus the global page
-// universe, a node -> shard map, and precomputed whole-graph
-// statistics, so page-local queries touch only owning shards and a
-// stats query touches none. Both file kinds open with the shared
-// magic+version header (cpg/binary_io.h); stale or foreign files fail
-// with a typed kInvalidArgument, never a misparsed length.
+// universe, a node -> shard map, per-shard encoded/decoded sizes and
+// codec tags, and precomputed whole-graph statistics, so page-local
+// queries touch only owning shards and a stats query touches none.
+// Both file kinds open with the shared magic+version header
+// (cpg/binary_io.h); stale or foreign files fail with a typed
+// kInvalidArgument, never a misparsed length.
 #pragma once
 
 #include <cstdint>
@@ -37,14 +44,25 @@
 
 namespace inspector::shard {
 
-/// "CPGM" -- the manifest file.
+/// "CPGM" -- the manifest file. Version 1 was the uncompressed PR-4
+/// layout; version 2 added the per-shard codec tag and decoded size.
 inline constexpr std::uint32_t kManifestMagic = 0x4D475043;
-inline constexpr std::uint32_t kManifestFormatVersion = 1;
-/// "CPGS" -- one shard file.
+inline constexpr std::uint32_t kManifestFormatVersion = 2;
+/// "CPGS" -- one shard file. Version 1 stored the body raw; version 2
+/// frames the body behind a codec tag + decoded size.
 inline constexpr std::uint32_t kShardMagic = 0x53475043;
-inline constexpr std::uint32_t kShardFormatVersion = 1;
+inline constexpr std::uint32_t kShardFormatVersion = 2;
 
 inline constexpr const char* kManifestFileName = "MANIFEST.bin";
+
+/// How a shard file's body (everything after the versioned header and
+/// the codec frame) is stored on disk. The store decompresses
+/// transparently at load; codecs may be mixed within one store (an
+/// append can inherit or override the codec of the shards it rewrites).
+enum class ShardCodec : std::uint8_t {
+  kRaw = 0,  ///< body stored verbatim
+  kLz = 1,   ///< body behind snapshot::compress (checksummed LZ block)
+};
 
 /// Sentinel for the page fences of a shard that touched no pages.
 inline constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
@@ -73,13 +91,21 @@ struct ShardInfo {
   std::uint64_t max_page = 0;
   std::uint32_t min_level = 0;  ///< global topological-level fence
   std::uint32_t max_level = 0;
-  std::uint64_t byte_size = 0;  ///< file size (the store's budget unit)
+  std::uint64_t byte_size = 0;     ///< encoded file size on disk
+  std::uint64_t decoded_bytes = 0;  ///< body size once decoded (the
+                                    ///< store's memory-budget unit)
+  ShardCodec codec = ShardCodec::kRaw;
 
   bool operator==(const ShardInfo&) const = default;
 };
 
 struct Manifest {
   std::uint32_t shard_count = 0;
+  /// Bumped by every shard::append(). Rewritten shard files carry the
+  /// generation in their names, so an append never overwrites a file
+  /// the current manifest references -- a crash mid-append leaves the
+  /// old manifest over the old, still-complete file set.
+  std::uint64_t generation = 0;
   std::uint64_t total_nodes = 0;
   std::uint64_t total_edges = 0;
   std::uint64_t thread_count = 0;
@@ -95,6 +121,10 @@ struct Manifest {
 /// Payload of one shard file, decoded.
 struct ShardData {
   std::uint32_t shard_index = 0;
+  /// Store-wide shard count *at the time this file was written* --
+  /// informational only. An incremental append can grow or shrink the
+  /// store without rewriting kept files, so the manifest (not this
+  /// field) is authoritative for the current count.
   std::uint32_t shard_count = 0;
   std::uint32_t rank_lo = 0;
   std::uint32_t rank_hi = 0;
@@ -113,7 +143,17 @@ struct ShardData {
 [[nodiscard]] Result<Manifest> deserialize_manifest(
     const std::vector<std::uint8_t>& bytes);
 
-[[nodiscard]] std::vector<std::uint8_t> serialize_shard(const ShardData& s);
+/// Encode one shard file: versioned header, codec tag, decoded body
+/// size, then the (possibly compressed) body. `decoded_bytes`, when
+/// given, receives the body size before the codec ran -- the number the
+/// manifest records and the store charges its memory budget with.
+[[nodiscard]] std::vector<std::uint8_t> serialize_shard(
+    const ShardData& s, ShardCodec codec = ShardCodec::kRaw,
+    std::uint64_t* decoded_bytes = nullptr);
+/// Decode + validate one shard file (transparently decompressing a
+/// kLz body). A corrupt compressed payload -- truncated, bad offsets,
+/// checksum mismatch -- comes back as kInvalidArgument, never as an
+/// exception.
 [[nodiscard]] Result<ShardData> deserialize_shard(
     const std::vector<std::uint8_t>& bytes);
 
@@ -122,8 +162,19 @@ struct ShardData {
 /// Read a whole file; kNotFound when it cannot be opened.
 [[nodiscard]] Result<std::vector<std::uint8_t>> read_file_bytes(
     const std::string& path);
+/// Write + fsync a whole file (the data is on disk when this returns
+/// Ok; the directory entry is not -- see sync_directory).
 [[nodiscard]] Status write_file_bytes(const std::string& path,
                                       const std::vector<std::uint8_t>& bytes);
+/// fsync a directory, making its entries (new files, renames) durable.
+[[nodiscard]] Status sync_directory(const std::string& dir);
+/// Replace `path` atomically and durably: write + fsync a sibling
+/// temp file, rename over `path`, fsync the directory. A crash or
+/// power cut at any point leaves either the old bytes or the new,
+/// never a truncated file. The form every manifest commit goes
+/// through -- losing MANIFEST.bin loses the store.
+[[nodiscard]] Status replace_file_bytes(
+    const std::string& path, const std::vector<std::uint8_t>& bytes);
 
 /// Loads the pieces of a store directory. The heavier ShardStore
 /// (store.h) adds caching and the memory budget on top.

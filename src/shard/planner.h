@@ -7,10 +7,18 @@
 // The writer then materializes one self-contained file per shard --
 // local graph, global-id/rank/level sidecars, cross-shard frontier --
 // plus the routing manifest, fanning the per-shard builds out over the
-// shared util::TaskPool.
+// shared util::TaskPool. Payloads optionally run through the LZ block
+// codec (ShardCodec::kLz).
+//
+// append() re-shards incrementally when a new capture extends a
+// stored history: only shards whose rank range overlaps the appended
+// suffix (new nodes, plus the endpoints of new edges) are rewritten;
+// every shard strictly below that cut keeps its file untouched, and
+// the manifest is updated in place.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,8 +62,10 @@ class ShardPlanner {
 
 class ShardWriter {
  public:
-  /// Writes into `dir` (created if missing).
-  explicit ShardWriter(std::string dir) : dir_(std::move(dir)) {}
+  /// Writes into `dir` (created if missing), encoding every shard
+  /// body with `codec`.
+  explicit ShardWriter(std::string dir, ShardCodec codec = ShardCodec::kRaw)
+      : dir_(std::move(dir)), codec_(codec) {}
 
   /// Materialize the planned shards of `graph` plus MANIFEST.bin.
   /// Per-shard payload builds run on the shared analysis pool.
@@ -64,11 +74,68 @@ class ShardWriter {
 
  private:
   std::string dir_;
+  ShardCodec codec_;
 };
 
 /// Convenience: plan + write in one call.
 [[nodiscard]] Result<Manifest> write_store(const cpg::Graph& graph,
                                            const std::string& dir,
-                                           PlanOptions options = {});
+                                           PlanOptions options = {},
+                                           ShardCodec codec = ShardCodec::kRaw);
+
+// --- incremental append -----------------------------------------------
+
+struct AppendOptions {
+  /// Codec for the rewritten shards. Unset = inherit from the store:
+  /// the last kept shard's codec, or the store's first shard when the
+  /// whole store is being rewritten -- so appending never silently
+  /// changes a store's compression choice.
+  std::optional<ShardCodec> codec;
+  /// Shard count for the rewritten rank suffix; 0 = size tail shards
+  /// to the width the *grown* history would have at the store's
+  /// original shard count (so repeated appends keep the store near
+  /// its configured granularity, rather than inheriting the width of
+  /// a small bootstrap prefix).
+  std::uint32_t tail_shards = 0;
+};
+
+struct AppendResult {
+  Manifest manifest;
+  std::uint32_t shards_kept = 0;       ///< files left untouched on disk
+  std::uint32_t shards_rewritten = 0;  ///< rewritten + newly created
+};
+
+/// Incrementally re-shard the store at `dir` for `graph`, a capture
+/// that extends the stored history: the stored nodes must be a prefix
+/// of graph's node list and the stored edges a prefix of its edge
+/// list (kInvalidArgument otherwise -- appending an unrelated history
+/// is an error, never a silent rewrite). Shards whose rank range sits
+/// strictly below every appended node and every endpoint of an
+/// appended edge are provably byte-identical and keep their files;
+/// the rank suffix is re-cut and rewritten under generation-suffixed
+/// file names, MANIFEST.bin is updated in place, and only then are
+/// the superseded files removed -- a crash anywhere mid-append leaves
+/// the old manifest over its old, complete file set (plus some
+/// unreferenced new-generation files a re-run overwrites).
+///
+/// Single writer, reopen to read the new data: the post-commit sweep
+/// deletes the superseded generation's files, so a ShardStore still
+/// open on the previous manifest will fail lazy loads of rewritten
+/// shards with kNotFound after an append lands. Serving processes
+/// should reopen the store (the manifest read is cheap) to pick up an
+/// appended generation.
+[[nodiscard]] Result<AppendResult> append(const std::string& dir,
+                                          const cpg::Graph& graph,
+                                          AppendOptions options = {});
+
+/// The largest clean rank-prefix of `graph` with at most `max_nodes`
+/// nodes: a cut c where ids {0..c-1} are exactly ranks {0..c-1} and
+/// the edges among them are a prefix of the edge list -- i.e. a point
+/// the capture could have stopped at. The returned graph's ranks,
+/// levels, and edge indices all match the full graph's, so a store
+/// written from it is appendable (shard::append) with the full
+/// capture. kFailedPrecondition when no cut <= max_nodes exists.
+[[nodiscard]] Result<cpg::Graph> rank_prefix(const cpg::Graph& graph,
+                                             std::uint32_t max_nodes);
 
 }  // namespace inspector::shard

@@ -92,7 +92,21 @@ ShardStore::ShardStore(std::string dir, Manifest manifest,
       options_(options) {
   for (const ShardInfo& info : manifest_.shards) {
     stats_.total_bytes += info.byte_size;
+    stats_.total_decoded_bytes += info.decoded_bytes;
   }
+}
+
+void ShardStore::refresh_pinned_locked() const {
+  std::uint64_t alive = 0;
+  std::erase_if(evicted_pinned_, [&](const auto& entry) {
+    if (entry.first.expired()) return true;
+    alive += entry.second;
+    return false;
+  });
+  stats_.pinned_bytes = alive;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes,
+               stats_.resident_bytes + stats_.pinned_bytes);
 }
 
 Result<std::shared_ptr<ShardStore>> ShardStore::open(std::string dir,
@@ -110,84 +124,151 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
                   "shard " + std::to_string(shard) + " out of range [0, " +
                       std::to_string(manifest_.shard_count) + ")");
   }
-  std::lock_guard lock(mu_);
-  if (const auto it = resident_.find(shard); it != resident_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->loaded;
+  std::unique_lock lock(mu_);
+  bool waited = false;
+  for (;;) {
+    if (const auto it = resident_.find(shard); it != resident_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->loaded;
+    }
+    if (loading_.contains(shard)) {
+      // Another thread is decoding this very shard: wait for it
+      // rather than decoding the same file twice, then re-check (a
+      // tiny budget may have evicted it again before we woke).
+      waited = true;
+      load_done_.wait(lock);
+      continue;
+    }
+    if (waited) {
+      // The load we waited on failed: take its status instead of
+      // repeating the identical read + decode just to fail again.
+      if (const auto it = load_failures_.find(shard);
+          it != load_failures_.end()) {
+        return it->second;
+      }
+    }
+    break;
   }
-  // Miss: decode under the lock (loads serialize; correctness first,
-  // and per-page scans hit the cache far more often than they miss).
-  auto data = ShardReader::read_shard(dir_, manifest_.shards[shard]);
-  if (!data.ok()) return data.status();
-  // The file is internally consistent (deserialize_shard checked);
-  // now it must also be the file this manifest wrote, not a stray
-  // from another store generation sharing the directory.
-  if (data->shard_index != shard ||
-      data->global_ids.size() != manifest_.shards[shard].node_count) {
-    return Status(StatusCode::kInvalidArgument,
-                  dir_ + "/" + manifest_.shards[shard].file +
-                      " does not match the manifest (expected shard " +
-                      std::to_string(shard) + " with " +
-                      std::to_string(manifest_.shards[shard].node_count) +
-                      " nodes; found shard " +
-                      std::to_string(data->shard_index) + " with " +
-                      std::to_string(data->global_ids.size()) + ")");
-  }
-  // Bound every sidecar value the query layer indexes dense arrays
-  // with (visited/node_marked by global id, thread_marked by thread):
-  // deserialize_shard checked internal consistency, but only the
-  // manifest knows the global universe sizes.
-  const auto mismatch = [&](const char* what) {
-    return Status(StatusCode::kInvalidArgument,
-                  dir_ + "/" + manifest_.shards[shard].file + ": " + what +
-                      " exceeds the manifest's bounds");
+  load_failures_.erase(shard);  // a fresh attempt retries for real
+  loading_.insert(shard);
+  lock.unlock();
+  // However this scope exits -- typed failure, success, or an
+  // exception unwinding mid-decode (bad_alloc is live here: stores
+  // bigger than memory are the point of this class) -- the in-flight
+  // mark must be cleared and waiters woken, or every later load of
+  // this shard would block forever.
+  struct ClearLoading {
+    ShardStore* store;
+    std::unique_lock<std::mutex>* lock;
+    std::uint32_t shard;
+    // Destructor work must be nonthrowing (erase of a present u32 key
+    // and a notify); recording a failure status allocates, so that
+    // happens in the normal return paths, never here.
+    ~ClearLoading() {
+      if (!lock->owns_lock()) lock->lock();
+      store->loading_.erase(shard);
+      store->load_done_.notify_all();
+    }
   };
-  for (const cpg::NodeId gid : data->global_ids) {
-    if (gid >= manifest_.total_nodes) return mismatch("a global node id");
-  }
-  for (const auto& e : data->frontier_in) {
-    if (e.from >= manifest_.total_nodes || e.to >= manifest_.total_nodes) {
-      return mismatch("a frontier edge endpoint");
+  ClearLoading clear_loading{this, &lock, shard};
+  // Record a typed load failure for the threads waiting on this shard
+  // (under the lock; the guard then wakes them holding the same lock).
+  const auto fail = [&](const Status& status) {
+    lock.lock();
+    load_failures_[shard] = status;
+    return status;
+  };
+  // Miss: file read, decompression, checksum, validation, and lookup
+  // construction all run off-lock -- everything below touches only
+  // immutable state (dir_, manifest_), so concurrent misses on
+  // different shards proceed in parallel instead of queuing behind
+  // one decode.
+  auto data = ShardReader::read_shard(dir_, manifest_.shards[shard]);
+  if (!data.ok()) return fail(data.status());
+  const Status valid = [&]() -> Status {
+    // The file is internally consistent (deserialize_shard checked);
+    // now it must also be the file this manifest wrote, not a stray
+    // from another store generation sharing the directory.
+    if (data->shard_index != shard ||
+        data->global_ids.size() != manifest_.shards[shard].node_count) {
+      return Status(StatusCode::kInvalidArgument,
+                    dir_ + "/" + manifest_.shards[shard].file +
+                        " does not match the manifest (expected shard " +
+                        std::to_string(shard) + " with " +
+                        std::to_string(manifest_.shards[shard].node_count) +
+                        " nodes; found shard " +
+                        std::to_string(data->shard_index) + " with " +
+                        std::to_string(data->global_ids.size()) + ")");
     }
-  }
-  for (const auto& e : data->frontier_out) {
-    if (e.from >= manifest_.total_nodes || e.to >= manifest_.total_nodes) {
-      return mismatch("a frontier edge endpoint");
+    // Bound every sidecar value the query layer indexes dense arrays
+    // with (visited/node_marked by global id, thread_marked by
+    // thread): deserialize_shard checked internal consistency, but
+    // only the manifest knows the global universe sizes.
+    const auto mismatch = [&](const char* what) {
+      return Status(StatusCode::kInvalidArgument,
+                    dir_ + "/" + manifest_.shards[shard].file + ": " + what +
+                        " exceeds the manifest's bounds");
+    };
+    for (const cpg::NodeId gid : data->global_ids) {
+      if (gid >= manifest_.total_nodes) return mismatch("a global node id");
     }
-  }
-  for (const std::uint32_t level : data->global_levels) {
-    if (manifest_.level_count == 0 || level >= manifest_.level_count) {
-      return mismatch("a topological level");
+    for (const auto& e : data->frontier_in) {
+      if (e.from >= manifest_.total_nodes || e.to >= manifest_.total_nodes) {
+        return mismatch("a frontier edge endpoint");
+      }
     }
-  }
-  for (const auto& node : data->graph.nodes()) {
-    if (node.thread >= manifest_.thread_count) {
-      return mismatch("a thread id");
+    for (const auto& e : data->frontier_out) {
+      if (e.from >= manifest_.total_nodes || e.to >= manifest_.total_nodes) {
+        return mismatch("a frontier edge endpoint");
+      }
     }
-  }
+    for (const std::uint32_t level : data->global_levels) {
+      if (manifest_.level_count == 0 || level >= manifest_.level_count) {
+        return mismatch("a topological level");
+      }
+    }
+    for (const auto& node : data->graph.nodes()) {
+      if (node.thread >= manifest_.thread_count) {
+        return mismatch("a thread id");
+      }
+    }
+    return Status::Ok();
+  }();
+  if (!valid.ok()) return fail(valid);
   auto loaded = std::make_shared<LoadedShard>();
   loaded->data = std::move(data).value();
-  loaded->byte_size = manifest_.shards[shard].byte_size;
+  loaded->decoded_bytes = manifest_.shards[shard].decoded_bytes;
   loaded->build_lookup();
+  // Back under the lock only for the cache mutation itself; the guard
+  // clears the in-flight mark (and wakes waiters) under this same
+  // lock hold once the shard is resident.
+  lock.lock();
   ++stats_.loads;
-  // Evict before inserting, so the resident ceiling never exceeds
-  // max(budget, one shard). Pinned shards stay alive through their
-  // shared_ptrs; eviction only drops the cache reference.
+  // Evict before inserting, so the cache never exceeds max(budget,
+  // one shard) of decoded bytes. Pinned shards stay alive through
+  // their shared_ptrs; eviction only drops the cache reference, and
+  // the evicted-pin ledger keeps the honest peak honest until the
+  // last pin drops.
   if (options_.memory_budget_bytes > 0) {
     while (!lru_.empty() &&
-           stats_.resident_bytes + loaded->byte_size >
+           stats_.resident_bytes + loaded->decoded_bytes >
                options_.memory_budget_bytes) {
-      const Entry& victim = lru_.back();
-      stats_.resident_bytes -= victim.loaded->byte_size;
+      Entry& victim = lru_.back();
+      stats_.resident_bytes -= victim.loaded->decoded_bytes;
       ++stats_.evictions;
+      if (victim.loaded.use_count() > 1) {
+        evicted_pinned_.emplace_back(victim.loaded,
+                                     victim.loaded->decoded_bytes);
+      }
       resident_.erase(victim.shard);
       lru_.pop_back();
     }
   }
-  stats_.resident_bytes += loaded->byte_size;
-  stats_.peak_resident_bytes =
-      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  stats_.resident_bytes += loaded->decoded_bytes;
+  stats_.peak_cache_bytes =
+      std::max(stats_.peak_cache_bytes, stats_.resident_bytes);
+  refresh_pinned_locked();
   lru_.push_front(Entry{shard, loaded});
   resident_.emplace(shard, lru_.begin());
   return std::shared_ptr<const LoadedShard>(std::move(loaded));
@@ -195,6 +276,7 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
 
 ShardStore::Stats ShardStore::stats() const {
   std::lock_guard lock(mu_);
+  refresh_pinned_locked();
   return stats_;
 }
 

@@ -1,15 +1,21 @@
 // ShardStore: memory-budgeted access to a sharded CPG store.
 //
 // A store keeps at most `memory_budget_bytes` of decoded shards
-// resident (file size is the budget unit), evicting the least recently
-// used shard when a load would exceed it -- the out-of-core mode: a
-// query session over a store larger than memory streams shards through
-// the budget instead of materializing the graph. load() hands out
-// shared_ptrs, so an evicted shard stays valid for the operation that
-// pinned it and is freed when the last pin drops. All entry points are
-// thread-safe; per-shard scan fan-outs hit the cache concurrently.
+// resident, evicting the least recently used shard when a load would
+// exceed it -- the out-of-core mode: a query session over a store
+// larger than memory streams shards through the budget instead of
+// materializing the graph. The budget unit is the *decoded* body size
+// (the manifest's decoded_bytes): once payloads compress 6-37x, the
+// encoded file size would undercount resident memory by the same
+// factor. load() hands out shared_ptrs, so an evicted shard stays
+// valid for the operation that pinned it and is freed when the last
+// pin drops; Stats tracks those evicted-but-pinned bytes too, so
+// peak_resident_bytes reports the honest memory ceiling, not just the
+// cache's. All entry points are thread-safe; per-shard scan fan-outs
+// hit the cache concurrently.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -18,6 +24,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "shard/format.h"
@@ -30,7 +37,7 @@ namespace inspector::shard {
 /// global topological level.
 struct LoadedShard {
   ShardData data;
-  std::uint64_t byte_size = 0;  ///< encoded size (budget accounting)
+  std::uint64_t decoded_bytes = 0;  ///< decoded body size (budget unit)
 
   /// Local id of a global node, if this shard owns it.
   [[nodiscard]] std::optional<std::uint32_t> local_of(
@@ -60,9 +67,9 @@ struct LoadedShard {
 };
 
 struct StoreOptions {
-  /// Resident-shard ceiling in bytes (0 = unlimited). A single shard
-  /// larger than the budget still loads -- the cache then holds just
-  /// that shard.
+  /// Resident-shard ceiling in *decoded* bytes (0 = unlimited). A
+  /// single shard larger than the budget still loads -- the cache then
+  /// holds just that shard.
   std::uint64_t memory_budget_bytes = 0;
 };
 
@@ -72,13 +79,28 @@ class ShardStore {
     std::uint64_t loads = 0;      ///< file reads + decodes (cache misses)
     std::uint64_t hits = 0;       ///< served from the resident set
     std::uint64_t evictions = 0;  ///< shards dropped for the budget
+    /// Decoded bytes in the LRU cache. Bounded by
+    /// max(memory_budget_bytes, one shard); peak_cache_bytes is its
+    /// high-water mark.
     std::uint64_t resident_bytes = 0;
+    std::uint64_t peak_cache_bytes = 0;
+    /// Decoded bytes of shards evicted from the cache but still alive
+    /// through an operation's pins.
+    std::uint64_t pinned_bytes = 0;
+    /// High-water mark of resident_bytes + pinned_bytes: the honest
+    /// memory ceiling. Exceeds the budget exactly when concurrent
+    /// operations pin more than the budget holds.
     std::uint64_t peak_resident_bytes = 0;
-    std::uint64_t total_bytes = 0;  ///< whole store on disk
+    std::uint64_t total_bytes = 0;          ///< whole store on disk (encoded)
+    std::uint64_t total_decoded_bytes = 0;  ///< whole store once decoded
   };
 
   /// Open a store directory: reads + validates the manifest only;
-  /// shards load lazily.
+  /// shards load lazily. The snapshot is the manifest read here: a
+  /// shard::append() or rewrite landing later swaps the directory to
+  /// a new generation and sweeps the old files, so this store's lazy
+  /// loads of rewritten shards then fail with typed kNotFound --
+  /// reopen to serve the new generation.
   [[nodiscard]] static Result<std::shared_ptr<ShardStore>> open(
       std::string dir, StoreOptions options = {});
 
@@ -106,6 +128,19 @@ class ShardStore {
   StoreOptions options_;
 
   mutable std::mutex mu_;
+  /// Signalled when an in-flight load finishes (either way), waking
+  /// concurrent requests for the same shard.
+  std::condition_variable load_done_;
+  /// Shards some thread is currently reading + decoding off-lock. A
+  /// second request for the same shard waits instead of decoding the
+  /// same file twice; requests for *other* shards proceed -- file I/O,
+  /// decompression, and checksum never serialize behind the mutex.
+  std::unordered_set<std::uint32_t> loading_;
+  /// Terminal status of a failed in-flight load, handed to the
+  /// requests that were waiting on it (a corrupt shard should fail a
+  /// K-worker fan-out once, not K times serially). Erased when a
+  /// fresh, non-waiting request retries the shard.
+  std::unordered_map<std::uint32_t, Status> load_failures_;
   struct Entry {
     std::uint32_t shard = 0;
     std::shared_ptr<const LoadedShard> loaded;
@@ -113,7 +148,16 @@ class ShardStore {
   /// LRU: front = most recently used.
   std::list<Entry> lru_;
   std::unordered_map<std::uint32_t, std::list<Entry>::iterator> resident_;
-  Stats stats_;
+  /// Shards evicted from the cache whose pins may still hold them
+  /// live; pruned (and the pinned-byte tally refreshed) under mu_.
+  mutable std::vector<std::pair<std::weak_ptr<const LoadedShard>,
+                                std::uint64_t>>
+      evicted_pinned_;
+  mutable Stats stats_;
+
+  /// Drop expired evicted-pin entries, refresh pinned_bytes, and bump
+  /// the honest peak. Callers hold mu_.
+  void refresh_pinned_locked() const;
 };
 
 }  // namespace inspector::shard

@@ -1,7 +1,9 @@
 #include "snapshot/compress.h"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace inspector::snapshot {
 
@@ -26,13 +28,33 @@ void write_length(std::vector<std::uint8_t>& out, std::size_t len) {
   out.push_back(static_cast<std::uint8_t>(len));
 }
 
+/// FNV-1a over the decoded bytes: the content-integrity check that
+/// catches corruption a structurally valid parse would miss (a flipped
+/// bit inside a literal run decodes cleanly to the wrong output).
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Status corrupt(const std::string& what) {
+  return Status(StatusCode::kInvalidArgument, "lz: " + what);
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
   std::vector<std::uint8_t> out;
-  // Header: uncompressed size (8 bytes LE).
+  // Header: decoded size + decoded-bytes checksum (both u64 LE).
   for (int i = 0; i < 8; ++i) {
     out.push_back(static_cast<std::uint8_t>(input.size() >> (8 * i)));
+  }
+  const std::uint64_t checksum = fnv1a(input);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(checksum >> (8 * i)));
   }
   if (input.empty()) return out;
 
@@ -85,24 +107,47 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
       ++pos;
     }
   }
-  // Trailing literals.
-  emit_sequence(input.size() - literal_start, 0, 0);
+  // Trailing literals. When the input ends exactly on a match there is
+  // nothing left: emitting an empty-literal token here would be a byte
+  // the decoder (which stops once the decoded size is reached) never
+  // consumes, tripping its trailing-garbage check on a valid block.
+  if (literal_start != input.size()) {
+    emit_sequence(input.size() - literal_start, 0, 0);
+  }
   return out;
 }
 
-std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> block) {
-  if (block.size() < 8) throw std::runtime_error("lz: truncated header");
+Result<std::vector<std::uint8_t>> decompress_checked(
+    std::span<const std::uint8_t> block) {
+  if (block.size() < kBlockHeaderBytes) return corrupt("truncated header");
   std::uint64_t expected = 0;
+  std::uint64_t checksum = 0;
   for (int i = 0; i < 8; ++i) {
     expected |= static_cast<std::uint64_t>(block[static_cast<std::size_t>(i)])
                 << (8 * i);
+    checksum |= static_cast<std::uint64_t>(
+                    block[static_cast<std::size_t>(i) + 8])
+                << (8 * i);
+  }
+  // Plausibility fence before reserving anything: one payload byte can
+  // contribute at most 255 decoded bytes (a length-extension byte), so
+  // a declared size beyond that is a corrupt header, not a block that
+  // deserves a multi-gigabyte allocation.
+  const std::size_t payload = block.size() - kBlockHeaderBytes;
+  if (expected > 255 * static_cast<std::uint64_t>(payload) + 14) {
+    return corrupt("implausible decoded size " + std::to_string(expected) +
+                   " for a " + std::to_string(payload) + "-byte payload");
   }
   std::vector<std::uint8_t> out;
   out.reserve(expected);
-  std::size_t pos = 8;
+  std::size_t pos = kBlockHeaderBytes;
 
+  bool truncated = false;
   auto read_byte = [&]() -> std::uint8_t {
-    if (pos >= block.size()) throw std::runtime_error("lz: truncated block");
+    if (pos >= block.size()) {
+      truncated = true;
+      return 0;
+    }
     return block[pos++];
   };
   auto read_length = [&](std::size_t start) -> std::size_t {
@@ -112,7 +157,7 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> block) {
       do {
         b = read_byte();
         len += b;
-      } while (b == 255);
+      } while (b == 255 && !truncated);
     }
     return len;
   };
@@ -120,21 +165,36 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> block) {
   while (out.size() < expected) {
     const std::uint8_t token = read_byte();
     const std::size_t lit_len = read_length(token >> 4);
-    if (pos + lit_len > block.size()) {
-      throw std::runtime_error("lz: truncated literals");
-    }
+    if (truncated) return corrupt("truncated block");
+    if (pos + lit_len > block.size()) return corrupt("truncated literals");
     out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(pos),
                block.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
     pos += lit_len;
-    if (out.size() >= expected) break;  // final sequence has no match
+    if (out.size() >= expected) {
+      // Only the final trailing-literal sequence can complete the
+      // output, and the encoder always writes its match nibble as 0.
+      // Anything else is a corrupt byte the decode would otherwise
+      // never look at.
+      if ((token & 0x0F) != 0) {
+        return corrupt("final sequence declares a match");
+      }
+      break;
+    }
 
     const std::size_t lo = read_byte();
     const std::size_t hi = read_byte();
+    if (truncated) return corrupt("truncated match offset");
     const std::size_t offset = lo | (hi << 8);
     if (offset == 0 || offset > out.size()) {
-      throw std::runtime_error("lz: bad match offset");
+      return corrupt("match offset " + std::to_string(offset) +
+                     " reaches before the window start (window " +
+                     std::to_string(out.size()) + ")");
     }
     const std::size_t match_len = read_length(token & 0x0F) + kMinMatch;
+    if (truncated) return corrupt("truncated match length");
+    if (out.size() + match_len > expected) {
+      return corrupt("match overruns the decoded size");
+    }
     // Byte-by-byte copy: matches may overlap their own output (RLE).
     std::size_t src = out.size() - offset;
     for (std::size_t i = 0; i < match_len; ++i) {
@@ -142,14 +202,30 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> block) {
     }
   }
   if (out.size() != expected) {
-    throw std::runtime_error("lz: size mismatch after decompress");
+    return corrupt("size mismatch after decompress");
+  }
+  if (pos != block.size()) {
+    return corrupt(std::to_string(block.size() - pos) +
+                   " byte(s) of trailing garbage after the final sequence");
+  }
+  if (fnv1a(out) != checksum) {
+    return corrupt("decoded-bytes checksum mismatch");
   }
   return out;
 }
 
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> block) {
+  auto out = decompress_checked(block);
+  if (!out.ok()) throw std::runtime_error(out.status().message());
+  return std::move(out).value();
+}
+
 double compression_ratio(std::uint64_t uncompressed,
                          std::uint64_t compressed) {
-  if (compressed == 0) return 0.0;
+  if (compressed == 0) {
+    return uncompressed == 0 ? 1.0
+                             : std::numeric_limits<double>::infinity();
+  }
   return static_cast<double>(uncompressed) / static_cast<double>(compressed);
 }
 

@@ -1,7 +1,11 @@
 // LZ block-codec tests: round trips on adversarial and realistic
-// inputs, plus the fig-9 claim that PT logs compress very well.
+// inputs, malformed-input handling through the typed
+// decompress_checked() path (truncations, out-of-window offsets,
+// trailing garbage, a full bit-flip sweep), plus the fig-9 claim that
+// PT logs compress very well.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "ptsim/encoder.h"
@@ -10,9 +14,12 @@
 
 namespace {
 
+using inspector::StatusCode;
 using inspector::snapshot::compress;
 using inspector::snapshot::compression_ratio;
 using inspector::snapshot::decompress;
+using inspector::snapshot::decompress_checked;
+using inspector::snapshot::kBlockHeaderBytes;
 
 std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& in) {
   return decompress(compress(in));
@@ -78,24 +85,146 @@ TEST(Compress, LongMatchRuns) {
   EXPECT_EQ(roundtrip(input), input);
 }
 
-TEST(Compress, TruncatedBlockThrows) {
+TEST(Compress, TruncatedBlockIsTypedError) {
   const std::vector<std::uint8_t> input(500, 0x11);
   auto packed = compress(input);
   packed.resize(packed.size() / 2);
+  const auto result = decompress_checked(packed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The throwing wrapper (the snapshot ring's path) carries the same
+  // message.
   EXPECT_THROW((void)decompress(packed), std::runtime_error);
   const std::vector<std::uint8_t> tiny = {1, 2, 3};
-  EXPECT_THROW((void)decompress(tiny), std::runtime_error);
+  EXPECT_FALSE(decompress_checked(tiny).ok());
 }
 
-TEST(Compress, CorruptOffsetThrows) {
-  // Hand-craft a block whose match offset points before the output.
-  std::vector<std::uint8_t> block;
-  for (int i = 0; i < 8; ++i) block.push_back(i == 0 ? 16 : 0);  // size 16
+/// A hand-crafted header: decoded size + arbitrary checksum (the
+/// crafted bodies below die structurally before the checksum runs).
+std::vector<std::uint8_t> header_for(std::uint64_t decoded_size) {
+  std::vector<std::uint8_t> block(kBlockHeaderBytes, 0);
+  for (int i = 0; i < 8; ++i) {
+    block[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(decoded_size >> (8 * i));
+  }
+  return block;
+}
+
+TEST(Compress, OffsetBeforeWindowStartIsTypedError) {
+  // A match offset reaching before the start of the decoded window.
+  auto block = header_for(16);
   block.push_back(0x10);  // 1 literal, match len 4
   block.push_back(0xAB);  // the literal
   block.push_back(0x50);  // offset 80 > output size 1
   block.push_back(0x00);
+  const auto result = decompress_checked(block);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("window start"),
+            std::string::npos)
+      << result.status().message();
   EXPECT_THROW((void)decompress(block), std::runtime_error);
+}
+
+TEST(Compress, ZeroOffsetIsTypedError) {
+  auto block = header_for(16);
+  block.push_back(0x10);
+  block.push_back(0xAB);
+  block.push_back(0x00);  // offset 0: always invalid
+  block.push_back(0x00);
+  EXPECT_FALSE(decompress_checked(block).ok());
+}
+
+TEST(Compress, TruncatedLengthExtensionIsTypedError) {
+  // Literal nibble 15 announces extension bytes that never arrive.
+  auto block = header_for(64);
+  block.push_back(0xF0);
+  const auto ended = decompress_checked(block);
+  ASSERT_FALSE(ended.ok());
+  EXPECT_EQ(ended.status().code(), StatusCode::kInvalidArgument);
+
+  // A run of 255-extensions cut mid-stream.
+  auto run = header_for(2000);
+  run.push_back(0xF0);
+  run.push_back(255);
+  run.push_back(255);
+  const auto cut = decompress_checked(run);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Compress, TrailingGarbageIsTypedError) {
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 600; ++i) input.push_back("provenance"[i % 10]);
+  auto packed = compress(input);
+  ASSERT_EQ(decompress_checked(packed).value(), input);
+  packed.push_back(0x00);
+  const auto one = decompress_checked(packed);
+  ASSERT_FALSE(one.ok());
+  EXPECT_NE(one.status().message().find("trailing garbage"),
+            std::string::npos)
+      << one.status().message();
+  packed.push_back(0xAB);
+  packed.push_back(0xCD);
+  EXPECT_FALSE(decompress_checked(packed).ok());
+}
+
+TEST(Compress, ImplausibleDecodedSizeIsRejectedBeforeAllocating) {
+  // A corrupt header declaring an absurd decoded size must fail fast,
+  // not reserve gigabytes.
+  auto block = header_for(~std::uint64_t{0} / 2);
+  block.push_back(0x10);
+  block.push_back(0xAB);
+  const auto result = decompress_checked(block);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("implausible"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(Compress, BitFlipSweepYieldsTypedErrors) {
+  // Flip every bit of a valid block: each flip must surface as a
+  // typed error -- structurally (bad token, offset, size) or through
+  // the decoded-bytes checksum (a flipped literal decodes cleanly to
+  // the wrong output, which only the checksum can catch). Random
+  // input keeps the body literal-dominated, so no flip can alias to a
+  // second valid encoding of the same bytes.
+  std::mt19937_64 rng(1234);
+  std::vector<std::uint8_t> input(2048);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng());
+  const auto packed = compress(input);
+  ASSERT_EQ(decompress_checked(packed).value(), input);
+  for (std::size_t bit = 0; bit < packed.size() * 8; ++bit) {
+    auto corrupt = packed;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto result = decompress_checked(corrupt);
+    ASSERT_FALSE(result.ok()) << "bit " << bit << " flipped silently";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Compress, ContentCorruptionFailsTheChecksum) {
+  // A patterned input compresses into matches; flipping one literal
+  // byte leaves the block structurally valid, so only the checksum
+  // reports it.
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 4000; ++i) {
+    input.push_back(static_cast<std::uint8_t>(i % 13));
+  }
+  auto packed = compress(input);
+  packed[kBlockHeaderBytes + 1] ^= 0x01;  // first literal byte
+  const auto result = decompress_checked(packed);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Compress, RatioZeroDenominatorIsExplicit) {
+  // 0-byte "compressed" output must never read as the *worst* ratio.
+  EXPECT_EQ(compression_ratio(0, 0), 1.0);
+  EXPECT_TRUE(std::isinf(compression_ratio(1000, 0)));
+  EXPECT_GT(compression_ratio(1000, 0), 0.0);
+  // The plain cases are untouched.
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 50), 2.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(0, 16), 0.0);
 }
 
 // The fig-9 behaviour: a loop-heavy PT stream (uniform TNT) compresses

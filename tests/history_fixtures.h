@@ -70,6 +70,31 @@ inline cpg::Graph random_history(std::uint64_t seed) {
   return std::move(rec).finalize();
 }
 
+/// A barrier-round history: every thread merges its clock at each
+/// round boundary, so round boundaries are global synchronization
+/// points -- the shape that gives shard::rank_prefix clean cuts and
+/// shard::append a genuinely incremental suffix. Deterministic given
+/// (seed, rounds).
+inline cpg::Graph barrier_history(std::uint64_t seed, std::uint32_t rounds) {
+  std::mt19937_64 rng(seed);
+  const std::uint32_t threads = 3 + rng() % 3;
+  const auto barrier = sync::make_object_id(sync::ObjectKind::kBarrier, 1);
+  cpg::Recorder rec;
+  for (std::uint32_t t = 0; t < threads; ++t) rec.thread_started(t, t);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      rec.end_subcomputation(t, random_pages(rng), random_pages(rng),
+                             {sync::SyncEventKind::kBarrierWait, barrier});
+      rec.on_release(t, barrier);
+    }
+    for (std::uint32_t t = 0; t < threads; ++t) rec.on_acquire(t, barrier);
+  }
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    rec.thread_exiting(t, random_pages(rng), random_pages(rng));
+  }
+  return std::move(rec).finalize();
+}
+
 /// A history big and page-dense enough to push the index build past
 /// every serial cutoff (parallel_sort engages above ~4k touch pairs),
 /// so cross-worker comparisons exercise the genuinely parallel code

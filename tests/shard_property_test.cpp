@@ -4,10 +4,12 @@
 // ShardedQueryEngine over a store written at any shard count serves
 // the exact reply stream -- per-query statuses, payload bytes, cursor
 // ids, and cursor page boundaries -- the unsharded QueryEngine serves
-// from the in-memory graph, at every worker count. Randomized
-// histories come from tests/history_fixtures.h; the serialized-session
-// shape mirrors tests/query_determinism_test.cpp so the two contracts
-// cannot drift apart.
+// from the in-memory graph, at every worker count. That holds for
+// every way a store can exist on disk: written raw, written with
+// LZ-compressed payloads, grown by an incremental append, or both.
+// Randomized histories come from tests/history_fixtures.h; the
+// serialized-session shape mirrors tests/query_determinism_test.cpp
+// so the two contracts cannot drift apart.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -23,6 +25,7 @@
 #include "shard/engine.h"
 #include "shard/planner.h"
 #include "shard/store.h"
+#include "snapshot/compress.h"
 #include "util/parallel.h"
 
 namespace {
@@ -114,19 +117,25 @@ TEST_P(ShardProperty, RepliesIdenticalAcrossShardAndWorkerCounts) {
       // the plan, the shard payloads, and the replies must all be
       // independent of the pool size.
       const cpg::Graph graph = fixtures::random_history(seed);
-      const std::string dir = store_dir(seed, shards, workers);
-      const auto manifest =
-          shard::write_store(graph, dir, shard::PlanOptions{shards});
-      ASSERT_TRUE(manifest.ok()) << manifest.status().message();
-      EXPECT_EQ(manifest->shard_count, shards);
-      EXPECT_EQ(manifest->total_nodes, graph.nodes().size());
+      for (const auto codec :
+           {shard::ShardCodec::kRaw, shard::ShardCodec::kLz}) {
+        const std::string dir =
+            store_dir(seed, shards, workers) +
+            (codec == shard::ShardCodec::kLz ? "_lz" : "");
+        const auto manifest = shard::write_store(
+            graph, dir, shard::PlanOptions{shards}, codec);
+        ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+        EXPECT_EQ(manifest->shard_count, shards);
+        EXPECT_EQ(manifest->total_nodes, graph.nodes().size());
 
-      auto store = shard::ShardStore::open(dir);
-      ASSERT_TRUE(store.ok()) << store.status().message();
-      shard::ShardedQueryEngine engine(std::move(store).value());
-      EXPECT_EQ(serialized_session(engine, last, first_page), reference)
-          << "seed " << seed << ", " << shards << " shard(s), " << workers
-          << " worker(s)";
+        auto store = shard::ShardStore::open(dir);
+        ASSERT_TRUE(store.ok()) << store.status().message();
+        shard::ShardedQueryEngine engine(std::move(store).value());
+        EXPECT_EQ(serialized_session(engine, last, first_page), reference)
+            << "seed " << seed << ", " << shards << " shard(s), " << workers
+            << " worker(s), codec "
+            << (codec == shard::ShardCodec::kLz ? "lz" : "raw");
+      }
     }
   }
 }
@@ -166,6 +175,110 @@ TEST(ShardPropertyDense, RepliesIdenticalAcrossShardCounts) {
   }
 }
 
+// Appended stores serve the same bytes: a store written from a clean
+// rank-prefix of the capture and then grown by shard::append() must be
+// indistinguishable on the wire from a store written whole -- raw,
+// compressed, and compressed+appended alike, at every shard count and
+// worker count.
+TEST(ShardPropertyAppend, AppendedStoresByteIdentical) {
+  fixtures::ThreadCountGuard guard;
+  for (const std::uint64_t seed : {2ULL, 6ULL}) {
+    util::set_analysis_threads(1);
+    const cpg::Graph source = fixtures::barrier_history(seed, 10);
+    const auto last = static_cast<cpg::NodeId>(source.nodes().size() - 1);
+    const std::uint64_t first_page = source.pages()[0];
+    std::string reference;
+    {
+      QueryEngine engine(std::make_shared<const cpg::Graph>(source));
+      reference = serialized_session(engine, last, first_page);
+    }
+    ASSERT_FALSE(reference.empty());
+
+    for (const std::uint32_t shards : {1u, 2u, 7u}) {
+      for (const unsigned workers : {1u, 8u}) {
+        util::set_analysis_threads(workers);
+        const cpg::Graph graph = fixtures::barrier_history(seed, 10);
+        const auto prefix = shard::rank_prefix(
+            graph, static_cast<std::uint32_t>(graph.nodes().size() * 6 / 10));
+        ASSERT_TRUE(prefix.ok()) << prefix.status().message();
+        ASSERT_LT(prefix->nodes().size(), graph.nodes().size());
+        for (const auto codec :
+             {shard::ShardCodec::kRaw, shard::ShardCodec::kLz}) {
+          const std::string dir =
+              ::testing::TempDir() + "shard_prop_append_" +
+              std::to_string(seed) + "_" + std::to_string(shards) + "_" +
+              std::to_string(workers) +
+              (codec == shard::ShardCodec::kLz ? "_lz" : "");
+          const auto base = shard::write_store(
+              *prefix, dir, shard::PlanOptions{shards}, codec);
+          ASSERT_TRUE(base.ok()) << base.status().message();
+          // The appended codec is inherited from the store (no
+          // explicit option), so compressed stores stay compressed.
+          const auto appended = shard::append(dir, graph);
+          ASSERT_TRUE(appended.ok()) << appended.status().message();
+          EXPECT_EQ(appended->manifest.total_nodes, graph.nodes().size());
+          if (codec == shard::ShardCodec::kLz) {
+            for (const auto& info : appended->manifest.shards) {
+              EXPECT_EQ(info.codec, shard::ShardCodec::kLz);
+            }
+          }
+          auto store = shard::ShardStore::open(dir);
+          ASSERT_TRUE(store.ok()) << store.status().message();
+          shard::ShardedQueryEngine engine(std::move(store).value());
+          EXPECT_EQ(serialized_session(engine, last, first_page), reference)
+              << "seed " << seed << ", " << shards << " shard(s), "
+              << workers << " worker(s), codec "
+              << (codec == shard::ShardCodec::kLz ? "lz" : "raw");
+        }
+      }
+    }
+  }
+}
+
+// Compressed out-of-core serving: the decoded-byte budget still forces
+// evictions, the cache stays under it, and the store actually shrank
+// on disk.
+TEST(ShardPropertyCompressed, TightBudgetByteIdenticalWithRealRatio) {
+  fixtures::ThreadCountGuard guard;
+  util::set_analysis_threads(1);
+  const cpg::Graph source = fixtures::dense_history(3);
+  const auto last = static_cast<cpg::NodeId>(source.nodes().size() - 1);
+  const std::uint64_t first_page = source.pages()[0];
+  std::string reference;
+  {
+    QueryEngine engine(std::make_shared<const cpg::Graph>(source));
+    reference = serialized_session(engine, last, first_page);
+  }
+  const std::string dir = ::testing::TempDir() + "shard_prop_lz_budget";
+  const auto manifest = shard::write_store(source, dir, shard::PlanOptions{7},
+                                           shard::ShardCodec::kLz);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  std::uint64_t encoded = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t max_decoded = 0;
+  for (const auto& info : manifest->shards) {
+    encoded += info.byte_size;
+    decoded += info.decoded_bytes;
+    max_decoded = std::max(max_decoded, info.decoded_bytes);
+  }
+  EXPECT_GT(snapshot::compression_ratio(decoded, encoded), 1.5)
+      << decoded << " decoded vs " << encoded << " encoded";
+  shard::StoreOptions options;
+  options.memory_budget_bytes = max_decoded * 2;
+  ASSERT_LT(options.memory_budget_bytes, decoded);
+  auto store = shard::ShardStore::open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  const auto store_ptr = store.value();
+  shard::ShardedQueryEngine engine(store_ptr);
+  EXPECT_EQ(serialized_session(engine, last, first_page), reference);
+  const auto stats = store_ptr->stats();
+  EXPECT_GT(stats.evictions, 0u) << "budget never forced an eviction";
+  EXPECT_LE(stats.peak_cache_bytes,
+            std::max(options.memory_budget_bytes, max_decoded));
+  EXPECT_EQ(stats.total_decoded_bytes, decoded);
+  EXPECT_EQ(stats.total_bytes, encoded);
+}
+
 // Out-of-core: a resident budget smaller than the store still serves
 // the full session correctly, evicting and reloading shards under it.
 TEST(ShardPropertyBudget, TightBudgetStillByteIdentical) {
@@ -182,16 +295,16 @@ TEST(ShardPropertyBudget, TightBudgetStillByteIdentical) {
   const std::string dir = ::testing::TempDir() + "shard_prop_budget";
   const auto manifest = shard::write_store(source, dir, shard::PlanOptions{7});
   ASSERT_TRUE(manifest.ok()) << manifest.status().message();
-  std::uint64_t total_bytes = 0;
+  std::uint64_t total_decoded = 0;
   std::uint64_t max_shard = 0;
   for (const auto& info : manifest->shards) {
-    total_bytes += info.byte_size;
-    max_shard = std::max(max_shard, info.byte_size);
+    total_decoded += info.decoded_bytes;
+    max_shard = std::max(max_shard, info.decoded_bytes);
   }
   // Room for about two shards: far below the store, above one shard.
   shard::StoreOptions options;
   options.memory_budget_bytes = max_shard * 2;
-  ASSERT_LT(options.memory_budget_bytes, total_bytes);
+  ASSERT_LT(options.memory_budget_bytes, total_decoded);
   auto store = shard::ShardStore::open(dir, options);
   ASSERT_TRUE(store.ok()) << store.status().message();
   const auto store_ptr = store.value();
@@ -199,9 +312,9 @@ TEST(ShardPropertyBudget, TightBudgetStillByteIdentical) {
   EXPECT_EQ(serialized_session(engine, last, first_page), reference);
   const auto stats = store_ptr->stats();
   EXPECT_GT(stats.evictions, 0u) << "budget never forced an eviction";
-  EXPECT_LE(stats.peak_resident_bytes,
+  EXPECT_LE(stats.peak_cache_bytes,
             std::max(options.memory_budget_bytes, max_shard));
-  EXPECT_LT(stats.peak_resident_bytes, stats.total_bytes);
+  EXPECT_LT(stats.peak_cache_bytes, stats.total_decoded_bytes);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
-// Unit tests for the sharded store: format round-trips, versioned
-// header errors, planner invariants, and the store's LRU budget.
+// Unit tests for the sharded store: format round-trips (raw and
+// LZ-compressed payloads), versioned header errors, corrupt-payload
+// typed statuses, planner invariants, incremental append, and the
+// store's decoded-byte LRU budget with honest pinned accounting.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "shard/format.h"
 #include "shard/planner.h"
 #include "shard/store.h"
+#include "snapshot/compress.h"
 
 namespace {
 
@@ -21,7 +25,12 @@ using namespace inspector;
 namespace fixtures = inspector::fixtures;
 
 std::string temp_store(const std::string& name) {
-  return ::testing::TempDir() + "shard_unit_" + name;
+  // Fresh every run: TempDir persists across test invocations, and a
+  // leftover committed store changes write_store's behavior (it
+  // adopts the next generation rather than truncating live files).
+  const std::string dir = ::testing::TempDir() + "shard_unit_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
 }
 
 TEST(ShardPlanner, RejectsBadShardCounts) {
@@ -207,7 +216,7 @@ TEST(ShardStore, BudgetEvictsLeastRecentlyUsed) {
   ASSERT_TRUE(manifest.ok()) << manifest.status().message();
   std::uint64_t max_shard = 0;
   for (const auto& info : manifest->shards) {
-    max_shard = std::max(max_shard, info.byte_size);
+    max_shard = std::max(max_shard, info.decoded_bytes);
   }
   shard::StoreOptions options;
   options.memory_budget_bytes = max_shard;  // room for ~one shard
@@ -226,7 +235,7 @@ TEST(ShardStore, BudgetEvictsLeastRecentlyUsed) {
   EXPECT_EQ(store->stats().hits, 1u);
   ASSERT_TRUE(store->load(0).ok());  // miss again: it was evicted
   EXPECT_EQ(store->stats().loads, 3u);
-  EXPECT_LE(store->stats().peak_resident_bytes,
+  EXPECT_LE(store->stats().peak_cache_bytes,
             std::max(options.memory_budget_bytes, max_shard));
 
   // A pinned shard survives its own eviction.
@@ -234,6 +243,43 @@ TEST(ShardStore, BudgetEvictsLeastRecentlyUsed) {
   ASSERT_TRUE(pinned.ok());
   ASSERT_TRUE(store->load(3).ok());
   EXPECT_FALSE(pinned.value()->data.global_ids.empty());
+}
+
+TEST(ShardStore, PeakResidentCountsPinnedEvictions) {
+  // An evicted-but-pinned shard is still memory: the honest peak must
+  // include it, even though the cache already dropped its bytes.
+  const cpg::Graph graph = fixtures::dense_history(2);
+  const std::string dir = temp_store("pinned_peak");
+  const auto manifest = shard::write_store(graph, dir, shard::PlanOptions{4});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  std::uint64_t max_shard = 0;
+  for (const auto& info : manifest->shards) {
+    max_shard = std::max(max_shard, info.decoded_bytes);
+  }
+  shard::StoreOptions options;
+  options.memory_budget_bytes = max_shard;  // one shard at a time
+  auto opened = shard::ShardStore::open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto store = opened.value();
+
+  {
+    const auto pinned = store->load(0);
+    ASSERT_TRUE(pinned.ok());
+    ASSERT_TRUE(store->load(1).ok());  // evicts shard 0, which stays pinned
+    const auto stats = store->stats();
+    EXPECT_GE(stats.evictions, 1u);
+    EXPECT_EQ(stats.pinned_bytes, pinned.value()->decoded_bytes);
+    EXPECT_GT(stats.pinned_bytes, 0u);
+    EXPECT_GE(stats.peak_resident_bytes,
+              stats.resident_bytes + pinned.value()->decoded_bytes);
+    // Cache accounting still respects the budget even while the pin
+    // holds extra memory.
+    EXPECT_LE(stats.resident_bytes, options.memory_budget_bytes);
+    EXPECT_LE(stats.peak_cache_bytes,
+              std::max(options.memory_budget_bytes, max_shard));
+  }
+  // Dropping the pin drains the pinned tally.
+  EXPECT_EQ(store->stats().pinned_bytes, 0u);
 }
 
 TEST(ShardStore, UnlimitedBudgetNeverEvicts) {
@@ -247,8 +293,224 @@ TEST(ShardStore, UnlimitedBudgetNeverEvicts) {
   }
   const auto stats = store.value()->stats();
   EXPECT_EQ(stats.evictions, 0u);
-  EXPECT_EQ(stats.resident_bytes, stats.total_bytes);
-  EXPECT_EQ(stats.peak_resident_bytes, stats.total_bytes);
+  EXPECT_EQ(stats.resident_bytes, stats.total_decoded_bytes);
+  EXPECT_EQ(stats.peak_resident_bytes, stats.total_decoded_bytes);
+  EXPECT_EQ(stats.pinned_bytes, 0u);
+}
+
+TEST(ShardFormat, CompressedShardsRoundTrip) {
+  const cpg::Graph graph = fixtures::dense_history(5);
+  const std::string raw_dir = temp_store("codec_raw");
+  const std::string lz_dir = temp_store("codec_lz");
+  const auto raw = shard::write_store(graph, raw_dir, shard::PlanOptions{3});
+  const auto lz = shard::write_store(graph, lz_dir, shard::PlanOptions{3},
+                                     shard::ShardCodec::kLz);
+  ASSERT_TRUE(raw.ok()) << raw.status().message();
+  ASSERT_TRUE(lz.ok()) << lz.status().message();
+  std::uint64_t encoded = 0;
+  std::uint64_t decoded = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const auto& info = lz->shards[s];
+    EXPECT_EQ(info.codec, shard::ShardCodec::kLz);
+    // Identical decoded body, smaller file.
+    EXPECT_EQ(info.decoded_bytes, raw->shards[s].decoded_bytes);
+    EXPECT_LT(info.byte_size, raw->shards[s].byte_size);
+    encoded += info.byte_size;
+    decoded += info.decoded_bytes;
+    const auto from_raw = shard::ShardReader::read_shard(raw_dir,
+                                                         raw->shards[s]);
+    const auto from_lz = shard::ShardReader::read_shard(lz_dir, info);
+    ASSERT_TRUE(from_raw.ok()) << from_raw.status().message();
+    ASSERT_TRUE(from_lz.ok()) << from_lz.status().message();
+    // The decoded payloads are the same shard, field for field.
+    EXPECT_EQ(from_lz->global_ids, from_raw->global_ids);
+    EXPECT_EQ(from_lz->global_ranks, from_raw->global_ranks);
+    EXPECT_EQ(from_lz->edge_globals, from_raw->edge_globals);
+    EXPECT_EQ(from_lz->frontier_in, from_raw->frontier_in);
+    EXPECT_EQ(from_lz->frontier_out, from_raw->frontier_out);
+    EXPECT_EQ(from_lz->graph.stats(), from_raw->graph.stats());
+  }
+  EXPECT_GT(inspector::snapshot::compression_ratio(decoded, encoded), 1.5)
+      << "CPG shard payloads must actually compress";
+}
+
+TEST(ShardFormat, CorruptCompressedPayloadIsTypedStatus) {
+  // A bit flip inside a compressed body must surface as a typed
+  // Status from the reader -- never an exception escaping toward the
+  // query boundary.
+  const cpg::Graph graph = fixtures::random_history(11);
+  const std::string dir = temp_store("corrupt_lz");
+  const auto manifest = shard::write_store(graph, dir, shard::PlanOptions{2},
+                                           shard::ShardCodec::kLz);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  auto bytes = shard::read_file_bytes(dir + "/" + manifest->shards[0].file);
+  ASSERT_TRUE(bytes.ok());
+  auto corrupt = bytes.value();
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  ASSERT_TRUE(
+      shard::write_file_bytes(dir + "/" + manifest->shards[0].file, corrupt)
+          .ok());
+  auto store = shard::ShardStore::open(dir);
+  ASSERT_TRUE(store.ok());
+  const auto loaded = store.value()->load(0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncation too: chop the compressed payload.
+  auto truncated = bytes.value();
+  truncated.resize(truncated.size() - 7);
+  const auto reparsed = shard::deserialize_shard(truncated);
+  ASSERT_FALSE(reparsed.ok());
+  EXPECT_EQ(reparsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardAppend, ExtendsAStoreIncrementally) {
+  const cpg::Graph full = fixtures::barrier_history(3, 12);
+  const auto prefix = shard::rank_prefix(
+      full, static_cast<std::uint32_t>(full.nodes().size() * 6 / 10));
+  ASSERT_TRUE(prefix.ok()) << prefix.status().message();
+  ASSERT_LT(prefix->nodes().size(), full.nodes().size());
+  ASSERT_GT(prefix->nodes().size(), 0u);
+
+  const std::string dir = temp_store("append_incremental");
+  const auto base = shard::write_store(*prefix, dir, shard::PlanOptions{4});
+  ASSERT_TRUE(base.ok()) << base.status().message();
+  // Snapshot the kept files' bytes to prove append leaves them alone.
+  std::vector<std::vector<std::uint8_t>> before;
+  for (const auto& info : base->shards) {
+    auto bytes = shard::read_file_bytes(dir + "/" + info.file);
+    ASSERT_TRUE(bytes.ok());
+    before.push_back(std::move(bytes).value());
+  }
+
+  const auto appended = shard::append(dir, full);
+  ASSERT_TRUE(appended.ok()) << appended.status().message();
+  EXPECT_GT(appended->shards_kept, 0u)
+      << "a barrier-round suffix must leave the early shards untouched";
+  EXPECT_GT(appended->shards_rewritten, 0u);
+  const auto& manifest = appended->manifest;
+  EXPECT_EQ(manifest.total_nodes, full.nodes().size());
+  EXPECT_EQ(manifest.total_edges, full.edges().size());
+  EXPECT_EQ(manifest.stats, full.stats());
+  // Rewritten shards land under generation-suffixed names (crash
+  // safety: nothing the old manifest referenced was overwritten), and
+  // the superseded files are gone after the manifest committed.
+  EXPECT_EQ(manifest.generation, base->generation + 1);
+  const std::string gen_tag =
+      ".g" + std::to_string(manifest.generation) + ".";
+  for (std::uint32_t j = appended->shards_kept; j < manifest.shard_count;
+       ++j) {
+    EXPECT_NE(manifest.shards[j].file.find(gen_tag), std::string::npos)
+        << manifest.shards[j].file;
+  }
+  for (std::uint32_t j = appended->shards_kept; j < base->shard_count; ++j) {
+    EXPECT_FALSE(
+        shard::read_file_bytes(dir + "/" + base->shards[j].file).ok())
+        << "superseded file " << base->shards[j].file << " not removed";
+  }
+  for (std::uint32_t j = 0; j < appended->shards_kept; ++j) {
+    EXPECT_EQ(manifest.shards[j], base->shards[j]);
+    auto bytes = shard::read_file_bytes(dir + "/" + manifest.shards[j].file);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), before[j]) << "kept shard " << j << " rewritten";
+  }
+  // The appended store reads back whole: every shard loads and the
+  // node universe is covered exactly once.
+  const auto reread = shard::ShardReader::read_manifest(dir);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(*reread, manifest);
+  std::size_t nodes_seen = 0;
+  for (const auto& info : manifest.shards) {
+    const auto data = shard::ShardReader::read_shard(dir, info);
+    ASSERT_TRUE(data.ok()) << data.status().message();
+    nodes_seen += data->global_ids.size();
+    for (std::size_t local = 0; local < data->global_ids.size(); ++local) {
+      EXPECT_EQ(data->global_ranks[local],
+                full.rank(data->global_ids[local]));
+    }
+  }
+  EXPECT_EQ(nodes_seen, full.nodes().size());
+}
+
+TEST(ShardAppend, NoopWhenNothingAppended) {
+  const cpg::Graph graph = fixtures::random_history(12);
+  const std::string dir = temp_store("append_noop");
+  const auto base = shard::write_store(graph, dir, shard::PlanOptions{3});
+  ASSERT_TRUE(base.ok()) << base.status().message();
+  const auto appended = shard::append(dir, graph);
+  ASSERT_TRUE(appended.ok()) << appended.status().message();
+  EXPECT_EQ(appended->shards_kept, 3u);
+  EXPECT_EQ(appended->shards_rewritten, 0u);
+  EXPECT_EQ(appended->manifest, *base);
+}
+
+TEST(ShardAppend, StoreAtTheShardCeilingStaysAppendable) {
+  // A store already at 255 shards must give a kept shard back rather
+  // than becoming permanently un-appendable.
+  const cpg::Graph full = fixtures::barrier_history(5, 8);
+  const auto prefix = shard::rank_prefix(
+      full, static_cast<std::uint32_t>(full.nodes().size() * 6 / 10));
+  ASSERT_TRUE(prefix.ok()) << prefix.status().message();
+  const std::string dir = temp_store("append_ceiling");
+  ASSERT_TRUE(
+      shard::write_store(*prefix, dir, shard::PlanOptions{255}).ok());
+  const auto appended = shard::append(dir, full);
+  ASSERT_TRUE(appended.ok()) << appended.status().message();
+  EXPECT_LE(appended->manifest.shard_count, 255u);
+  EXPECT_LE(appended->shards_kept, 254u);
+  EXPECT_GE(appended->shards_rewritten, 1u);
+  EXPECT_EQ(appended->manifest.total_nodes, full.nodes().size());
+  // And it still reads back whole.
+  std::size_t nodes_seen = 0;
+  for (const auto& info : appended->manifest.shards) {
+    const auto data = shard::ShardReader::read_shard(dir, info);
+    ASSERT_TRUE(data.ok()) << data.status().message();
+    nodes_seen += data->global_ids.size();
+  }
+  EXPECT_EQ(nodes_seen, full.nodes().size());
+}
+
+TEST(ShardAppend, RejectsUnrelatedHistories) {
+  const std::string dir = temp_store("append_mismatch");
+  ASSERT_TRUE(shard::write_store(fixtures::random_history(13), dir,
+                                 shard::PlanOptions{2})
+                  .ok());
+  // A different capture is not an extension of this store.
+  const auto wrong = shard::append(dir, fixtures::dense_history(1));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  // A *smaller* capture cannot append either.
+  const cpg::Graph full = fixtures::barrier_history(4, 10);
+  const auto prefix = shard::rank_prefix(
+      full, static_cast<std::uint32_t>(full.nodes().size() / 2));
+  ASSERT_TRUE(prefix.ok());
+  const std::string dir_full = temp_store("append_shrink");
+  ASSERT_TRUE(shard::write_store(full, dir_full, shard::PlanOptions{2}).ok());
+  const auto shrink = shard::append(dir_full, *prefix);
+  ASSERT_FALSE(shrink.ok());
+  EXPECT_EQ(shrink.status().code(), StatusCode::kInvalidArgument);
+  // And a missing store is a clean kNotFound.
+  const auto missing = shard::append(temp_store("append_missing"), full);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardAppend, RankPrefixCutsAreConsistent) {
+  const cpg::Graph full = fixtures::barrier_history(7, 9);
+  const auto prefix = shard::rank_prefix(
+      full, static_cast<std::uint32_t>(full.nodes().size() / 2));
+  ASSERT_TRUE(prefix.ok()) << prefix.status().message();
+  const std::size_t c = prefix->nodes().size();
+  ASSERT_GT(c, 0u);
+  ASSERT_LE(c, full.nodes().size() / 2);
+  // Ranks and levels of the cut graph match the full graph's -- the
+  // property append depends on.
+  for (cpg::NodeId id = 0; id < c; ++id) {
+    EXPECT_EQ(prefix->rank(id), full.rank(id));
+  }
+  for (std::size_t e = 0; e < prefix->edges().size(); ++e) {
+    EXPECT_EQ(prefix->edges()[e], full.edges()[e]);
+  }
 }
 
 TEST(ShardedEngine, GraphAccessorThrowsAndStoreAccessorWorks) {

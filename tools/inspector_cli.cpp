@@ -20,6 +20,14 @@
 //   --dump-cpg FILE    write the CPG (binary format)
 //   --shard-out DIR    write the CPG as a sharded store (see src/shard/)
 //   --shards N         shard count for --shard-out (default 4, max 255)
+//   --compress         LZ-compress shard payloads (--shard-out /
+//                      --shard-append; the paper's fig-9 codec)
+//   --shard-append DIR incrementally re-shard an existing store for
+//                      this capture (which must extend the stored
+//                      history; only suffix shards are rewritten)
+//   --shard-prefix P   with --shard-out: store only the capture's
+//                      largest clean rank-prefix covering <= P% of the
+//                      nodes -- the bootstrap for --shard-append
 //   --dump-dot FILE    write the CPG as graphviz dot
 //   --dump-text FILE   write the CPG as text
 //   --perf-data FILE   write the perf.data-style trace container
@@ -41,6 +49,7 @@
 #include "query/engine.h"
 #include "replay/replay.h"
 #include "shard/planner.h"
+#include "snapshot/compress.h"
 #include "util/parallel.h"
 #include "workloads/registry.h"
 
@@ -61,14 +70,31 @@ struct CliArgs {
   unsigned analysis_threads = 0;  ///< 0 = keep the environment default
   std::string dump_cpg, dump_dot, dump_text, perf_data, journal, image;
   std::string shard_out;          ///< sharded store directory
+  std::string shard_append;       ///< existing store to append to
   std::uint32_t shards = 4;
   bool shards_given = false;
+  bool compress = false;          ///< LZ-compress shard payloads
+  std::uint32_t shard_prefix_pct = 0;  ///< 0 = store the whole capture
 };
 
 int usage() {
   std::cerr << "usage: inspector_cli list | run <workload> [options]\n"
                "see the header of tools/inspector_cli.cpp for options\n";
   return 2;
+}
+
+/// Parse a small decimal flag value into [lo, hi]; false on anything
+/// else (non-digits, empty, out of range).
+bool parse_bounded_uint(const std::string& value, unsigned long lo,
+                        unsigned long hi, std::uint32_t& out) {
+  if (value.empty() || value.size() > 3) return false;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+  }
+  const unsigned long parsed = std::stoul(value);
+  if (parsed < lo || parsed > hi) return false;
+  out = static_cast<std::uint32_t>(parsed);
+  return true;
 }
 
 bool parse(int argc, char** argv, CliArgs& args) {
@@ -122,18 +148,20 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.dump_cpg = next();
     } else if (a == "--shard-out") {
       args.shard_out = next();
-    } else if (a == "--shards") {
-      const std::string value = next();
-      bool digits = !value.empty() && value.size() <= 3;
-      for (const char c : value) {
-        if (c < '0' || c > '9') digits = false;
+    } else if (a == "--shard-append") {
+      args.shard_append = next();
+    } else if (a == "--compress") {
+      args.compress = true;
+    } else if (a == "--shard-prefix") {
+      if (!parse_bounded_uint(next(), 1, 100, args.shard_prefix_pct)) {
+        std::cerr << "--shard-prefix must be a percentage in [1, 100]\n";
+        return false;
       }
-      const unsigned long parsed = digits ? std::stoul(value) : 0;
-      if (parsed == 0 || parsed > 255) {
+    } else if (a == "--shards") {
+      if (!parse_bounded_uint(next(), 1, 255, args.shards)) {
         std::cerr << "--shards must be in [1, 255]\n";
         return false;
       }
-      args.shards = static_cast<std::uint32_t>(parsed);
       args.shards_given = true;
     } else if (a == "--dump-dot") {
       args.dump_dot = next();
@@ -152,6 +180,14 @@ bool parse(int argc, char** argv, CliArgs& args) {
   }
   if (args.shards_given && args.shard_out.empty()) {
     std::cerr << "--shards requires --shard-out\n";
+    return false;
+  }
+  if (args.compress && args.shard_out.empty() && args.shard_append.empty()) {
+    std::cerr << "--compress requires --shard-out or --shard-append\n";
+    return false;
+  }
+  if (args.shard_prefix_pct != 0 && args.shard_out.empty()) {
+    std::cerr << "--shard-prefix requires --shard-out\n";
     return false;
   }
   return true;
@@ -273,18 +309,61 @@ int run(const CliArgs& args) {
   if (!args.shard_out.empty()) {
     shard::PlanOptions plan_options;
     plan_options.shard_count = args.shards;
+    const shard::ShardCodec codec = args.compress ? shard::ShardCodec::kLz
+                                                  : shard::ShardCodec::kRaw;
+    const cpg::Graph* to_store = &graph;
+    cpg::Graph prefix;
+    if (args.shard_prefix_pct != 0) {
+      const auto max_nodes = static_cast<std::uint32_t>(
+          graph.nodes().size() * args.shard_prefix_pct / 100);
+      auto cut = shard::rank_prefix(graph, max_nodes);
+      if (!cut.ok()) {
+        std::cerr << "shard prefix failed: " << cut.status().message()
+                  << "\n";
+        return 1;
+      }
+      prefix = std::move(cut).value();
+      to_store = &prefix;
+    }
     const auto manifest =
-        shard::write_store(graph, args.shard_out, plan_options);
+        shard::write_store(*to_store, args.shard_out, plan_options, codec);
     if (!manifest.ok()) {
       std::cerr << "sharded store failed: " << manifest.status().message()
                 << "\n";
       return 1;
     }
     std::uint64_t bytes = 0;
-    for (const auto& info : manifest->shards) bytes += info.byte_size;
+    std::uint64_t decoded = 0;
+    for (const auto& info : manifest->shards) {
+      bytes += info.byte_size;
+      decoded += info.decoded_bytes;
+    }
     std::cout << "wrote " << args.shard_out << ": " << manifest->shard_count
               << " shard(s), " << manifest->total_nodes << " nodes, "
-              << bytes << " shard bytes\n";
+              << bytes << " shard bytes";
+    if (args.compress) {
+      std::cout << " (" << decoded << " decoded, "
+                << core::format_fixed(
+                       snapshot::compression_ratio(decoded, bytes), 2)
+                << "x)";
+    }
+    std::cout << "\n";
+  }
+  if (!args.shard_append.empty()) {
+    shard::AppendOptions append_options;
+    if (args.compress) append_options.codec = shard::ShardCodec::kLz;
+    const auto appended = shard::append(args.shard_append, graph,
+                                        append_options);
+    if (!appended.ok()) {
+      std::cerr << "shard append failed: " << appended.status().message()
+                << "\n";
+      return 1;
+    }
+    std::cout << "appended to " << args.shard_append << ": "
+              << appended->manifest.shard_count << " shard(s), "
+              << appended->manifest.total_nodes << " nodes ("
+              << appended->shards_kept << " kept, "
+              << appended->shards_rewritten << " rewritten)\n";
   }
   if (!args.dump_dot.empty()) {
     write_file(args.dump_dot, cpg::to_dot(graph));

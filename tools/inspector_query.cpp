@@ -5,10 +5,13 @@
 // --dump-cpg), and an analyst -- or a fleet of them -- queries it.
 // This tool is that serving front-end: it loads a serialized CPG into
 // an immutable snapshot -- or opens a sharded store directory
-// (inspector_cli --shard-out) for out-of-core serving under a resident
-// memory budget -- stands a QueryEngine on top, and answers
+// (inspector_cli --shard-out / --shard-append, raw or LZ-compressed
+// payloads, decompressed transparently at load) for out-of-core
+// serving under a resident memory budget (--shard-budget counts
+// *decoded* bytes, so it bounds actual memory whatever the on-disk
+// compression ratio) -- stands a QueryEngine on top, and answers
 // line-delimited JSON requests (query/wire.h) from stdin or a request
-// file. Replies are bit-identical between the two storage forms.
+// file. Replies are bit-identical between the storage forms.
 //
 //   inspector_query <cpg.bin> [options]
 //   inspector_query --store <dir> [--shard-budget BYTES] [options]

@@ -4,11 +4,14 @@
 # at 1 and 8 analysis workers, and diff both reply streams against the
 # checked-in golden file. Then re-serve the same session from a
 # *sharded* store (inspector_cli --shard-out) under a resident-shard
-# budget smaller than the store, at two shard counts -- the sharded
-# engine must reproduce the golden replies byte for byte. Any diff
-# means the wire format, the engine's answers, the worker-count
-# determinism contract, or the shard-count equivalence contract
-# regressed.
+# budget smaller than the store, at two shard counts; from an
+# LZ-compressed 3-shard store (--compress); and from a store built
+# from a 60% rank-prefix of the capture and grown to the full history
+# by an incremental append (--shard-prefix / --shard-append) -- every
+# storage form must reproduce the golden replies byte for byte. Any
+# diff means the wire format, the engine's answers, the worker-count
+# determinism contract, or the shard-store equivalence contract
+# (shard count, compression, or append) regressed.
 #
 #   query_smoke.sh <inspector_cli> <inspector_query> <data_dir> [tmp_dir]
 set -euo pipefail
@@ -24,8 +27,10 @@ DATA_DIR=$3
 if [ $# -ge 4 ]; then
   TMP_DIR=$4
   trap 'rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" \
-        "$TMP_DIR/smoke.shard3" "$TMP_DIR/smoke.shard7"; \
-        rm -rf "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.store7"' EXIT
+        "$TMP_DIR/smoke.shard3" "$TMP_DIR/smoke.shard7" \
+        "$TMP_DIR/smoke.shardz" "$TMP_DIR/smoke.sharda"; \
+        rm -rf "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.store7" \
+        "$TMP_DIR/smoke.storez" "$TMP_DIR/smoke.storea"' EXIT
 else
   TMP_DIR=$(mktemp -d)
   trap 'rm -rf "$TMP_DIR"' EXIT
@@ -36,13 +41,24 @@ GOLDEN="$DATA_DIR/query_smoke_golden.jsonl"
 
 # The capture is a deterministic simulation: same workload, threads,
 # scale, and seed always produce the same CPG, so the golden replies
-# are stable across machines. The same run also exports two sharded
-# stores.
+# are stable across machines. The same run also exports the sharded
+# stores: plain 3- and 7-shard, an LZ-compressed 3-shard, and an
+# appendable store seeded from the capture's 60% rank-prefix.
 "$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
     --dump-cpg "$TMP_DIR/smoke.cpg" \
     --shard-out "$TMP_DIR/smoke.store3" --shards 3 > /dev/null
 "$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
     --shard-out "$TMP_DIR/smoke.store7" --shards 7 > /dev/null
+"$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
+    --shard-out "$TMP_DIR/smoke.storez" --shards 3 --compress > /dev/null
+"$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
+    --shard-out "$TMP_DIR/smoke.storea" --shards 3 --shard-prefix 60 \
+    > /dev/null
+# The deterministic re-capture extends the stored prefix: only the
+# suffix shards are rewritten, and the store then serves the full
+# history.
+"$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
+    --shard-append "$TMP_DIR/smoke.storea" > /dev/null
 
 "$QUERY" "$TMP_DIR/smoke.cpg" --requests "$REQUESTS" \
     --analysis-threads 1 > "$TMP_DIR/smoke.1w"
@@ -58,12 +74,18 @@ diff -u "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" || {
   exit 1
 }
 
-# Sharded serving: a 40 KB budget is far below either store (~75 KB of
-# shards), so the session runs genuinely out-of-core with evictions.
+# Sharded serving: a 40 KB budget (decoded bytes) is far below either
+# store's ~75 KB of decoded shards, so every session runs genuinely
+# out-of-core with evictions -- including the compressed store, whose
+# *encoded* size is much smaller but whose decoded footprint is not.
 "$QUERY" --store "$TMP_DIR/smoke.store3" --shard-budget 40000 \
     --requests "$REQUESTS" --analysis-threads 8 > "$TMP_DIR/smoke.shard3"
 "$QUERY" --store "$TMP_DIR/smoke.store7" --shard-budget 40000 \
     --requests "$REQUESTS" --analysis-threads 1 > "$TMP_DIR/smoke.shard7"
+"$QUERY" --store "$TMP_DIR/smoke.storez" --shard-budget 40000 \
+    --requests "$REQUESTS" --analysis-threads 8 > "$TMP_DIR/smoke.shardz"
+"$QUERY" --store "$TMP_DIR/smoke.storea" --shard-budget 40000 \
+    --requests "$REQUESTS" --analysis-threads 1 > "$TMP_DIR/smoke.sharda"
 
 diff -u "$GOLDEN" "$TMP_DIR/smoke.shard3" || {
   echo "FAIL: 3-shard store replies differ from the golden file" >&2
@@ -73,4 +95,12 @@ diff -u "$GOLDEN" "$TMP_DIR/smoke.shard7" || {
   echo "FAIL: 7-shard store replies differ from the golden file" >&2
   exit 1
 }
-echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, and from 3- and 7-shard stores under a 40000-byte budget"
+diff -u "$GOLDEN" "$TMP_DIR/smoke.shardz" || {
+  echo "FAIL: compressed-store replies differ from the golden file" >&2
+  exit 1
+}
+diff -u "$GOLDEN" "$TMP_DIR/smoke.sharda" || {
+  echo "FAIL: appended-store replies differ from the golden file" >&2
+  exit 1
+}
+echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, and from 3-/7-shard, compressed, and appended stores under a 40000-byte budget"
