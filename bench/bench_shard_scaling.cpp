@@ -172,6 +172,7 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   bool ratio_ok = true;
   bool budget_ok = true;
+  bool shrink_ok = true;
   for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     // raw_serve_ms[budget mode] anchors the decode-overhead column of
     // the compressed rows at the same configuration.
@@ -204,6 +205,31 @@ int main(int argc, char** argv) {
       const double ratio =
           snapshot::compression_ratio(total_decoded, total_bytes);
       if (compressed && ratio < 2.0) ratio_ok = false;
+      // Format-generation comparison: rewrite the same shards through
+      // the v2 writer shim and compare encoded sizes. The varint v3
+      // format must keep shard files >= 15% smaller than v2 at the
+      // same codec, or the packing has regressed.
+      std::uint64_t v2_bytes = 0;
+      for (const auto& info : manifest->shards) {
+        const auto data = shard::ShardReader::read_shard(dir, info);
+        if (!data.ok()) {
+          std::cerr << "shard read-back failed: " << data.status().message()
+                    << "\n";
+          return 1;
+        }
+        v2_bytes += shard::serialize_shard(*data, codec, nullptr, 2).size();
+      }
+      const double shrink =
+          v2_bytes > 0
+              ? 1.0 - static_cast<double>(total_bytes) /
+                          static_cast<double>(v2_bytes)
+              : 0.0;
+      if (shrink < 0.15) shrink_ok = false;
+      std::cout << "{\"bench\":\"shard_scaling\",\"check\":\"v3_vs_v2\","
+                << "\"codec\":\"" << (compressed ? "lz" : "raw")
+                << "\",\"shards\":" << shards << ",\"v2_bytes\":" << v2_bytes
+                << ",\"v3_bytes\":" << total_bytes << ",\"shrink\":" << shrink
+                << "}\n";
       // Two budget modes: everything resident, and an out-of-core
       // budget of about half the decoded store (floored at one shard).
       const std::uint64_t half_budget =
@@ -277,6 +303,11 @@ int main(int argc, char** argv) {
   if (!budget_ok) {
     std::cerr << "BUDGET VIOLATION: the shard cache exceeded its "
                  "decoded-byte budget\n";
+    return 1;
+  }
+  if (!shrink_ok) {
+    std::cerr << "FORMAT REGRESSION: v3 shard files are not >= 15% smaller "
+                 "than the v2 encoding of the same shards\n";
     return 1;
   }
   return 0;

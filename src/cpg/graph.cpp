@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/bitset.h"
 #include "util/page_set.h"
 #include "util/parallel.h"
 
@@ -320,14 +321,16 @@ std::optional<NodeId> Graph::find(ThreadId tid, std::uint64_t alpha) const {
 }
 
 bool Graph::happens_before(NodeId a, NodeId b) const {
-  const auto& na = node(a);
-  const auto& nb = node(b);
+  // Fast reject first: rank embeds happens-before (clock dominance
+  // strictly grows the weight rank sorts by, and alpha breaks ties
+  // within a thread), so rank(a) >= rank(b) rules out a-hb-b with two
+  // u32 loads from one contiguous array -- no node structs, no clock
+  // walk. Half of all random probes and every self/descendant probe
+  // exit here without ever touching the node table.
+  if (rank_.at(a) >= rank_.at(b)) return false;
+  const auto& na = nodes_[a];
+  const auto& nb = nodes_[b];
   if (na.thread == nb.thread) return na.alpha < nb.alpha;
-  // Fast reject: rank embeds happens-before (clock dominance strictly
-  // grows the weight rank sorts by), so rank(a) >= rank(b) rules out
-  // a-hb-b with two loads instead of a full vector-clock compare. Half
-  // of all random probes and every self/descendant probe exit here.
-  if (rank_[a] >= rank_[b]) return false;
   return na.clock.happens_before(nb.clock);
 }
 
@@ -452,66 +455,72 @@ std::vector<NodeId> Graph::readers_of_page(std::uint64_t page) const {
   return {span.begin(), span.end()};
 }
 
+// The slice BFS kernels run batched: the frontier is expanded a whole
+// generation at a time into a reusable next-vector, and the visited
+// set is a flat word bitset whose fused test_and_set replaces the
+// vector<bool> probe + proxy write. The slice is sorted before
+// returning, so the traversal order change is invisible in replies.
+
 std::vector<NodeId> Graph::backward_slice(NodeId start) const {
-  std::vector<bool> visited(nodes_.size(), false);
-  std::deque<NodeId> frontier{start};
-  visited[start] = true;
+  (void)node(start);  // bounds check, same throw as the walk would hit
+  util::Bitset visited(nodes_.size());
+  std::vector<NodeId> frontier{start};
+  std::vector<NodeId> next;
+  visited.set(start);
   std::vector<NodeId> slice;
   while (!frontier.empty()) {
-    const NodeId cur = frontier.front();
-    frontier.pop_front();
-    slice.push_back(cur);
-    // Recorded control/sync predecessors.
-    for (std::uint32_t e : in_edges(cur)) {
-      const NodeId pred = edges_[e].from;
-      if (!visited[pred]) {
-        visited[pred] = true;
-        frontier.push_back(pred);
+    next.clear();
+    for (const NodeId cur : frontier) {
+      slice.push_back(cur);
+      // Recorded control/sync predecessors.
+      for (std::uint32_t e : in_edges(cur)) {
+        const NodeId pred = edges_[e].from;
+        if (!visited.test_and_set(pred)) next.push_back(pred);
+      }
+      // Data predecessors: latest writers of each page read.
+      for (const Edge& e : latest_writers(cur)) {
+        if (!visited.test_and_set(e.from)) next.push_back(e.from);
       }
     }
-    // Data predecessors: latest writers of each page read.
-    for (const Edge& e : latest_writers(cur)) {
-      if (!visited[e.from]) {
-        visited[e.from] = true;
-        frontier.push_back(e.from);
-      }
-    }
+    frontier.swap(next);
   }
   std::sort(slice.begin(), slice.end());
   return slice;
 }
 
 std::vector<NodeId> Graph::forward_slice(NodeId start) const {
-  std::vector<bool> visited(nodes_.size(), false);
-  std::deque<NodeId> frontier{start};
-  visited[start] = true;
+  (void)node(start);  // bounds check, same throw as the walk would hit
+  util::Bitset visited(nodes_.size());
+  std::vector<NodeId> frontier{start};
+  std::vector<NodeId> next;
+  visited.set(start);
   std::vector<NodeId> slice;
   while (!frontier.empty()) {
-    const NodeId cur = frontier.front();
-    frontier.pop_front();
-    slice.push_back(cur);
-    // Recorded control/sync successors.
-    for (std::uint32_t e : out_edges(cur)) {
-      const NodeId succ = edges_[e].to;
-      if (!visited[succ]) {
-        visited[succ] = true;
-        frontier.push_back(succ);
+    next.clear();
+    for (const NodeId cur : frontier) {
+      slice.push_back(cur);
+      // Recorded control/sync successors.
+      for (std::uint32_t e : out_edges(cur)) {
+        const NodeId succ = edges_[e].to;
+        if (!visited.test_and_set(succ)) next.push_back(succ);
       }
-    }
-    // Data successors: readers (under happens-before) of pages this
-    // node wrote. happens_before(cur, reader) implies a higher rank, so
-    // the walk starts just past cur's rank in the reader list.
-    for (std::uint64_t page : nodes_[cur].write_set) {
-      const auto readers = page_readers(page);
-      for (std::size_t i = rank_lower_bound(readers, rank_, rank_[cur] + 1);
-           i < readers.size(); ++i) {
-        const NodeId reader = readers[i];
-        if (!visited[reader] && happens_before(cur, reader)) {
-          visited[reader] = true;
-          frontier.push_back(reader);
+      // Data successors: readers (under happens-before) of pages this
+      // node wrote. happens_before(cur, reader) implies a higher rank,
+      // so the walk starts just past cur's rank in the reader list.
+      for (std::uint64_t page : nodes_[cur].write_set) {
+        const auto readers = page_readers(page);
+        for (std::size_t i =
+                 rank_lower_bound(readers, rank_, rank_[cur] + 1);
+             i < readers.size(); ++i) {
+          const NodeId reader = readers[i];
+          if (!visited.test(reader) && happens_before(cur, reader)) {
+            visited.set(reader);
+            next.push_back(reader);
+          }
         }
       }
     }
+    frontier.swap(next);
   }
   std::sort(slice.begin(), slice.end());
   return slice;

@@ -2,91 +2,60 @@
 
 #include <stdexcept>
 
+#include "cpg/binary_io.h"
+
 namespace inspector::cpg {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x314E524A;  // "JRN1"
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-void put_vec(std::vector<std::uint8_t>& out,
-             const std::vector<std::uint64_t>& v) {
-  put_u64(out, v.size());
-  for (std::uint64_t x : v) put_u64(out, x);
-}
-
-struct Cursor {
-  const std::vector<std::uint8_t>& in;
-  std::size_t pos = 0;
-  void need(std::size_t n) const {
-    if (pos + n > in.size()) throw std::runtime_error("journal: truncated");
-  }
-  std::uint8_t u8() {
-    need(1);
-    return in[pos++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
-    return v;
-  }
-  std::vector<std::uint64_t> vec() {
-    const std::uint64_t n = u64();
-    if (n > in.size()) throw std::runtime_error("journal: bad vector size");
-    std::vector<std::uint64_t> v(n);
-    for (auto& x : v) x = u64();
-    return v;
-  }
-};
-
 }  // namespace
 
 std::vector<std::uint8_t> serialize(const Journal& journal) {
+  // Same primitives (binary_io) and varint sequence codecs
+  // (util/varint.h) as the CPG and shard formats: the page sets ride
+  // the monotone delta codec, the counters plain varints.
   std::vector<std::uint8_t> out;
-  put_u32(out, kMagic);
-  put_u64(out, journal.ops.size());
+  detail::ByteWriter w(out);
+  w.u32(kMagic);
+  w.uvarint(journal.ops.size());
   for (const auto& op : journal.ops) {
-    out.push_back(static_cast<std::uint8_t>(op.kind));
-    put_u32(out, op.tid);
-    put_u64(out, op.aux);
-    out.push_back(static_cast<std::uint8_t>(op.event));
-    put_vec(out, op.read_set);
-    put_vec(out, op.write_set);
-    put_u32(out, op.branch_count);
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.u32(op.tid);
+    w.uvarint(op.aux);
+    w.u8(static_cast<std::uint8_t>(op.event));
+    w.monotone_u64(op.read_set);
+    w.monotone_u64(op.write_set);
+    w.uvarint(op.branch_count);
   }
   return out;
 }
 
 Journal deserialize_journal(const std::vector<std::uint8_t>& bytes) {
-  Cursor c{bytes};
-  if (c.u32() != kMagic) throw std::runtime_error("journal: bad magic");
-  Journal journal;
-  const std::uint64_t count = c.u64();
-  journal.ops.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    JournalOp op;
-    op.kind = static_cast<JournalOp::Kind>(c.u8());
-    op.tid = c.u32();
-    op.aux = c.u64();
-    op.event = static_cast<sync::SyncEventKind>(c.u8());
-    op.read_set = c.vec();
-    op.write_set = c.vec();
-    op.branch_count = c.u32();
-    journal.ops.push_back(std::move(op));
+  try {
+    detail::ByteReader r(bytes);
+    if (r.u32() != kMagic) throw std::runtime_error("journal: bad magic");
+    Journal journal;
+    // Minimum encoded op: kind 1 + tid 4 + aux 1 + event 1 + two
+    // empty sets 2 + branch count 1.
+    const std::uint64_t count = r.counted_varint(10, "journal op");
+    journal.ops.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      JournalOp op;
+      op.kind = static_cast<JournalOp::Kind>(r.u8());
+      op.tid = r.u32();
+      op.aux = r.uvarint();
+      op.event = static_cast<sync::SyncEventKind>(r.u8());
+      op.read_set = r.monotone_u64();
+      op.write_set = r.monotone_u64();
+      op.branch_count = static_cast<std::uint32_t>(r.uvarint());
+      journal.ops.push_back(std::move(op));
+    }
+    return journal;
+  } catch (const detail::SerializeError& e) {
+    throw std::runtime_error(std::string("journal: ") + e.what());
   }
-  return journal;
 }
 
 }  // namespace inspector::cpg

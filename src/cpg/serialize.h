@@ -19,13 +19,23 @@ inline constexpr std::uint32_t kCpgMagic = 0x31475043;
 /// Current format generation. Version 1 was the headerless pre-shard
 /// layout (magic only); version 2 added this explicit version field,
 /// so stale files fail with a clear error instead of a misparsed node
-/// count. Bump on any layout change.
-inline constexpr std::uint32_t kCpgFormatVersion = 2;
+/// count; version 3 packs the monotone/small-integer node payload
+/// (page sets, clocks, alpha, seqs) as delta+varints (util/varint.h).
+/// Bump on any layout change.
+inline constexpr std::uint32_t kCpgFormatVersion = 3;
+/// Oldest generation this build still loads. Version-2 files (and the
+/// version-2 graphs nested inside version-2 shard stores) stay
+/// readable; writers always emit the current version unless asked for
+/// a compatibility export.
+inline constexpr std::uint32_t kCpgMinReadVersion = 2;
 
-/// Compact binary encoding (little-endian, varint-free for simplicity).
-/// Layout: magic "CPG1", format version, node count, nodes, edge
-/// count, edges, schedule.
-[[nodiscard]] std::vector<std::uint8_t> serialize(const Graph& graph);
+/// Compact binary encoding (little-endian). Layout: magic "CPG1",
+/// format version, node count, nodes, edge count, edges, schedule.
+/// `version` selects the generation to emit -- kCpgFormatVersion for
+/// normal writes, 2 for compatibility exports (the v2 store writer
+/// shim the compat tests and size benchmarks build against).
+[[nodiscard]] std::vector<std::uint8_t> serialize(
+    const Graph& graph, std::uint32_t version = kCpgFormatVersion);
 
 /// Inverse of serialize(). A malformed, truncated, or wrong-version
 /// buffer comes back as kInvalidArgument with a precise message; this

@@ -1,7 +1,6 @@
 #include "shard/engine.h"
 
 #include <algorithm>
-#include <deque>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -11,6 +10,7 @@
 #include "analysis/race_pairs.h"
 #include "analysis/races.h"
 #include "query/overloaded.h"
+#include "util/bitset.h"
 #include "util/page_set.h"
 #include "util/parallel.h"
 
@@ -80,15 +80,15 @@ class Pins {
 };
 
 /// Exact replica of Graph::happens_before over shard-resident nodes:
-/// same-thread alpha order, then the global-rank fast reject, then the
-/// vector-clock compare.
+/// the global-rank fast reject first (two sidecar loads, no clock
+/// walk), then same-thread alpha order, then the vector-clock compare.
 bool happens_before(Pins& pins, cpg::NodeId a, cpg::NodeId b) {
   const auto na = pins.node(a);
   const auto nb = pins.node(b);
+  if (na.rank >= nb.rank) return false;
   if (na.node->thread == nb.node->thread) {
     return na.node->alpha < nb.node->alpha;
   }
-  if (na.rank >= nb.rank) return false;
   return na.node->clock.happens_before(nb.node->clock);
 }
 
@@ -203,39 +203,45 @@ std::vector<cpg::Edge> data_dependencies(Pins& pins, const Manifest& m,
 
 // --- traversal queries ------------------------------------------------
 
+// Both slice walks run the batched-bitset BFS of Graph::*_slice: a
+// whole frontier generation expands into a reusable next-vector and
+// the visited set is a flat word bitset (fused test_and_set). The
+// slice is sorted before returning, so replies cannot see the
+// traversal order. Pins stay per node expansion: residency is one
+// node's shard plus its neighbors' shards, not the whole reachable
+// set.
+
 std::vector<cpg::NodeId> backward_slice(ShardStore& store, const Manifest& m,
                                         cpg::NodeId start) {
-  std::vector<char> visited(m.total_nodes, 0);
-  std::deque<cpg::NodeId> frontier{start};
-  visited[start] = 1;
+  util::Bitset visited(m.total_nodes);
+  std::vector<cpg::NodeId> frontier{start};
+  std::vector<cpg::NodeId> next;
+  visited.set(start);
   std::vector<cpg::NodeId> slice;
   const auto visit = [&](cpg::NodeId id) {
-    if (visited[id] == 0) {
-      visited[id] = 1;
-      frontier.push_back(id);
-    }
+    if (!visited.test_and_set(id)) next.push_back(id);
   };
   while (!frontier.empty()) {
-    const cpg::NodeId cur = frontier.front();
-    frontier.pop_front();
-    slice.push_back(cur);
-    // Pins per expansion: residency is one node's shard plus its data
-    // predecessors' shards, not the whole reachable set.
-    Pins pins(store);
-    const auto v = pins.node(cur);
-    const LoadedShard& ls = *v.shard;
-    // Recorded predecessors: intra-shard edges plus the stored
-    // cross-shard in-frontier.
-    for (const std::uint32_t e : ls.data.graph.in_edges(v.local)) {
-      visit(ls.data.global_ids[ls.data.graph.edges()[e].from]);
+    next.clear();
+    for (const cpg::NodeId cur : frontier) {
+      slice.push_back(cur);
+      Pins pins(store);
+      const auto v = pins.node(cur);
+      const LoadedShard& ls = *v.shard;
+      // Recorded predecessors: intra-shard edges plus the stored
+      // cross-shard in-frontier.
+      for (const std::uint32_t e : ls.data.graph.in_edges(v.local)) {
+        visit(ls.data.global_ids[ls.data.graph.edges()[e].from]);
+      }
+      for (const std::uint32_t f : ls.frontier_in_of(v.local)) {
+        visit(ls.data.frontier_in[f].from);
+      }
+      // Data predecessors: latest writers of each page read.
+      for (const cpg::Edge& e : latest_writers(pins, m, cur)) {
+        visit(e.from);
+      }
     }
-    for (const std::uint32_t f : ls.frontier_in_of(v.local)) {
-      visit(ls.data.frontier_in[f].from);
-    }
-    // Data predecessors: latest writers of each page read.
-    for (const cpg::Edge& e : latest_writers(pins, m, cur)) {
-      visit(e.from);
-    }
+    frontier.swap(next);
   }
   std::sort(slice.begin(), slice.end());
   return slice;
@@ -243,40 +249,42 @@ std::vector<cpg::NodeId> backward_slice(ShardStore& store, const Manifest& m,
 
 std::vector<cpg::NodeId> forward_slice(ShardStore& store, const Manifest& m,
                                        cpg::NodeId start) {
-  std::vector<char> visited(m.total_nodes, 0);
-  std::deque<cpg::NodeId> frontier{start};
-  visited[start] = 1;
+  util::Bitset visited(m.total_nodes);
+  std::vector<cpg::NodeId> frontier{start};
+  std::vector<cpg::NodeId> next;
+  visited.set(start);
   std::vector<cpg::NodeId> slice;
+  const auto visit = [&](cpg::NodeId id) {
+    if (!visited.test_and_set(id)) next.push_back(id);
+  };
   while (!frontier.empty()) {
-    const cpg::NodeId cur = frontier.front();
-    frontier.pop_front();
-    slice.push_back(cur);
-    Pins pins(store);  // per expansion, same rationale as backward
-    const auto v = pins.node(cur);
-    const LoadedShard& ls = *v.shard;
-    const auto visit = [&](cpg::NodeId id) {
-      if (visited[id] == 0) {
-        visited[id] = 1;
-        frontier.push_back(id);
+    next.clear();
+    for (const cpg::NodeId cur : frontier) {
+      slice.push_back(cur);
+      Pins pins(store);
+      const auto v = pins.node(cur);
+      const LoadedShard& ls = *v.shard;
+      for (const std::uint32_t e : ls.data.graph.out_edges(v.local)) {
+        visit(ls.data.global_ids[ls.data.graph.edges()[e].to]);
       }
-    };
-    for (const std::uint32_t e : ls.data.graph.out_edges(v.local)) {
-      visit(ls.data.global_ids[ls.data.graph.edges()[e].to]);
-    }
-    for (const std::uint32_t f : ls.frontier_out_of(v.local)) {
-      visit(ls.data.frontier_out[f].to);
-    }
-    // Data successors: happens-after readers of the pages written.
-    for (const std::uint64_t page : v.node->write_set) {
-      const Bucket readers = merged_bucket(pins, m, page, /*writers=*/false);
-      for (std::size_t i = rank_lower_bound(readers.ranks, v.rank + 1);
-           i < readers.nodes.size(); ++i) {
-        const cpg::NodeId reader = readers.nodes[i];
-        if (visited[reader] == 0 && happens_before(pins, cur, reader)) {
-          visit(reader);
+      for (const std::uint32_t f : ls.frontier_out_of(v.local)) {
+        visit(ls.data.frontier_out[f].to);
+      }
+      // Data successors: happens-after readers of the pages written.
+      for (const std::uint64_t page : v.node->write_set) {
+        const Bucket readers =
+            merged_bucket(pins, m, page, /*writers=*/false);
+        for (std::size_t i = rank_lower_bound(readers.ranks, v.rank + 1);
+             i < readers.nodes.size(); ++i) {
+          const cpg::NodeId reader = readers.nodes[i];
+          if (!visited.test(reader) && happens_before(pins, cur, reader)) {
+            visited.set(reader);
+            next.push_back(reader);
+          }
         }
       }
     }
+    frontier.swap(next);
   }
   std::sort(slice.begin(), slice.end());
   return slice;
@@ -312,12 +320,13 @@ void scan_page(std::uint64_t page, const Bucket& writers,
     meta.try_emplace(readers.nodes[i],
                      Meta{readers.meta[i], readers.ranks[i]});
   }
-  // Graph::happens_before / concurrent on the cached payloads.
+  // Graph::happens_before / concurrent on the cached payloads, with
+  // the same rank-first fast reject.
   const auto hb = [&](const Meta& a, const Meta& b) {
+    if (a.rank >= b.rank) return false;
     if (a.node->thread == b.node->thread) {
       return a.node->alpha < b.node->alpha;
     }
-    if (a.rank >= b.rank) return false;
     return a.node->clock.happens_before(b.node->clock);
   };
   const auto conflicts_of = [&](cpg::NodeId a,

@@ -67,6 +67,81 @@ std::vector<FrontierEdge> read_frontier(ByteReader& r) {
   return edges;
 }
 
+/// v3 frontier: column-wise, each column a self-framing varint
+/// sequence. The edge indices are strictly ascending (monotone
+/// codec); endpoints and objects cluster (zigzag delta); kinds are a
+/// plain byte run.
+void write_frontier_v3(ByteWriter& w, const std::vector<FrontierEdge>& edges) {
+  std::vector<std::uint64_t> scratch;
+  scratch.reserve(edges.size());
+  for (const FrontierEdge& e : edges) scratch.push_back(e.edge_index);
+  w.monotone_u64(scratch);
+  scratch.clear();
+  for (const FrontierEdge& e : edges) scratch.push_back(e.from);
+  w.zigzag_u64(scratch);
+  scratch.clear();
+  for (const FrontierEdge& e : edges) scratch.push_back(e.to);
+  w.zigzag_u64(scratch);
+  for (const FrontierEdge& e : edges) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+  }
+  scratch.clear();
+  for (const FrontierEdge& e : edges) scratch.push_back(e.object);
+  w.zigzag_u64(scratch);
+}
+
+std::vector<FrontierEdge> read_frontier_v3(ByteReader& r) {
+  const std::vector<std::uint64_t> indices = r.monotone_u64();
+  const std::vector<std::uint64_t> from = r.zigzag_u64();
+  const std::vector<std::uint64_t> to = r.zigzag_u64();
+  if (from.size() != indices.size() || to.size() != indices.size()) {
+    throw cpg::detail::SerializeError(
+        "frontier columns disagree on the edge count");
+  }
+  std::vector<FrontierEdge> edges(indices.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i].edge_index = indices[i];
+    if (from[i] > 0xFFFFFFFFu || to[i] > 0xFFFFFFFFu) {
+      throw cpg::detail::SerializeError(
+          "frontier endpoint does not fit a node id");
+    }
+    edges[i].from = static_cast<cpg::NodeId>(from[i]);
+    edges[i].to = static_cast<cpg::NodeId>(to[i]);
+    edges[i].kind = static_cast<cpg::EdgeKind>(r.u8());
+  }
+  const std::vector<std::uint64_t> objects = r.zigzag_u64();
+  if (objects.size() != edges.size()) {
+    throw cpg::detail::SerializeError(
+        "frontier columns disagree on the edge count");
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i].object = objects[i];
+  }
+  return edges;
+}
+
+/// Widen a u32 sidecar into the u64 scratch the sequence codecs take.
+template <typename Vec>
+std::vector<std::uint64_t> widen(const Vec& v) {
+  return std::vector<std::uint64_t>(v.begin(), v.end());
+}
+
+/// Narrow a decoded u64 sequence into a u32 sidecar, rejecting values
+/// that cannot have come from the writer.
+template <typename Vec>
+void narrow_into(const std::vector<std::uint64_t>& v, Vec& out,
+                 const char* what) {
+  out.clear();
+  out.reserve(v.size());
+  for (std::uint64_t x : v) {
+    if (x > 0xFFFFFFFFu) {
+      throw cpg::detail::SerializeError(std::string(what) +
+                                        " value does not fit 32 bits");
+    }
+    out.push_back(static_cast<std::uint32_t>(x));
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
@@ -184,44 +259,62 @@ namespace {
 /// from the frame so raw and compressed files share one encoding;
 /// writes into the caller's writer so the raw path can serialize
 /// straight into the framed output without a second full-body buffer.
-void write_shard_body(ByteWriter& w, const ShardData& s) {
+/// Version 2 is the fixed-width legacy layout (byte-identical to what
+/// pre-v3 builds wrote); version 3 packs every sidecar as
+/// delta+varint sequences and nests a v3 graph.
+void write_shard_body(ByteWriter& w, const ShardData& s,
+                      std::uint32_t version) {
   w.u32(s.shard_index);
   w.u32(s.shard_count);
   w.u32(s.rank_lo);
   w.u32(s.rank_hi);
-  w.u32_vec(s.global_ids);
-  w.u32_vec(s.global_ranks);
-  w.u32_vec(s.global_levels);
-  w.u64_vec(s.edge_globals);
-  write_frontier(w, s.frontier_in);
-  write_frontier(w, s.frontier_out);
+  if (version >= 3) {
+    w.monotone_u64(widen(s.global_ids));
+    w.zigzag_u64(widen(s.global_ranks));
+    w.zigzag_u64(widen(s.global_levels));
+    w.monotone_u64(s.edge_globals);
+    write_frontier_v3(w, s.frontier_in);
+    write_frontier_v3(w, s.frontier_out);
+  } else {
+    w.u32_vec(s.global_ids);
+    w.u32_vec(s.global_ranks);
+    w.u32_vec(s.global_levels);
+    w.u64_vec(s.edge_globals);
+    write_frontier(w, s.frontier_in);
+    write_frontier(w, s.frontier_out);
+  }
   // The shard's nodes and intra-shard edges reuse the whole-graph
   // encoding (with its own nested version header), so the two formats
-  // cannot drift.
-  const std::vector<std::uint8_t> graph_bytes = cpg::serialize(s.graph);
+  // cannot drift; a version-2 shard nests a version-2 graph, keeping
+  // the compatibility export byte-identical to what old builds wrote.
+  const std::vector<std::uint8_t> graph_bytes =
+      cpg::serialize(s.graph, version >= 3 ? cpg::kCpgFormatVersion : 2u);
   w.u8_vec(graph_bytes);
 }
 
-Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body);
+Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body,
+                                         std::uint32_t version);
 
 /// The codec frame behind the versioned header. Parsed in one place
 /// so the reader's manifest cross-check and the decoder can never
 /// disagree about the layout. Throws SerializeError on truncation
 /// (callers sit inside a try like every other decode path).
 struct ShardFrame {
+  std::uint32_t version = kShardFormatVersion;
   ShardCodec codec = ShardCodec::kRaw;
   std::uint64_t decoded_size = 0;
 };
 
 Result<ShardFrame> parse_shard_frame(ByteReader& r) {
-  cpg::detail::check_header(r, kShardMagic, kShardFormatVersion, "CPG shard");
+  ShardFrame frame;
+  frame.version = cpg::detail::read_header(
+      r, kShardMagic, kShardMinReadVersion, kShardFormatVersion, "CPG shard");
   const std::uint8_t codec_tag = r.u8();
   if (codec_tag > static_cast<std::uint8_t>(ShardCodec::kLz)) {
     return Status(StatusCode::kInvalidArgument,
                   "CPG shard: unknown codec tag " +
                       std::to_string(codec_tag));
   }
-  ShardFrame frame;
   frame.codec = static_cast<ShardCodec>(codec_tag);
   frame.decoded_size = r.u64();
   return frame;
@@ -231,10 +324,15 @@ Result<ShardFrame> parse_shard_frame(ByteReader& r) {
 
 std::vector<std::uint8_t> serialize_shard(const ShardData& s,
                                           ShardCodec codec,
-                                          std::uint64_t* decoded_bytes) {
+                                          std::uint64_t* decoded_bytes,
+                                          std::uint32_t version) {
+  if (version < kShardMinReadVersion || version > kShardFormatVersion) {
+    throw cpg::detail::SerializeError(
+        "CPG shard: cannot write format version " + std::to_string(version));
+  }
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  cpg::detail::write_header(w, kShardMagic, kShardFormatVersion);
+  cpg::detail::write_header(w, kShardMagic, version);
   w.u8(static_cast<std::uint8_t>(codec));
   // The payload is the file's final section: delimited by the file end
   // rather than a redundant length prefix (ByteReader::rest()).
@@ -242,7 +340,7 @@ std::vector<std::uint8_t> serialize_shard(const ShardData& s,
     std::vector<std::uint8_t> body;
     {
       ByteWriter body_writer(body);
-      write_shard_body(body_writer, s);
+      write_shard_body(body_writer, s, version);
     }
     if (decoded_bytes != nullptr) *decoded_bytes = body.size();
     w.u64(body.size());
@@ -254,7 +352,7 @@ std::vector<std::uint8_t> serialize_shard(const ShardData& s,
     // the length is known.
     w.u64(0);
     const std::size_t body_start = out.size();
-    write_shard_body(w, s);
+    write_shard_body(w, s, version);
     const std::uint64_t body_size = out.size() - body_start;
     if (decoded_bytes != nullptr) *decoded_bytes = body_size;
     for (int i = 0; i < 8; ++i) {
@@ -280,7 +378,7 @@ Result<ShardData> decode_shard_payload(const ShardFrame& frame,
                         " bytes but the frame declares " +
                         std::to_string(frame.decoded_size));
     }
-    return deserialize_shard_body(payload);
+    return deserialize_shard_body(payload, frame.version);
   }
   auto body = snapshot::decompress_checked(payload);
   if (!body.ok()) {
@@ -295,7 +393,7 @@ Result<ShardData> decode_shard_payload(const ShardFrame& frame,
                       " bytes but the frame declares " +
                       std::to_string(frame.decoded_size));
   }
-  return deserialize_shard_body(body.value());
+  return deserialize_shard_body(body.value(), frame.version);
 }
 
 }  // namespace
@@ -314,7 +412,8 @@ Result<ShardData> deserialize_shard(const std::vector<std::uint8_t>& bytes) {
 
 namespace {
 
-Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body) {
+Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body,
+                                         std::uint32_t version) {
   try {
     ByteReader r(body);
     ShardData s;
@@ -322,12 +421,26 @@ Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body) {
     s.shard_count = r.u32();
     s.rank_lo = r.u32();
     s.rank_hi = r.u32();
-    s.global_ids = r.u32_vec();
-    s.global_ranks = r.u32_vec();
-    s.global_levels = r.u32_vec();
-    s.edge_globals = r.u64_vec();
-    s.frontier_in = read_frontier(r);
-    s.frontier_out = read_frontier(r);
+    if (version >= 3) {
+      narrow_into(r.monotone_u64(), s.global_ids, "global id");
+      narrow_into(r.zigzag_u64(), s.global_ranks, "global rank");
+      narrow_into(r.zigzag_u64(), s.global_levels, "global level");
+      const auto edge_globals = r.monotone_u64();
+      s.edge_globals.assign(edge_globals.begin(), edge_globals.end());
+      s.frontier_in = read_frontier_v3(r);
+      s.frontier_out = read_frontier_v3(r);
+    } else {
+      const auto ids = r.u32_vec();
+      s.global_ids.assign(ids.begin(), ids.end());
+      const auto ranks = r.u32_vec();
+      s.global_ranks.assign(ranks.begin(), ranks.end());
+      const auto levels = r.u32_vec();
+      s.global_levels.assign(levels.begin(), levels.end());
+      const auto edge_globals = r.u64_vec();
+      s.edge_globals.assign(edge_globals.begin(), edge_globals.end());
+      s.frontier_in = read_frontier(r);
+      s.frontier_out = read_frontier(r);
+    }
     // In-place view: the embedded graph is the dominant payload, and
     // every budget-driven cache miss decodes one -- no second copy.
     auto graph = cpg::deserialize_checked(r.u8_view());

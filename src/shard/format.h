@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "cpg/graph.h"
+#include "util/aligned.h"
 #include "util/page_set.h"
 #include "util/status.h"
 
@@ -49,9 +50,17 @@ namespace inspector::shard {
 inline constexpr std::uint32_t kManifestMagic = 0x4D475043;
 inline constexpr std::uint32_t kManifestFormatVersion = 2;
 /// "CPGS" -- one shard file. Version 1 stored the body raw; version 2
-/// frames the body behind a codec tag + decoded size.
+/// frames the body behind a codec tag + decoded size; version 3 packs
+/// the sidecars and frontier as delta+varint sequences
+/// (util/varint.h) before the codec frame, so the file shrinks twice:
+/// once from the packing itself and again because the LZ codec sees a
+/// lower-entropy stream.
 inline constexpr std::uint32_t kShardMagic = 0x53475043;
-inline constexpr std::uint32_t kShardFormatVersion = 2;
+inline constexpr std::uint32_t kShardFormatVersion = 3;
+/// Oldest shard generation this build still loads. A store may mix
+/// versions: an append keeps prior shard files byte-identical, so a
+/// v2 store grown by a v3 build serves v2 and v3 files side by side.
+inline constexpr std::uint32_t kShardMinReadVersion = 2;
 
 inline constexpr const char* kManifestFileName = "MANIFEST.bin";
 
@@ -119,6 +128,11 @@ struct Manifest {
 };
 
 /// Payload of one shard file, decoded.
+///
+/// The sidecars decode into cache-line-aligned structure-of-arrays
+/// scratch (util/aligned.h): the hot query loops -- rank fences,
+/// level-bucket walks, frontier expansion -- stride these arrays
+/// linearly, so each lives contiguous and starts on its own line.
 struct ShardData {
   std::uint32_t shard_index = 0;
   /// Store-wide shard count *at the time this file was written* --
@@ -128,10 +142,12 @@ struct ShardData {
   std::uint32_t shard_count = 0;
   std::uint32_t rank_lo = 0;
   std::uint32_t rank_hi = 0;
-  std::vector<cpg::NodeId> global_ids;  ///< local id -> global id, ascending
-  std::vector<std::uint32_t> global_ranks;   ///< local id -> global hb-rank
-  std::vector<std::uint32_t> global_levels;  ///< local id -> global level
-  std::vector<std::uint64_t> edge_globals;   ///< local edge -> global index
+  util::aligned_vector<cpg::NodeId> global_ids;  ///< local id -> global id,
+                                                 ///< ascending
+  util::aligned_vector<std::uint32_t> global_ranks;   ///< local id -> hb-rank
+  util::aligned_vector<std::uint32_t> global_levels;  ///< local id -> level
+  util::aligned_vector<std::uint64_t> edge_globals;  ///< local edge -> global
+                                                     ///< index, ascending
   std::vector<FrontierEdge> frontier_in;   ///< ascending edge_index
   std::vector<FrontierEdge> frontier_out;  ///< ascending edge_index
   cpg::Graph graph;  ///< local nodes + intra-shard edges, indices built
@@ -147,9 +163,13 @@ struct ShardData {
 /// size, then the (possibly compressed) body. `decoded_bytes`, when
 /// given, receives the body size before the codec ran -- the number the
 /// manifest records and the store charges its memory budget with.
+/// `version` selects the generation to emit: kShardFormatVersion for
+/// normal writes, 2 for compatibility exports (the writer shim the
+/// v2-compat tests and the size benchmark build old stores with).
 [[nodiscard]] std::vector<std::uint8_t> serialize_shard(
     const ShardData& s, ShardCodec codec = ShardCodec::kRaw,
-    std::uint64_t* decoded_bytes = nullptr);
+    std::uint64_t* decoded_bytes = nullptr,
+    std::uint32_t version = kShardFormatVersion);
 /// Decode + validate one shard file (transparently decompressing a
 /// kLz body). A corrupt compressed payload -- truncated, bad offsets,
 /// checksum mismatch -- comes back as kInvalidArgument, never as an

@@ -155,7 +155,8 @@ Status materialize_shards(const cpg::Graph& graph, const ShardPlan& plan,
           data.shard_count = k;
           data.rank_lo = plan.rank_fences[s];
           data.rank_hi = plan.rank_fences[s + 1];
-          data.global_ids = plan.shard_nodes[s];
+          data.global_ids.assign(plan.shard_nodes[s].begin(),
+                                 plan.shard_nodes[s].end());
           const std::size_t m = data.global_ids.size();
           data.global_ranks.resize(m);
           data.global_levels.resize(m);

@@ -1,0 +1,50 @@
+// A 64-byte-aligned allocator for the hot-loop scratch arrays.
+//
+// The shard store decodes its sidecars (ranks, levels, page buckets)
+// into structure-of-arrays scratch that the query kernels stride
+// linearly; starting each array on its own cache line keeps the
+// SIMD-width blocks naturally aligned and stops two arrays from
+// false-sharing a boundary line.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace inspector::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() starts on a cache-line boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace inspector::util

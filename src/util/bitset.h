@@ -1,0 +1,50 @@
+// A flat word-packed visited set for the BFS slice kernels.
+//
+// vector<bool> costs a shift+mask per probe *and* hides the storage
+// behind proxy references; this bitset keeps the words contiguous and
+// exposes the one fused operation the frontier expansions need --
+// test_and_set -- so marking a node and asking "was it new?" is a
+// single read-modify-write on one cached word.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "util/aligned.h"
+
+namespace inspector::util {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  /// Drop all bits, keeping capacity for `bits`.
+  void assign(std::size_t bits) {
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) noexcept {
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  /// Set bit `i`; true iff it was already set. The BFS visited-check
+  /// and mark in one word access.
+  bool test_and_set(std::size_t i) noexcept {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const bool was = (w & mask) != 0;
+    w |= mask;
+    return was;
+  }
+
+ private:
+  aligned_vector<std::uint64_t> words_;
+};
+
+}  // namespace inspector::util

@@ -1,0 +1,153 @@
+// Exact-equivalence tests for the branch-reduced page-set kernels.
+//
+// page_set_gallop and page_set_first_intersection were rewritten for
+// speed (branchless closing search, SSE-width block merge, range
+// fences); the straightforward scalar forms they replaced live on in
+// detail::*_scalar as bench baselines. These tests hold the fast
+// kernels to bit-exact agreement with the scalar references across
+// randomized and adversarial inputs, so any future tuning of the fast
+// path is caught the moment it changes a result.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/page_set.h"
+
+namespace {
+
+using inspector::PageSet;
+using inspector::page_set_contains;
+using inspector::page_set_first_intersection;
+using inspector::page_set_gallop;
+using inspector::detail::page_set_first_intersection_scalar;
+using inspector::detail::page_set_gallop_scalar;
+
+PageSet random_set(std::mt19937_64& rng, std::size_t max_len,
+                   std::uint64_t max_gap) {
+  std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
+  std::uniform_int_distribution<std::uint64_t> gap_dist(1, max_gap);
+  std::uniform_int_distribution<std::uint64_t> start_dist(0, 1000);
+  PageSet set;
+  std::uint64_t v = start_dist(rng);
+  const std::size_t n = len_dist(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    set.push_back(v);
+    v += gap_dist(rng);
+  }
+  return set;
+}
+
+TEST(PageSetGallop, MatchesScalarReferenceOnRandomizedProbes) {
+  std::mt19937_64 rng(11);
+  for (int iter = 0; iter < 300; ++iter) {
+    const PageSet set = random_set(rng, 64, 9);
+    const std::uint64_t hi = set.empty() ? 32 : set.back() + 3;
+    for (std::uint64_t page = 0; page <= hi; ++page) {
+      for (std::size_t from = 0; from <= set.size(); ++from) {
+        ASSERT_EQ(page_set_gallop(set, from, page),
+                  page_set_gallop_scalar(set, from, page))
+            << "iter " << iter << " page " << page << " from " << from;
+      }
+    }
+  }
+}
+
+TEST(PageSetGallop, AgreesWithLowerBoundFromStart) {
+  std::mt19937_64 rng(12);
+  for (int iter = 0; iter < 200; ++iter) {
+    const PageSet set = random_set(rng, 128, 5);
+    const std::uint64_t hi = set.empty() ? 8 : set.back() + 2;
+    for (std::uint64_t page = 0; page <= hi; ++page) {
+      const auto expect = static_cast<std::size_t>(
+          std::lower_bound(set.begin(), set.end(), page) - set.begin());
+      ASSERT_EQ(page_set_gallop(set, 0, page), expect);
+    }
+  }
+}
+
+TEST(PageSetIntersection, MatchesScalarReferenceOnRandomizedSets) {
+  std::mt19937_64 rng(13);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const PageSet a = random_set(rng, 48, 4);
+    const PageSet b = random_set(rng, 48, 4);
+    // Sometimes ignore a prefix of the true intersection so the
+    // fast path's skip-and-continue behavior is exercised too.
+    PageSet ignored;
+    for (std::uint64_t page : a) {
+      if (ignored.size() < 3 && page_set_contains(b, page)) {
+        ignored.push_back(page);
+      }
+    }
+    ASSERT_EQ(page_set_first_intersection(a, b, ignored),
+              page_set_first_intersection_scalar(a, b, ignored))
+        << "iter " << iter;
+    ASSERT_EQ(page_set_first_intersection(a, b, {}),
+              page_set_first_intersection_scalar(a, b, {}))
+        << "iter " << iter;
+  }
+}
+
+TEST(PageSetIntersection, MatchesScalarReferenceOnSkewedSets) {
+  std::mt19937_64 rng(14);
+  for (int iter = 0; iter < 200; ++iter) {
+    const PageSet big = random_set(rng, 2048, 3);
+    const PageSet small = random_set(rng, 8, 700);
+    ASSERT_EQ(page_set_first_intersection(big, small, {}),
+              page_set_first_intersection_scalar(big, small, {}));
+    ASSERT_EQ(page_set_first_intersection(small, big, {}),
+              page_set_first_intersection_scalar(small, big, {}));
+  }
+}
+
+TEST(PageSetIntersection, DisjointRangesShortCircuitToTheSameAnswer) {
+  const PageSet lo = {1, 2, 3, 9};
+  const PageSet hi = {10, 11, 40};
+  EXPECT_EQ(page_set_first_intersection(lo, hi, {}), std::nullopt);
+  EXPECT_EQ(page_set_first_intersection(hi, lo, {}), std::nullopt);
+  // Touching boundaries must still intersect.
+  const PageSet touch = {9, 100};
+  EXPECT_EQ(page_set_first_intersection(lo, touch, {}),
+            std::optional<std::uint64_t>(9));
+  EXPECT_EQ(page_set_first_intersection(touch, lo, {}),
+            std::optional<std::uint64_t>(9));
+}
+
+TEST(PageSetIntersection, EmptyAndSingletonEdges) {
+  const PageSet empty;
+  const PageSet one = {7};
+  EXPECT_EQ(page_set_first_intersection(empty, one, {}), std::nullopt);
+  EXPECT_EQ(page_set_first_intersection(one, empty, {}), std::nullopt);
+  EXPECT_EQ(page_set_first_intersection(empty, empty, {}), std::nullopt);
+  EXPECT_EQ(page_set_first_intersection(one, one, {}),
+            std::optional<std::uint64_t>(7));
+  EXPECT_EQ(page_set_first_intersection(one, one, one), std::nullopt);
+}
+
+TEST(PageSetIntersection, IgnoredMatchInsideSseBlockStillSkipsForward) {
+  // The block scan breaks to the scalar merge on any equality hit;
+  // when that hit is ignored, the merge must keep going and find the
+  // next common element, exactly like the reference.
+  const PageSet a = {10, 20, 30, 40, 50, 60};
+  const PageSet b = {10, 21, 30, 41, 50, 61};
+  const PageSet ignored = {10, 30};
+  EXPECT_EQ(page_set_first_intersection(a, b, ignored),
+            std::optional<std::uint64_t>(50));
+  EXPECT_EQ(page_set_first_intersection(a, b, ignored),
+            page_set_first_intersection_scalar(a, b, ignored));
+}
+
+TEST(PageSetIntersection, OddLengthTailsAreCoveredByTheScalarMerge) {
+  // Lengths chosen so the SSE block loop leaves one-element tails.
+  const PageSet a = {1, 4, 8, 12, 99};
+  const PageSet b = {2, 5, 9, 13, 99};
+  EXPECT_EQ(page_set_first_intersection(a, b, {}),
+            std::optional<std::uint64_t>(99));
+}
+
+}  // namespace

@@ -43,7 +43,10 @@ GOLDEN="$DATA_DIR/query_smoke_golden.jsonl"
 # scale, and seed always produce the same CPG, so the golden replies
 # are stable across machines. The same run also exports the sharded
 # stores: plain 3- and 7-shard, an LZ-compressed 3-shard, and an
-# appendable store seeded from the capture's 60% rank-prefix.
+# appendable store seeded from the capture's 60% rank-prefix. All
+# stores are written in the current shard format (v3, varint-packed
+# sidecars); the golden file predates v3, so matching it also proves
+# the format change left every reply byte untouched.
 "$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
     --dump-cpg "$TMP_DIR/smoke.cpg" \
     --shard-out "$TMP_DIR/smoke.store3" --shards 3 > /dev/null
