@@ -94,6 +94,23 @@ Result<Graph> deserialize_checked(std::span<const std::uint8_t> bytes) {
       SubComputation n;
       n.id = r.u32();
       n.thread = r.u32();
+      // Node ids are dense in index order -- Graph indexes nodes_ by
+      // id, so a corrupt id must die here, not as an out-of-bounds
+      // read in the index build. Thread ids are only plausibility-
+      // bounded (a shard-local graph keeps global thread ids over a
+      // node subset, so no tight structural bound exists); the cap
+      // stops a flipped high bit from sizing a gigabyte-scale
+      // per-thread table before any deeper check can object.
+      if (n.id != i) {
+        throw detail::SerializeError("node id " + std::to_string(n.id) +
+                                     " out of order at index " +
+                                     std::to_string(i));
+      }
+      constexpr std::uint32_t kImplausibleThreads = 1u << 20;
+      if (n.thread >= kImplausibleThreads) {
+        throw detail::SerializeError("implausible node thread " +
+                                     std::to_string(n.thread));
+      }
       std::uint64_t thunk_count = 0;
       if (varint) {
         n.alpha = r.uvarint();

@@ -126,7 +126,14 @@ Status QueryEngine::close_session(SessionId session) {
   return Status::Ok();
 }
 
-Result<QueryResult> GraphQueryBackend::execute(const Query& q) const {
+Result<Execution> GraphQueryBackend::execute(const Query& q) const {
+  auto result = run_query(q);
+  if (!result.ok()) return result.status();
+  // The in-memory graph is whole by construction: never degraded.
+  return Execution{std::move(result).value(), false};
+}
+
+Result<QueryResult> GraphQueryBackend::run_query(const Query& q) const {
   const cpg::Graph& g = *graph_;
   const std::size_t node_count = g.nodes().size();
   const auto valid_node = [&](cpg::NodeId id) { return id < node_count; };
@@ -221,24 +228,32 @@ Result<QueryResult> GraphQueryBackend::execute(const Query& q) const {
       q);
 }
 
-Result<std::shared_ptr<const QueryResult>> QueryEngine::execute_full(
+Result<QueryEngine::FullOutcome> QueryEngine::execute_full(
     const Query& q, const QueryOptions& options) {
-  using FullResult = Result<std::shared_ptr<const QueryResult>>;
+  using FullResult = Result<FullOutcome>;
   const bool cacheable = options_.cache_entries > 0 && !options.skip_cache;
   std::string key;
   try {
     const Query canonical = canonicalized(q);
     if (cacheable) {
       key = wire::cache_key(canonical);
-      if (auto hit = cache_get(key)) return FullResult(std::move(hit));
+      if (auto hit = cache_get(key)) {
+        return FullResult(FullOutcome{std::move(hit), false});
+      }
     }
-    Result<QueryResult> computed = backend_->execute(canonical);
+    Result<Execution> computed = backend_->execute(canonical);
     if (!computed.ok()) return FullResult(computed.status());
+    const bool degraded = computed->degraded;
     // Built non-const so a sole owner may later move the payload out
     // (paginate()'s unpaginated fast path); shared as pointer-to-const.
-    auto value = std::make_shared<QueryResult>(std::move(computed).value());
-    if (cacheable) cache_put(key, value);
-    return FullResult(std::shared_ptr<const QueryResult>(std::move(value)));
+    auto value = std::make_shared<QueryResult>(
+        std::move(computed.value().result));
+    // A degraded answer is a view of a damaged store, not the answer:
+    // caching it would keep serving the partial result even after the
+    // store heals (or after healthy queries stop opting in).
+    if (cacheable && !degraded) cache_put(key, value);
+    return FullResult(FullOutcome{
+        std::shared_ptr<const QueryResult>(std::move(value)), degraded});
   } catch (const std::exception& e) {
     return FullResult(StatusCode::kInternal,
                       std::string("unexpected exception: ") + e.what());
@@ -247,14 +262,16 @@ Result<std::shared_ptr<const QueryResult>> QueryEngine::execute_full(
   }
 }
 
-Result<Reply> QueryEngine::paginate(
-    SessionId session, Result<std::shared_ptr<const QueryResult>> full,
-    const QueryOptions& options) {
+Result<Reply> QueryEngine::paginate(SessionId session,
+                                    Result<FullOutcome> full,
+                                    const QueryOptions& options) {
   if (!full.ok()) return full.status();
-  std::shared_ptr<const QueryResult> value = std::move(full).value();
+  const bool degraded = full->degraded;
+  std::shared_ptr<const QueryResult> value = std::move(full).value().result;
   const std::uint64_t total = result_item_count(*value);
   Reply reply;
   reply.total_items = total;
+  reply.degraded = degraded;
   if (options.page_size == 0 || total <= options.page_size) {
     if (value.use_count() == 1) {
       // Sole owner (cache bypassed or disabled): steal the payload
@@ -273,6 +290,7 @@ Result<Reply> QueryEngine::paginate(
   cursor.offset = options.page_size;
   cursor.page_size = options.page_size;
   cursor.total = total;
+  cursor.degraded = degraded;
   // Only the cursor registration needs the lock.
   std::lock_guard lock(mu_);
   const auto it = sessions_.find(session);
@@ -330,7 +348,7 @@ std::vector<Result<Reply>> QueryEngine::run_batch(
   // order-independent; analyses underneath are themselves
   // deterministic at every worker count (and nested parallel_for calls
   // degrade to inline execution inside a chunk).
-  using FullResult = Result<std::shared_ptr<const QueryResult>>;
+  using FullResult = Result<FullOutcome>;
   std::vector<std::optional<FullResult>> fulls(items.size());
   const auto pool = util::shared_pool();
   pool->parallel_for(0, items.size(), 1,
@@ -398,6 +416,7 @@ Result<Reply> QueryEngine::next(SessionId session, std::uint64_t cursor) {
     reply.total_items = c.total;
     reply.has_more = c.offset < c.total;
     reply.cursor = reply.has_more ? cursor : 0;
+    reply.degraded = c.degraded;
     if (!reply.has_more) {
       // Keep a tombstone (so reuse answers kExhausted, not kNotFound)
       // but release the full result; the issue-order cap in

@@ -37,6 +37,15 @@ struct EngineOptions {
   std::size_t cache_entries = 128;
 };
 
+/// A backend's full, unpaginated answer. `degraded` is set only by
+/// backends that (on explicit opt-in) skipped quarantined shards: the
+/// result is then a partial view, and the engine neither caches it nor
+/// lets it masquerade as a complete reply on the wire.
+struct Execution {
+  QueryResult result;
+  bool degraded = false;
+};
+
 /// Where the answers come from. The engine owns everything
 /// backend-independent -- canonicalization, the result cache, sessions,
 /// cursors, pagination, batched fan-out -- and delegates the actual
@@ -53,7 +62,7 @@ class QueryBackend {
   /// sorted/deduplicated) to its full, unpaginated result. Must be
   /// safe to call concurrently. May throw on infrastructure failures
   /// (e.g. shard file IO); the engine converts escapes to kInternal.
-  [[nodiscard]] virtual Result<QueryResult> execute(const Query& q) const = 0;
+  [[nodiscard]] virtual Result<Execution> execute(const Query& q) const = 0;
 };
 
 /// The classic backend: every query answered from one immutable
@@ -62,7 +71,7 @@ class GraphQueryBackend final : public QueryBackend {
  public:
   explicit GraphQueryBackend(std::shared_ptr<const cpg::Graph> graph);
 
-  [[nodiscard]] Result<QueryResult> execute(const Query& q) const override;
+  [[nodiscard]] Result<Execution> execute(const Query& q) const override;
 
   [[nodiscard]] const cpg::Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] std::shared_ptr<const cpg::Graph> snapshot() const noexcept {
@@ -70,6 +79,8 @@ class GraphQueryBackend final : public QueryBackend {
   }
 
  private:
+  [[nodiscard]] Result<QueryResult> run_query(const Query& q) const;
+
   std::shared_ptr<const cpg::Graph> graph_;
   bool cyclic_ = false;  ///< detected once at construction
 };
@@ -163,6 +174,7 @@ class QueryEngine {
     std::uint64_t offset = 0;
     std::uint64_t page_size = 0;
     std::uint64_t total = 0;
+    bool degraded = false;  ///< every page inherits the marker
   };
   struct Session {
     std::uint64_t next_cursor_id = 1;
@@ -178,16 +190,23 @@ class QueryEngine {
   };
   static constexpr std::size_t kMaxSessionCursors = 1024;
 
+  /// A full result plus its degraded marker (shared_ptr so cursors and
+  /// the cache alias one payload; degraded results are never cached).
+  struct FullOutcome {
+    std::shared_ptr<const QueryResult> result;
+    bool degraded = false;
+  };
+
   /// Validate + execute one query to its full (unpaginated) result.
-  [[nodiscard]] Result<std::shared_ptr<const QueryResult>> execute_full(
-      const Query& q, const QueryOptions& options);
+  [[nodiscard]] Result<FullOutcome> execute_full(const Query& q,
+                                                 const QueryOptions& options);
 
   /// Cut the first page (payload copies happen outside the engine
   /// lock; only cursor registration locks). Called serially in request
   /// order, so cursor ids are deterministic.
-  [[nodiscard]] Result<Reply> paginate(
-      SessionId session, Result<std::shared_ptr<const QueryResult>> full,
-      const QueryOptions& options);
+  [[nodiscard]] Result<Reply> paginate(SessionId session,
+                                       Result<FullOutcome> full,
+                                       const QueryOptions& options);
 
   [[nodiscard]] bool session_exists(SessionId session) const;
 

@@ -211,6 +211,11 @@ struct Reply {
   std::uint64_t total_items = 0;  ///< item count of the full answer
   std::uint64_t cursor = 0;       ///< 0 = complete
   bool has_more = false;
+  /// The backend skipped quarantined shards (opt-in degraded mode):
+  /// the answer is a partial view of a damaged store, not the exact
+  /// answer a healthy store would give. Serialized on the wire as
+  /// "degraded":true; never set on replies from a healthy store.
+  bool degraded = false;
 };
 
 /// Total item count of a full result (the paginated unit).

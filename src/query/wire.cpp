@@ -706,7 +706,11 @@ std::string serialize_reply(std::uint64_t id, const Result<Reply>& reply) {
     return out;
   }
   const Reply& r = reply.value();
-  out += "ok\",\"total_items\":" + std::to_string(r.total_items) +
+  out += "ok\",";
+  // Only damaged-store partial answers carry the marker, so replies
+  // from a healthy store stay byte-identical to before it existed.
+  if (r.degraded) out += "\"degraded\":true,";
+  out += "\"total_items\":" + std::to_string(r.total_items) +
          ",\"has_more\":";
   out += r.has_more ? "true" : "false";
   if (r.cursor != 0) out += ",\"cursor\":" + std::to_string(r.cursor);

@@ -1,8 +1,8 @@
 #include "shard/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
-#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,6 +13,7 @@
 #include "util/bitset.h"
 #include "util/page_set.h"
 #include "util/parallel.h"
+#include "util/status.h"
 
 namespace inspector::shard {
 
@@ -34,20 +35,37 @@ using query::QueryResult;
 /// evicted-but-pinned shards in Stats::peak_resident_bytes, so a pass
 /// that outgrows its scope shows up in the numbers instead of hiding.
 /// Load failures (including a corrupt compressed payload, surfaced by
-/// the store as a typed Status) throw here; the query engine converts
-/// escapes to kInternal at its boundary.
+/// the store as a typed Status) throw StatusError here; the backend's
+/// execute() boundary converts the escape back into its typed Status.
+///
+/// Degraded mode: every execution shares one Degraded record. When
+/// `allow` is set (the serving process opted in), shard_or_null() and
+/// try_node() swallow a quarantined shard -- they flag `hit` and
+/// return nothing, and the caller skips that slice of the answer.
+/// Strict accessors (shard(), node()) always throw: query anchors have
+/// no partial answer to fall back on.
+struct Degraded {
+  bool allow = false;
+  std::atomic<bool> hit{false};  ///< a quarantined shard was skipped
+};
+
 class Pins {
  public:
-  explicit Pins(ShardStore& store)
-      : store_(store), held_(store.manifest().shard_count) {}
+  Pins(ShardStore& store, Degraded& degraded)
+      : store_(store),
+        degraded_(degraded),
+        held_(store.manifest().shard_count) {}
 
   const LoadedShard& shard(std::uint32_t index) {
-    if (!held_[index]) {
-      auto loaded = store_.load(index);
-      if (!loaded.ok()) throw std::runtime_error(loaded.status().message());
-      held_[index] = std::move(loaded).value();
-    }
-    return *held_[index];
+    const LoadedShard* ls = load(index, /*lenient=*/false);
+    return *ls;  // load() threw if it could not deliver
+  }
+
+  /// The shard, or nullptr if it is quarantined and the execution
+  /// allows degraded answers (Degraded::hit is flagged). Any other
+  /// failure still throws.
+  const LoadedShard* shard_or_null(std::uint32_t index) {
+    return load(index, /*lenient=*/true);
   }
 
   struct NodeView {
@@ -60,22 +78,54 @@ class Pins {
 
   NodeView node(cpg::NodeId global) {
     const std::uint32_t shard_index = store_.shard_of(global);
-    const LoadedShard& ls = shard(shard_index);
+    return view(shard(shard_index), shard_index, global);
+  }
+
+  /// The node, or nullopt if its shard is quarantined and the
+  /// execution allows degraded answers. A resident shard that lacks
+  /// the node is store inconsistency and always throws.
+  std::optional<NodeView> try_node(cpg::NodeId global) {
+    const std::uint32_t shard_index = store_.shard_of(global);
+    const LoadedShard* ls = shard_or_null(shard_index);
+    if (ls == nullptr) return std::nullopt;
+    return view(*ls, shard_index, global);
+  }
+
+ private:
+  const LoadedShard* load(std::uint32_t index, bool lenient) {
+    if (!held_[index]) {
+      auto loaded = store_.load(index);
+      if (!loaded.ok()) {
+        if (lenient && degraded_.allow &&
+            loaded.status().code() == StatusCode::kUnavailable) {
+          degraded_.hit.store(true, std::memory_order_relaxed);
+          return nullptr;
+        }
+        throw StatusError(loaded.status());
+      }
+      held_[index] = std::move(loaded).value();
+    }
+    return held_[index].get();
+  }
+
+  NodeView view(const LoadedShard& ls, std::uint32_t shard_index,
+                cpg::NodeId global) {
     const auto local = ls.local_of(global);
     if (!local) {
       // The manifest routed here but the file disagrees: mixed or
       // corrupt store files. A typed failure, never UB.
-      throw std::runtime_error(
+      throw StatusError(Status(
+          StatusCode::kDataLoss,
           "sharded store is inconsistent: the manifest places node " +
-          std::to_string(global) + " in shard " +
-          std::to_string(shard_index) + " but the shard file lacks it");
+              std::to_string(global) + " in shard " +
+              std::to_string(shard_index) + " but the shard file lacks it"));
     }
     return {&ls.data.graph.nodes()[*local], &ls, *local,
             ls.data.global_ranks[*local], ls.data.global_levels[*local]};
   }
 
- private:
   ShardStore& store_;
+  Degraded& degraded_;
   std::vector<std::shared_ptr<const LoadedShard>> held_;
 };
 
@@ -118,7 +168,9 @@ Bucket merged_bucket(Pins& pins, const Manifest& m, std::uint64_t page,
         page > info.max_page) {
       continue;  // fence-pruned without touching the file
     }
-    const LoadedShard& ls = pins.shard(s);
+    const LoadedShard* lsp = pins.shard_or_null(s);
+    if (lsp == nullptr) continue;  // quarantined, degraded answer
+    const LoadedShard& ls = *lsp;
     const auto span = writers ? ls.data.graph.page_writers(page)
                               : ls.data.graph.page_readers(page);
     for (const cpg::NodeId local : span) {
@@ -211,8 +263,8 @@ std::vector<cpg::Edge> data_dependencies(Pins& pins, const Manifest& m,
 // node's shard plus its neighbors' shards, not the whole reachable
 // set.
 
-std::vector<cpg::NodeId> backward_slice(ShardStore& store, const Manifest& m,
-                                        cpg::NodeId start) {
+std::vector<cpg::NodeId> backward_slice(ShardStore& store, Degraded& deg,
+                                        const Manifest& m, cpg::NodeId start) {
   util::Bitset visited(m.total_nodes);
   std::vector<cpg::NodeId> frontier{start};
   std::vector<cpg::NodeId> next;
@@ -225,8 +277,12 @@ std::vector<cpg::NodeId> backward_slice(ShardStore& store, const Manifest& m,
     next.clear();
     for (const cpg::NodeId cur : frontier) {
       slice.push_back(cur);
-      Pins pins(store);
-      const auto v = pins.node(cur);
+      Pins pins(store, deg);
+      const auto maybe = pins.try_node(cur);
+      // A reached node on a quarantined shard stays in the slice (its
+      // id is known from the edge), but cannot be expanded further.
+      if (!maybe) continue;
+      const auto v = *maybe;
       const LoadedShard& ls = *v.shard;
       // Recorded predecessors: intra-shard edges plus the stored
       // cross-shard in-frontier.
@@ -247,8 +303,8 @@ std::vector<cpg::NodeId> backward_slice(ShardStore& store, const Manifest& m,
   return slice;
 }
 
-std::vector<cpg::NodeId> forward_slice(ShardStore& store, const Manifest& m,
-                                       cpg::NodeId start) {
+std::vector<cpg::NodeId> forward_slice(ShardStore& store, Degraded& deg,
+                                       const Manifest& m, cpg::NodeId start) {
   util::Bitset visited(m.total_nodes);
   std::vector<cpg::NodeId> frontier{start};
   std::vector<cpg::NodeId> next;
@@ -261,8 +317,12 @@ std::vector<cpg::NodeId> forward_slice(ShardStore& store, const Manifest& m,
     next.clear();
     for (const cpg::NodeId cur : frontier) {
       slice.push_back(cur);
-      Pins pins(store);
-      const auto v = pins.node(cur);
+      Pins pins(store, deg);
+      const auto maybe = pins.try_node(cur);
+      // A reached node on a quarantined shard stays in the slice (its
+      // id is known from the edge), but cannot be expanded further.
+      if (!maybe) continue;
+      const auto v = *maybe;
       const LoadedShard& ls = *v.shard;
       for (const std::uint32_t e : ls.data.graph.out_edges(v.local)) {
         visit(ls.data.global_ids[ls.data.graph.edges()[e].to]);
@@ -363,7 +423,7 @@ void scan_page(std::uint64_t page, const Bucket& writers,
   }
 }
 
-std::vector<analysis::RaceReport> find_races(ShardStore& store,
+std::vector<analysis::RaceReport> find_races(ShardStore& store, Degraded& deg,
                                              const PageSet& ignored_pages,
                                              std::size_t limit) {
   const Manifest& m = store.manifest();
@@ -383,14 +443,14 @@ std::vector<analysis::RaceReport> find_races(ShardStore& store,
         break;
       }
       if (page_set_contains(ignored, page)) continue;
-      Pins pins(store);
+      Pins pins(store, deg);
       const Bucket writers = merged_bucket(pins, m, page, /*writers=*/true);
       const Bucket readers = merged_bucket(pins, m, page, /*writers=*/false);
       scan_page(page, writers, readers, pairs);
     }
     // The truncated re-derivation touches only the racy pairs' nodes
     // (at most `limit` of them), so one pin set is bounded here.
-    Pins pins(store);
+    Pins pins(store, deg);
     const auto node_of =
         [&pins](cpg::NodeId id) -> const cpg::SubComputation& {
       return *pins.node(id).node;
@@ -412,7 +472,7 @@ std::vector<analysis::RaceReport> find_races(ShardStore& store,
           if (page_set_contains(ignored, page)) continue;
           // Per-page pins (one page's owning shards resident per
           // worker); cross-page shard reuse is the cache's job.
-          Pins pins(store);
+          Pins pins(store, deg);
           const Bucket writers =
               merged_bucket(pins, m, page, /*writers=*/true);
           const Bucket readers =
@@ -426,7 +486,7 @@ std::vector<analysis::RaceReport> find_races(ShardStore& store,
   }
   // Full scans never take the truncated path, so node_of is never
   // consulted; a throwaway pin set satisfies the signature.
-  Pins pins(store);
+  Pins pins(store, deg);
   const auto node_of = [&pins](cpg::NodeId id) -> const cpg::SubComputation& {
     return *pins.node(id).node;
   };
@@ -448,7 +508,7 @@ struct Flow {
   std::vector<char> node_marked;   ///< dense over global node ids
 };
 
-Flow propagate(ShardStore& store, const PageSet& seed_pages,
+Flow propagate(ShardStore& store, Degraded& deg, const PageSet& seed_pages,
                bool thread_carryover) {
   const Manifest& m = store.manifest();
   Flow result;
@@ -495,7 +555,7 @@ Flow propagate(ShardStore& store, const PageSet& seed_pages,
     // Pins scope per level: a level's nodes pin only the shards whose
     // level fences cover it, so residency stays bounded by the level's
     // span, not the store.
-    Pins pins(store);
+    Pins pins(store, deg);
     pending.clear();
     for (std::uint32_t s = 0; s < m.shard_count; ++s) {
       const ShardInfo& info = m.shards[s];
@@ -503,7 +563,9 @@ Flow propagate(ShardStore& store, const PageSet& seed_pages,
           lvl > info.max_level) {
         continue;
       }
-      const LoadedShard& ls = pins.shard(s);
+      const LoadedShard* lsp = pins.shard_or_null(s);
+      if (lsp == nullptr) continue;  // quarantined, degraded answer
+      const LoadedShard& ls = *lsp;
       for (const std::uint32_t local : ls.level_locals(lvl)) {
         pending.push_back(
             {ls.data.global_ids[local], &ls.data.graph.nodes()[local]});
@@ -577,13 +639,16 @@ Flow propagate(ShardStore& store, const PageSet& seed_pages,
 /// Nodes ending in `sink_kind` that carry a mark, ascending global id
 /// (the unsharded pass iterates nodes in id order). One shard resident
 /// at a time.
-std::vector<cpg::NodeId> marked_sinks(ShardStore& store, const Flow& flow,
+std::vector<cpg::NodeId> marked_sinks(ShardStore& store, Degraded& deg,
+                                      const Flow& flow,
                                       sync::SyncEventKind sink_kind) {
   const Manifest& m = store.manifest();
   std::vector<cpg::NodeId> sinks;
   for (std::uint32_t s = 0; s < m.shard_count; ++s) {
-    Pins pins(store);
-    const LoadedShard& ls = pins.shard(s);
+    Pins pins(store, deg);
+    const LoadedShard* lsp = pins.shard_or_null(s);
+    if (lsp == nullptr) continue;  // quarantined, degraded answer
+    const LoadedShard& ls = *lsp;
     for (const cpg::SubComputation& node : ls.data.graph.nodes()) {
       const cpg::NodeId global = ls.data.global_ids[node.id];
       if (node.end.kind == sink_kind && flow.node_marked[global] != 0) {
@@ -597,7 +662,7 @@ std::vector<cpg::NodeId> marked_sinks(ShardStore& store, const Flow& flow,
 
 // --- critical path ----------------------------------------------------
 
-query::CriticalPathResult critical_path(ShardStore& store) {
+query::CriticalPathResult critical_path(ShardStore& store, Degraded& deg) {
   const Manifest& m = store.manifest();
   query::CriticalPathResult out;
   out.total_nodes = m.total_nodes;
@@ -611,8 +676,10 @@ query::CriticalPathResult critical_path(ShardStore& store) {
   std::vector<std::uint64_t> depth(m.total_nodes, 1);
   std::vector<cpg::NodeId> pred(m.total_nodes, cpg::kInvalidNode);
   for (std::uint32_t s = 0; s < m.shard_count; ++s) {
-    Pins pins(store);
-    const LoadedShard& ls = pins.shard(s);
+    Pins pins(store, deg);
+    const LoadedShard* lsp = pins.shard_or_null(s);
+    if (lsp == nullptr) continue;  // quarantined, degraded answer
+    const LoadedShard& ls = *lsp;
     const cpg::Graph& g = ls.data.graph;
     for (const cpg::NodeId local : g.topological_view()) {
       const cpg::NodeId gv = ls.data.global_ids[local];
@@ -653,100 +720,131 @@ query::CriticalPathResult critical_path(ShardStore& store) {
 
 }  // namespace
 
-ShardBackend::ShardBackend(std::shared_ptr<ShardStore> store)
-    : store_(std::move(store)) {}
+ShardBackend::ShardBackend(std::shared_ptr<ShardStore> store,
+                           bool allow_degraded)
+    : store_(std::move(store)), allow_degraded_(allow_degraded) {}
 
-Result<QueryResult> ShardBackend::execute(const Query& q) const {
+Result<query::Execution> ShardBackend::execute(const Query& q) const {
   ShardStore& store = *store_;
   const Manifest& m = store.manifest();
   const std::size_t node_count = m.total_nodes;
   const auto valid_node = [&](cpg::NodeId id) { return id < node_count; };
 
-  return std::visit(
-      Overloaded{
-          [&](const query::BackwardSliceQuery& s) -> Result<QueryResult> {
-            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
-            return QueryResult(
-                query::NodeListResult{backward_slice(store, m, s.node)});
-          },
-          [&](const query::ForwardSliceQuery& s) -> Result<QueryResult> {
-            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
-            return QueryResult(
-                query::NodeListResult{forward_slice(store, m, s.node)});
-          },
-          [&](const query::LatestWritersQuery& s) -> Result<QueryResult> {
-            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
-            Pins pins(store);
-            return QueryResult(
-                query::EdgeListResult{latest_writers(pins, m, s.node)});
-          },
-          [&](const query::DataDependenciesQuery& s) -> Result<QueryResult> {
-            if (!valid_node(s.node)) return node_range_error(s.node, node_count);
-            Pins pins(store);
-            return QueryResult(
-                query::EdgeListResult{data_dependencies(pins, m, s.node)});
-          },
-          [&](const query::PageAccessorsQuery& s) -> Result<QueryResult> {
-            if (!page_in_universe(m, s.page)) {
-              return untouched_page_error(s.page);
-            }
-            Pins pins(store);
-            query::PageAccessorsResult out;
-            out.page = s.page;
-            out.writers = merged_bucket(pins, m, s.page, /*writers=*/true).nodes;
-            out.readers =
-                merged_bucket(pins, m, s.page, /*writers=*/false).nodes;
-            return QueryResult(std::move(out));
-          },
-          [&](const query::HappensBeforeQuery& s) -> Result<QueryResult> {
-            if (!valid_node(s.first)) {
-              return node_range_error(s.first, node_count);
-            }
-            if (!valid_node(s.second)) {
-              return node_range_error(s.second, node_count);
-            }
-            Pins pins(store);
-            query::HappensBeforeResult out;
-            if (s.first == s.second) {
-              out.ordering = query::Ordering::kEqual;
-            } else if (happens_before(pins, s.first, s.second)) {
-              out.ordering = query::Ordering::kBefore;
-            } else if (happens_before(pins, s.second, s.first)) {
-              out.ordering = query::Ordering::kAfter;
-            } else {
-              out.ordering = query::Ordering::kConcurrent;
-            }
-            return QueryResult(out);
-          },
-          [&](const query::RacesQuery& s) -> Result<QueryResult> {
-            return QueryResult(query::RaceListResult{find_races(
-                store, s.ignored_pages, static_cast<std::size_t>(s.limit))});
-          },
-          [&](const query::TaintQuery& s) -> Result<QueryResult> {
-            const Flow flow =
-                propagate(store, s.seed_pages, s.track_register_carryover);
-            query::FlowResult out;
-            out.sinks = marked_sinks(store, flow, s.sink_kind);
-            out.nodes = flow.nodes;
-            out.pages = flow.pages;
-            return QueryResult(std::move(out));
-          },
-          [&](const query::InvalidateQuery& s) -> Result<QueryResult> {
-            Flow flow =
-                propagate(store, s.changed_pages, /*thread_carryover=*/true);
-            query::FlowResult out;
-            out.nodes = std::move(flow.nodes);
-            out.pages = std::move(flow.pages);
-            return QueryResult(std::move(out));
-          },
-          [&](const query::CriticalPathQuery&) -> Result<QueryResult> {
-            return QueryResult(critical_path(store));
-          },
-          [&](const query::StatsQuery&) -> Result<QueryResult> {
-            return QueryResult(query::StatsResult{m.stats});
-          },
-      },
-      q);
+  Degraded deg{allow_degraded_};
+  // The anchor of a node-rooted query must resolve even in degraded
+  // mode: without it there is no partial answer, only a wrong one.
+  const auto check_anchor = [&](cpg::NodeId id) {
+    Pins pins(store, deg);
+    (void)pins.node(id);  // throws StatusError if its shard is unusable
+  };
+
+  try {
+    Result<QueryResult> r = std::visit(
+        Overloaded{
+            [&](const query::BackwardSliceQuery& s) -> Result<QueryResult> {
+              if (!valid_node(s.node)) {
+                return node_range_error(s.node, node_count);
+              }
+              check_anchor(s.node);
+              return QueryResult(
+                  query::NodeListResult{backward_slice(store, deg, m, s.node)});
+            },
+            [&](const query::ForwardSliceQuery& s) -> Result<QueryResult> {
+              if (!valid_node(s.node)) {
+                return node_range_error(s.node, node_count);
+              }
+              check_anchor(s.node);
+              return QueryResult(
+                  query::NodeListResult{forward_slice(store, deg, m, s.node)});
+            },
+            [&](const query::LatestWritersQuery& s) -> Result<QueryResult> {
+              if (!valid_node(s.node)) {
+                return node_range_error(s.node, node_count);
+              }
+              Pins pins(store, deg);
+              return QueryResult(
+                  query::EdgeListResult{latest_writers(pins, m, s.node)});
+            },
+            [&](const query::DataDependenciesQuery& s) -> Result<QueryResult> {
+              if (!valid_node(s.node)) {
+                return node_range_error(s.node, node_count);
+              }
+              Pins pins(store, deg);
+              return QueryResult(
+                  query::EdgeListResult{data_dependencies(pins, m, s.node)});
+            },
+            [&](const query::PageAccessorsQuery& s) -> Result<QueryResult> {
+              if (!page_in_universe(m, s.page)) {
+                return untouched_page_error(s.page);
+              }
+              Pins pins(store, deg);
+              query::PageAccessorsResult out;
+              out.page = s.page;
+              out.writers =
+                  merged_bucket(pins, m, s.page, /*writers=*/true).nodes;
+              out.readers =
+                  merged_bucket(pins, m, s.page, /*writers=*/false).nodes;
+              return QueryResult(std::move(out));
+            },
+            [&](const query::HappensBeforeQuery& s) -> Result<QueryResult> {
+              if (!valid_node(s.first)) {
+                return node_range_error(s.first, node_count);
+              }
+              if (!valid_node(s.second)) {
+                return node_range_error(s.second, node_count);
+              }
+              Pins pins(store, deg);
+              query::HappensBeforeResult out;
+              if (s.first == s.second) {
+                out.ordering = query::Ordering::kEqual;
+              } else if (happens_before(pins, s.first, s.second)) {
+                out.ordering = query::Ordering::kBefore;
+              } else if (happens_before(pins, s.second, s.first)) {
+                out.ordering = query::Ordering::kAfter;
+              } else {
+                out.ordering = query::Ordering::kConcurrent;
+              }
+              return QueryResult(out);
+            },
+            [&](const query::RacesQuery& s) -> Result<QueryResult> {
+              return QueryResult(query::RaceListResult{
+                  find_races(store, deg, s.ignored_pages,
+                             static_cast<std::size_t>(s.limit))});
+            },
+            [&](const query::TaintQuery& s) -> Result<QueryResult> {
+              const Flow flow = propagate(store, deg, s.seed_pages,
+                                          s.track_register_carryover);
+              query::FlowResult out;
+              out.sinks = marked_sinks(store, deg, flow, s.sink_kind);
+              out.nodes = flow.nodes;
+              out.pages = flow.pages;
+              return QueryResult(std::move(out));
+            },
+            [&](const query::InvalidateQuery& s) -> Result<QueryResult> {
+              Flow flow = propagate(store, deg, s.changed_pages,
+                                    /*thread_carryover=*/true);
+              query::FlowResult out;
+              out.nodes = std::move(flow.nodes);
+              out.pages = std::move(flow.pages);
+              return QueryResult(std::move(out));
+            },
+            [&](const query::CriticalPathQuery&) -> Result<QueryResult> {
+              return QueryResult(critical_path(store, deg));
+            },
+            [&](const query::StatsQuery&) -> Result<QueryResult> {
+              return QueryResult(query::StatsResult{m.stats});
+            },
+        },
+        q);
+    if (!r.ok()) return r.status();
+    return query::Execution{std::move(r).value(),
+                            deg.hit.load(std::memory_order_relaxed)};
+  } catch (const StatusError& e) {
+    // A quarantined shard (or store inconsistency) surfaced mid-query:
+    // hand the typed Status back -- kUnavailable names the shard and
+    // file so the operator knows what to fsck.
+    return e.status();
+  }
 }
 
 }  // namespace inspector::shard

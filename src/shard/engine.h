@@ -35,23 +35,33 @@ namespace inspector::shard {
 
 class ShardBackend final : public query::QueryBackend {
  public:
-  explicit ShardBackend(std::shared_ptr<ShardStore> store);
+  /// With allow_degraded, queries that touch a quarantined shard skip
+  /// it and return partial results carrying Execution::degraded (the
+  /// wire marks them "degraded":true) instead of failing kUnavailable.
+  /// Queries whose anchor node lives on the quarantined shard still
+  /// fail -- there is no partial answer to give. Replies that never
+  /// touch a quarantined shard are byte-identical either way.
+  explicit ShardBackend(std::shared_ptr<ShardStore> store,
+                        bool allow_degraded = false);
 
-  [[nodiscard]] Result<query::QueryResult> execute(
+  [[nodiscard]] Result<query::Execution> execute(
       const query::Query& q) const override;
 
   [[nodiscard]] const ShardStore& store() const noexcept { return *store_; }
 
  private:
   std::shared_ptr<ShardStore> store_;
+  bool allow_degraded_ = false;
 };
 
 class ShardedQueryEngine : public query::QueryEngine {
  public:
   explicit ShardedQueryEngine(std::shared_ptr<ShardStore> store,
-                              query::EngineOptions options = {})
+                              query::EngineOptions options = {},
+                              bool allow_degraded = false)
       : query::QueryEngine(
-            std::make_shared<const ShardBackend>(store), options),
+            std::make_shared<const ShardBackend>(store, allow_degraded),
+            options),
         store_(std::move(store)) {}
 
   [[nodiscard]] const ShardStore& store() const noexcept { return *store_; }

@@ -13,6 +13,7 @@
 #include "cpg/binary_io.h"
 #include "cpg/serialize.h"
 #include "snapshot/compress.h"
+#include "util/failpoint.h"
 
 namespace inspector::shard {
 
@@ -144,10 +145,16 @@ void narrow_into(const std::vector<std::uint64_t>& v, Vec& out,
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
+std::vector<std::uint8_t> serialize_manifest(const Manifest& m,
+                                             std::uint32_t version) {
+  if (version < kManifestMinReadVersion || version > kManifestFormatVersion) {
+    throw cpg::detail::SerializeError(
+        "shard manifest: cannot write format version " +
+        std::to_string(version));
+  }
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  cpg::detail::write_header(w, kManifestMagic, kManifestFormatVersion);
+  cpg::detail::write_header(w, kManifestMagic, version);
   w.u32(m.shard_count);
   w.u64(m.generation);
   w.u64(m.total_nodes);
@@ -172,6 +179,13 @@ std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
     w.u64(s.byte_size);
     w.u64(s.decoded_bytes);
     w.u8(static_cast<std::uint8_t>(s.codec));
+    if (version >= 3) w.u64(s.file_checksum);
+  }
+  if (version >= 3) {
+    // Trailing self-checksum over everything above: any flipped bit in
+    // the routing tables surfaces as kDataLoss at open, not as a
+    // misrouted query.
+    w.u64(snapshot::fnv1a(out));
   }
   return out;
 }
@@ -179,8 +193,31 @@ std::vector<std::uint8_t> serialize_manifest(const Manifest& m) {
 Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
   try {
     ByteReader r(bytes);
-    cpg::detail::check_header(r, kManifestMagic, kManifestFormatVersion,
-                              "CPG shard manifest");
+    const std::uint32_t version = cpg::detail::read_header(
+        r, kManifestMagic, kManifestMinReadVersion, kManifestFormatVersion,
+        "CPG shard manifest");
+    if (version >= 3) {
+      // Verify the trailing self-checksum before trusting any field.
+      // The header already parsed, so damage from here on is content
+      // damage (kDataLoss), not a foreign file.
+      if (bytes.size() < 16) {
+        return Status(StatusCode::kInvalidArgument,
+                      "shard manifest: too short for its checksum trailer");
+      }
+      std::uint64_t stored = 0;
+      for (int i = 0; i < 8; ++i) {
+        stored |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 +
+                                                   static_cast<std::size_t>(i)])
+                  << (8 * i);
+      }
+      const std::uint64_t actual = snapshot::fnv1a(
+          std::span<const std::uint8_t>(bytes.data(), bytes.size() - 8));
+      if (stored != actual) {
+        return Status(StatusCode::kDataLoss,
+                      "shard manifest: self-checksum mismatch (the manifest "
+                      "bytes are damaged)");
+      }
+    }
     Manifest m;
     m.shard_count = r.u32();
     // The planner writes 1..255 shards (the node->shard map is one
@@ -224,6 +261,7 @@ Result<Manifest> deserialize_manifest(const std::vector<std::uint8_t>& bytes) {
                           std::to_string(codec));
       }
       s.codec = static_cast<ShardCodec>(codec);
+      if (version >= 3) s.file_checksum = r.u64();
       m.shards.push_back(std::move(s));
     }
     if (m.shards.size() != m.shard_count) {
@@ -382,7 +420,11 @@ Result<ShardData> decode_shard_payload(const ShardFrame& frame,
   }
   auto body = snapshot::decompress_checked(payload);
   if (!body.ok()) {
-    return Status(StatusCode::kInvalidArgument,
+    // Preserve the integrity-vs-structure distinction: a checksum
+    // mismatch inside the block stays kDataLoss.
+    return Status(body.status().code() == StatusCode::kDataLoss
+                      ? StatusCode::kDataLoss
+                      : StatusCode::kInvalidArgument,
                   "CPG shard: corrupt compressed body: " +
                       body.status().message());
   }
@@ -515,6 +557,10 @@ Result<ShardData> deserialize_shard_body(std::span<const std::uint8_t> body,
 }  // namespace
 
 Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
+  if (util::failpoint_check("shard.read_file")) {
+    return Status(StatusCode::kUnavailable,
+                  "injected read failure: " + path);
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return Status(StatusCode::kNotFound, "cannot open " + path);
@@ -525,13 +571,28 @@ Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
   if (!in) {
-    return Status(StatusCode::kInternal, "read failed: " + path);
+    // The file exists but the bytes did not arrive: a transient
+    // condition (unlike kNotFound), so the store's retry policy may
+    // try again.
+    return Status(StatusCode::kUnavailable, "read failed: " + path);
   }
   return bytes;
 }
 
 Status write_file_bytes(const std::string& path,
                         const std::vector<std::uint8_t>& bytes) {
+  std::size_t limit = bytes.size();
+  bool torn = false;
+  if (const auto action = util::failpoint_check("shard.write_file")) {
+    if (*action == util::FailpointAction::kTornWrite) {
+      // A crash mid-write: persist a prefix, skip the fsync, fail.
+      torn = true;
+      limit = bytes.size() / 2;
+    } else {
+      return Status(StatusCode::kInternal,
+                    "injected write failure: " + path);
+    }
+  }
   // POSIX I/O rather than ofstream so the bytes can be fsynced: the
   // store's manifest-commit protocol orders shard data before the
   // manifest rename, which only holds if writes actually reach disk.
@@ -541,14 +602,18 @@ Status write_file_bytes(const std::string& path,
     return Status(StatusCode::kInternal, "cannot open " + path);
   }
   std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+  while (off < limit) {
+    const ssize_t n = ::write(fd, bytes.data() + off, limit - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
       return Status(StatusCode::kInternal, "write failed: " + path);
     }
     off += static_cast<std::size_t>(n);
+  }
+  if (torn) {
+    ::close(fd);
+    return Status(StatusCode::kInternal, "injected torn write: " + path);
   }
   if (::fsync(fd) != 0) {
     ::close(fd);
@@ -561,6 +626,10 @@ Status write_file_bytes(const std::string& path,
 }
 
 Status sync_directory(const std::string& dir) {
+  if (util::failpoint_check("shard.sync_dir")) {
+    return Status(StatusCode::kInternal,
+                  "injected directory sync failure: " + dir);
+  }
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) {
     return Status(StatusCode::kInternal, "cannot open directory " + dir);
@@ -582,6 +651,13 @@ Status replace_file_bytes(const std::string& path,
     std::error_code ec;
     std::filesystem::remove(tmp, ec);
     return st;
+  }
+  if (util::failpoint_check("shard.replace_file")) {
+    // A crash between the temp write and the rename: the temp file is
+    // deliberately stranded (fsck knows how to sweep it) and the old
+    // bytes stay committed.
+    return Status(StatusCode::kInternal,
+                  "injected replace failure: " + path);
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -622,6 +698,16 @@ Result<ShardData> ShardReader::read_shard(const std::string& dir,
                       std::to_string(bytes->size()) +
                       " bytes, manifest records " +
                       std::to_string(info.byte_size) + ")");
+  }
+  // Whole-file integrity (manifest v3): the one check that covers
+  // raw-codec bodies, whose frames carry no checksum of their own. A
+  // zero checksum is a v2-era entry -- unknown, skip.
+  if (info.file_checksum != 0 &&
+      snapshot::fnv1a(bytes.value()) != info.file_checksum) {
+    return Status(StatusCode::kDataLoss,
+                  dir + "/" + info.file +
+                      ": file checksum does not match the manifest (the "
+                      "shard bytes are damaged)");
   }
   try {
     ByteReader r(bytes.value());

@@ -46,9 +46,16 @@
 namespace inspector::shard {
 
 /// "CPGM" -- the manifest file. Version 1 was the uncompressed PR-4
-/// layout; version 2 added the per-shard codec tag and decoded size.
+/// layout; version 2 added the per-shard codec tag and decoded size;
+/// version 3 adds a whole-file FNV-1a checksum per shard entry (so
+/// raw-codec bodies are integrity-checked, not just LZ ones) and a
+/// trailing checksum over the manifest bytes themselves.
 inline constexpr std::uint32_t kManifestMagic = 0x4D475043;
-inline constexpr std::uint32_t kManifestFormatVersion = 2;
+inline constexpr std::uint32_t kManifestFormatVersion = 3;
+/// Oldest manifest this build still opens. v2 manifests carry no
+/// checksums: their shard entries parse with file_checksum = 0
+/// ("unknown, skip verification").
+inline constexpr std::uint32_t kManifestMinReadVersion = 2;
 /// "CPGS" -- one shard file. Version 1 stored the body raw; version 2
 /// frames the body behind a codec tag + decoded size; version 3 packs
 /// the sidecars and frontier as delta+varint sequences
@@ -104,6 +111,10 @@ struct ShardInfo {
   std::uint64_t decoded_bytes = 0;  ///< body size once decoded (the
                                     ///< store's memory-budget unit)
   ShardCodec codec = ShardCodec::kRaw;
+  /// FNV-1a over the whole encoded file (manifest v3). 0 means
+  /// "unknown" -- entries read from a v2 manifest -- and skips the
+  /// check; readers verify any other value before decoding.
+  std::uint64_t file_checksum = 0;
 
   bool operator==(const ShardInfo&) const = default;
 };
@@ -155,7 +166,15 @@ struct ShardData {
 
 // --- encoding ---------------------------------------------------------
 
-[[nodiscard]] std::vector<std::uint8_t> serialize_manifest(const Manifest& m);
+/// Encode the manifest. `version` selects the generation to emit:
+/// kManifestFormatVersion for normal commits, 2 for the compatibility
+/// shim old-store tests build with (v2 drops the checksums).
+[[nodiscard]] std::vector<std::uint8_t> serialize_manifest(
+    const Manifest& m, std::uint32_t version = kManifestFormatVersion);
+/// Decode + validate a manifest (versions kManifestMinReadVersion
+/// through kManifestFormatVersion). A v3 manifest whose trailing
+/// self-checksum does not match its bytes is kDataLoss; structural
+/// damage is kInvalidArgument.
 [[nodiscard]] Result<Manifest> deserialize_manifest(
     const std::vector<std::uint8_t>& bytes);
 
@@ -179,7 +198,11 @@ struct ShardData {
 
 // --- files ------------------------------------------------------------
 
-/// Read a whole file; kNotFound when it cannot be opened.
+/// Read a whole file; kNotFound when it cannot be opened, kUnavailable
+/// when the open succeeded but the read itself failed (a transient
+/// condition retry policies may act on). Every file primitive here is
+/// a failpoint seam (util/failpoint.h): "shard.read_file",
+/// "shard.write_file", "shard.sync_dir", "shard.replace_file".
 [[nodiscard]] Result<std::vector<std::uint8_t>> read_file_bytes(
     const std::string& path);
 /// Write + fsync a whole file (the data is on disk when this returns

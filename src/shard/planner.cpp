@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "snapshot/compress.h"
 #include "util/parallel.h"
 
 namespace inspector::shard {
@@ -230,6 +231,7 @@ Status materialize_shards(const cpg::Graph& graph, const ShardPlan& plan,
           const std::vector<std::uint8_t> bytes =
               serialize_shard(data, codec, &info.decoded_bytes);
           info.byte_size = bytes.size();
+          info.file_checksum = snapshot::fnv1a(bytes);
           if (Status st = write_file_bytes(dir + "/" + info.file, bytes);
               !st.ok()) {
             std::lock_guard lock(failure_mu);

@@ -1,10 +1,38 @@
 #include "shard/store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 namespace inspector::shard {
+
+namespace {
+
+/// Backoff for retry `attempt` (1-based): exponential from the policy
+/// floor, capped, with deterministic jitter in the upper half so
+/// concurrent retries of different shards spread out but a given
+/// (seed, shard, attempt) always waits the same time.
+std::uint64_t backoff_ms(const RetryPolicy& policy, std::uint32_t shard,
+                         std::uint32_t attempt) {
+  std::uint64_t base = policy.initial_backoff_ms;
+  for (std::uint32_t i = 1; i < attempt && base < policy.max_backoff_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, policy.max_backoff_ms);
+  if (base <= 1) return base;
+  // splitmix64 of (seed, shard, attempt) -> jitter in [0, base/2].
+  std::uint64_t x = policy.jitter_seed ^
+                    (static_cast<std::uint64_t>(shard) << 32) ^ attempt;
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return base / 2 + x % (base / 2 + 1);
+}
+
+}  // namespace
 
 std::optional<std::uint32_t> LoadedShard::local_of(cpg::NodeId global) const {
   const auto& ids = data.global_ids;
@@ -125,32 +153,27 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
                       std::to_string(manifest_.shard_count) + ")");
   }
   std::unique_lock lock(mu_);
-  bool waited = false;
   for (;;) {
     if (const auto it = resident_.find(shard); it != resident_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->loaded;
     }
+    // Quarantined shards fail fast -- no disk IO, no decode, just the
+    // stored kUnavailable naming the shard and the original cause.
+    if (const auto it = quarantined_.find(shard); it != quarantined_.end()) {
+      return it->second;
+    }
     if (loading_.contains(shard)) {
       // Another thread is decoding this very shard: wait for it
       // rather than decoding the same file twice, then re-check (a
-      // tiny budget may have evicted it again before we woke).
-      waited = true;
+      // tiny budget may have evicted it again before we woke; a
+      // failure shows up as a quarantine entry).
       load_done_.wait(lock);
       continue;
     }
-    if (waited) {
-      // The load we waited on failed: take its status instead of
-      // repeating the identical read + decode just to fail again.
-      if (const auto it = load_failures_.find(shard);
-          it != load_failures_.end()) {
-        return it->second;
-      }
-    }
     break;
   }
-  load_failures_.erase(shard);  // a fresh attempt retries for real
   loading_.insert(shard);
   lock.unlock();
   // However this scope exits -- typed failure, success, or an
@@ -172,19 +195,45 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
     }
   };
   ClearLoading clear_loading{this, &lock, shard};
-  // Record a typed load failure for the threads waiting on this shard
-  // (under the lock; the guard then wakes them holding the same lock).
-  const auto fail = [&](const Status& status) {
+  std::uint64_t retries = 0;
+  // Quarantine the shard under the lock (the guard then wakes waiters
+  // holding the same lock, and they pick the entry up). Every load of
+  // a quarantined shard -- this one included -- returns the same
+  // kUnavailable wrap, so error replies are stable across retries.
+  const auto fail = [&](const Status& cause) {
+    Status wrapped(StatusCode::kUnavailable,
+                   "shard " + std::to_string(shard) + " (" + dir_ + "/" +
+                       manifest_.shards[shard].file + ") is quarantined: " +
+                       std::string(to_string(cause.code())) + ": " +
+                       cause.message());
     lock.lock();
-    load_failures_[shard] = status;
-    return status;
+    stats_.retries += retries;
+    quarantined_.insert_or_assign(shard, wrapped);
+    stats_.quarantined_shards = quarantined_.size();
+    return wrapped;
   };
   // Miss: file read, decompression, checksum, validation, and lookup
   // construction all run off-lock -- everything below touches only
-  // immutable state (dir_, manifest_), so concurrent misses on
-  // different shards proceed in parallel instead of queuing behind
-  // one decode.
-  auto data = ShardReader::read_shard(dir_, manifest_.shards[shard]);
+  // immutable state (dir_, manifest_, options_), so concurrent misses
+  // on different shards proceed in parallel instead of queuing behind
+  // one decode. Transient failures (kUnavailable from the read layer)
+  // retry with backoff; everything else is permanent.
+  const auto read_with_retry = [&]() -> Result<ShardData> {
+    const RetryPolicy& policy = options_.retry_policy;
+    const std::uint32_t attempts = std::max<std::uint32_t>(
+        policy.max_attempts, 1);
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      auto data = ShardReader::read_shard(dir_, manifest_.shards[shard]);
+      if (data.ok() || attempt >= attempts ||
+          data.status().code() != StatusCode::kUnavailable) {
+        return data;
+      }
+      ++retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          backoff_ms(policy, shard, attempt)));
+    }
+  };
+  auto data = read_with_retry();
   if (!data.ok()) return fail(data.status());
   const Status valid = [&]() -> Status {
     // The file is internally consistent (deserialize_shard checked);
@@ -245,6 +294,7 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
   // lock hold once the shard is resident.
   lock.lock();
   ++stats_.loads;
+  stats_.retries += retries;
   // Evict before inserting, so the cache never exceeds max(budget,
   // one shard) of decoded bytes. Pinned shards stay alive through
   // their shared_ptrs; eviction only drops the cache reference, and

@@ -66,11 +66,27 @@ struct LoadedShard {
   std::vector<std::uint32_t> level_offsets_, level_ids_;
 };
 
+/// Bounded retry with exponential backoff for *transient* shard-read
+/// failures (StatusCode::kUnavailable only -- corrupt bytes and
+/// missing files are permanent and never retried). The backoff doubles
+/// per attempt up to max_backoff_ms, with deterministic seeded jitter
+/// so a K-worker fan-out hitting the same flaky disk does not retry in
+/// lockstep -- and so tests replay the exact same schedule.
+struct RetryPolicy {
+  /// Total read attempts per load (1 = no retries).
+  std::uint32_t max_attempts = 3;
+  std::uint64_t initial_backoff_ms = 1;
+  std::uint64_t max_backoff_ms = 50;
+  /// Seed folded into the per-(shard, attempt) jitter hash.
+  std::uint64_t jitter_seed = 0;
+};
+
 struct StoreOptions {
   /// Resident-shard ceiling in *decoded* bytes (0 = unlimited). A
   /// single shard larger than the budget still loads -- the cache then
   /// holds just that shard.
   std::uint64_t memory_budget_bytes = 0;
+  RetryPolicy retry_policy;
 };
 
 class ShardStore {
@@ -93,6 +109,10 @@ class ShardStore {
     std::uint64_t peak_resident_bytes = 0;
     std::uint64_t total_bytes = 0;          ///< whole store on disk (encoded)
     std::uint64_t total_decoded_bytes = 0;  ///< whole store once decoded
+    /// Transient read failures retried under the RetryPolicy.
+    std::uint64_t retries = 0;
+    /// Shards currently quarantined (loads fail without touching disk).
+    std::uint64_t quarantined_shards = 0;
   };
 
   /// Open a store directory: reads + validates the manifest only;
@@ -114,7 +134,13 @@ class ShardStore {
     return manifest_.node_shard[global];
   }
 
-  /// Fetch one shard, loading and evicting as needed.
+  /// Fetch one shard, loading and evicting as needed. Transient read
+  /// failures retry under options.retry_policy; a load that still
+  /// fails -- corrupt bytes, a missing file, exhausted retries --
+  /// quarantines the shard, and this and every later load of it
+  /// returns kUnavailable naming the shard, its file, and the original
+  /// cause, without touching the disk again. Other shards keep
+  /// serving; reopen the store to lift quarantines.
   [[nodiscard]] Result<std::shared_ptr<const LoadedShard>> load(
       std::uint32_t shard);
 
@@ -136,11 +162,12 @@ class ShardStore {
   /// same file twice; requests for *other* shards proceed -- file I/O,
   /// decompression, and checksum never serialize behind the mutex.
   std::unordered_set<std::uint32_t> loading_;
-  /// Terminal status of a failed in-flight load, handed to the
-  /// requests that were waiting on it (a corrupt shard should fail a
-  /// K-worker fan-out once, not K times serially). Erased when a
-  /// fresh, non-waiting request retries the shard.
-  std::unordered_map<std::uint32_t, Status> load_failures_;
+  /// Shards whose load failed terminally (after the retry policy ran
+  /// its course). The stored status is the kUnavailable wrap every
+  /// later load returns -- a corrupt shard fails a K-worker fan-out
+  /// once, then fails fast forever instead of re-reading and
+  /// re-decoding the same damage per query.
+  std::unordered_map<std::uint32_t, Status> quarantined_;
   struct Entry {
     std::uint32_t shard = 0;
     std::shared_ptr<const LoadedShard> loaded;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/failpoint.h"
+
 namespace inspector::snapshot {
 
 namespace {
@@ -28,10 +30,13 @@ void write_length(std::vector<std::uint8_t>& out, std::size_t len) {
   out.push_back(static_cast<std::uint8_t>(len));
 }
 
-/// FNV-1a over the decoded bytes: the content-integrity check that
-/// catches corruption a structurally valid parse would miss (a flipped
-/// bit inside a literal run decodes cleanly to the wrong output).
-std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+Status corrupt(const std::string& what) {
+  return Status(StatusCode::kInvalidArgument, "lz: " + what);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (const std::uint8_t b : bytes) {
     h ^= b;
@@ -39,12 +44,6 @@ std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
   }
   return h;
 }
-
-Status corrupt(const std::string& what) {
-  return Status(StatusCode::kInvalidArgument, "lz: " + what);
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
   std::vector<std::uint8_t> out;
@@ -119,6 +118,10 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
 
 Result<std::vector<std::uint8_t>> decompress_checked(
     std::span<const std::uint8_t> block) {
+  if (util::failpoint_check("snapshot.decompress")) {
+    return Status(StatusCode::kDataLoss,
+                  "lz: injected decode failure (failpoint)");
+  }
   if (block.size() < kBlockHeaderBytes) return corrupt("truncated header");
   std::uint64_t expected = 0;
   std::uint64_t checksum = 0;
@@ -209,7 +212,10 @@ Result<std::vector<std::uint8_t>> decompress_checked(
                    " byte(s) of trailing garbage after the final sequence");
   }
   if (fnv1a(out) != checksum) {
-    return corrupt("decoded-bytes checksum mismatch");
+    // Content damage, not a malformed request: the block parsed but
+    // the decoded bytes are not what was stored.
+    return Status(StatusCode::kDataLoss,
+                  "lz: decoded-bytes checksum mismatch");
   }
   return out;
 }

@@ -28,6 +28,10 @@ namespace inspector::snapshot {
 /// the decoded bytes (u64 LE).
 inline constexpr std::size_t kBlockHeaderBytes = 16;
 
+/// FNV-1a-64 over `bytes`: the content-integrity hash used by the LZ
+/// block header and by the shard manifest's whole-file checksums.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept;
+
 /// Compress `input` into a self-contained block (decoded size and
 /// checksum live in the header).
 [[nodiscard]] std::vector<std::uint8_t> compress(
@@ -36,9 +40,10 @@ inline constexpr std::size_t kBlockHeaderBytes = 16;
 /// Decompress a block produced by compress(). Every way the block can
 /// be malformed -- truncated header or body, a length extension running
 /// past the end, a match offset reaching before the window start,
-/// trailing garbage after the final sequence, a decoded size or
-/// checksum mismatch -- returns kInvalidArgument with a precise
-/// message. This is the only decode path; nothing throws.
+/// trailing garbage after the final sequence, a decoded size mismatch
+/// -- returns kInvalidArgument with a precise message; a decoded-bytes
+/// checksum mismatch (structurally valid, wrong content) returns
+/// kDataLoss. This is the only decode path; nothing throws.
 [[nodiscard]] Result<std::vector<std::uint8_t>> decompress_checked(
     std::span<const std::uint8_t> block);
 

@@ -1,0 +1,166 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace inspector::util {
+namespace {
+
+enum class Kind : std::uint8_t { kError, kTransient, kTorn, kAbort, kDelay };
+
+struct Site {
+  std::string name;  // "*" matches everything
+  Kind kind;
+  std::uint64_t arg;
+  std::uint64_t hits = 0;  // hits against this site since arming
+};
+
+std::mutex g_mutex;
+std::vector<Site> g_sites;
+// Fast path: checked without the mutex; nonzero only while armed.
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_hit_count{0};
+std::once_flag g_env_once;
+
+void load_env_spec() {
+  const char* spec = std::getenv("INSPECTOR_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') {
+    // A malformed env spec is ignored rather than failing every IO op:
+    // the tools that consume it surface parse errors via
+    // configure_failpoints() in their own flag handling.
+    (void)configure_failpoints(spec);
+  }
+}
+
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+[[nodiscard]] Status parse_spec(std::string_view spec,
+                                std::vector<Site>& out) {
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view clause = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (clause.empty()) continue;
+
+    const auto bad = [&clause](const char* why) {
+      return Status(StatusCode::kInvalidArgument,
+                    std::string("failpoint spec \"") + std::string(clause) +
+                        "\": " + why);
+    };
+    const std::size_t first = clause.find(':');
+    if (first == std::string_view::npos || first == 0) {
+      return bad("expected site:kind[:arg]");
+    }
+    Site site;
+    site.name = std::string(clause.substr(0, first));
+    std::string_view rest = clause.substr(first + 1);
+    const std::size_t second = rest.find(':');
+    const std::string_view kind = rest.substr(0, second);
+    const std::string_view arg = second == std::string_view::npos
+                                     ? std::string_view{}
+                                     : rest.substr(second + 1);
+    if (kind == "error") {
+      site.kind = Kind::kError;
+      site.arg = 0;
+    } else if (kind == "transient") {
+      site.kind = Kind::kTransient;
+      site.arg = 1;
+    } else if (kind == "torn-write") {
+      site.kind = Kind::kTorn;
+      site.arg = 0;
+    } else if (kind == "abort-after") {
+      site.kind = Kind::kAbort;
+      site.arg = 0;
+    } else if (kind == "delay") {
+      site.kind = Kind::kDelay;
+      site.arg = 0;
+    } else {
+      return bad("unknown kind (want error, transient, torn-write, "
+                 "abort-after, or delay)");
+    }
+    if (!arg.empty() && !parse_u64(arg, site.arg)) {
+      return bad("arg is not an unsigned integer");
+    }
+    out.push_back(std::move(site));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status configure_failpoints(std::string_view spec) {
+  std::vector<Site> parsed;
+  if (Status status = parse_spec(spec, parsed); !status.ok()) return status;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sites = std::move(parsed);
+  g_armed.store(!g_sites.empty(), std::memory_order_release);
+  g_hit_count.store(0, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void clear_failpoints() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sites.clear();
+  g_armed.store(false, std::memory_order_release);
+  g_hit_count.store(0, std::memory_order_relaxed);
+}
+
+std::optional<FailpointAction> failpoint_check(std::string_view site) {
+  std::call_once(g_env_once, load_env_spec);
+  g_hit_count.fetch_add(1, std::memory_order_relaxed);
+  if (!g_armed.load(std::memory_order_acquire)) return std::nullopt;
+
+  std::uint64_t delay_ms = 0;
+  std::optional<FailpointAction> action;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    for (Site& s : g_sites) {
+      if (s.name != "*" && s.name != site) continue;
+      const std::uint64_t hit = s.hits++;
+      switch (s.kind) {
+        case Kind::kError:
+          if (hit >= s.arg) action = FailpointAction::kFail;
+          break;
+        case Kind::kTransient:
+          if (hit < s.arg) action = FailpointAction::kFail;
+          break;
+        case Kind::kTorn:
+          if (hit >= s.arg) action = FailpointAction::kTornWrite;
+          break;
+        case Kind::kAbort:
+          if (hit >= s.arg) {
+            // A real crash: no destructors, no atexit, no flushes --
+            // the on-disk state is whatever the completed syscalls
+            // left behind. 134 = SIGABRT-style exit for the harness.
+            std::_Exit(134);
+          }
+          break;
+        case Kind::kDelay:
+          delay_ms = std::max(delay_ms, s.arg);
+          break;
+      }
+      if (action) break;
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return action;
+}
+
+std::uint64_t failpoint_hits() noexcept {
+  return g_hit_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace inspector::util

@@ -1,0 +1,70 @@
+// Deterministic fault injection for the storage IO seams.
+//
+// A failpoint is a named site compiled into the IO path (for example
+// "shard.write_file" at the top of shard::write_file_bytes). At
+// runtime a spec of the form
+//
+//   site:kind[:arg][,site:kind[:arg]...]
+//
+// arms sites with one of five kinds:
+//
+//   error[:N]      pass the first N hits, then fail every later hit
+//   transient[:K]  fail the first K hits (default 1), then pass --
+//                  exercises retry-with-backoff paths
+//   torn-write[:N] pass N hits, then ask the writer to persist only a
+//                  prefix of the bytes and fail, skipping the fsync --
+//                  a crash mid-write; non-write sites treat it as error
+//   abort-after[:N] pass N hits, then _Exit(134) -- a real process
+//                  kill for shell-level crash sweeps
+//   delay[:MS]     sleep MS milliseconds on every hit, then pass
+//
+// The site "*" matches every site and counts hits globally, so a
+// crash-consistency sweep can kill "the nth IO step of an append"
+// without knowing which seam that step lands on: run once armed with
+// "*:delay:0" to count the steps, then iterate n arming "*:error:n".
+//
+// Specs come from configure_failpoints() in tests or from the
+// INSPECTOR_FAILPOINTS environment variable (read once, on the first
+// check) for tool-level sweeps. With nothing armed a check is one
+// relaxed atomic load plus one relaxed increment; the registry mutex
+// is only touched while a spec is active.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace inspector::util {
+
+/// What an armed failpoint asks the hitting seam to do. Delays and
+/// aborts never reach the caller: failpoint_check() sleeps or exits
+/// internally.
+enum class FailpointAction : std::uint8_t {
+  /// Fail the operation with the seam's typed error.
+  kFail,
+  /// Persist roughly half the bytes without syncing, then fail. Only
+  /// write_file_bytes honors the distinction; other seams fail plainly.
+  kTornWrite,
+};
+
+/// Replace the active spec. An empty spec disarms everything. Resets
+/// the global hit counter. Returns kInvalidArgument naming the bad
+/// clause if the spec does not parse (the previous spec stays active).
+[[nodiscard]] Status configure_failpoints(std::string_view spec);
+
+/// Disarm all failpoints and reset the hit counter.
+void clear_failpoints();
+
+/// Consult the registry at a named site. Always counts the hit (even
+/// unarmed, so a counting pass and an injection pass see identical
+/// step numbers). Returns the action the caller must honor, or nullopt
+/// to proceed.
+[[nodiscard]] std::optional<FailpointAction> failpoint_check(
+    std::string_view site);
+
+/// Total failpoint_check() calls since the last configure/clear.
+[[nodiscard]] std::uint64_t failpoint_hits() noexcept;
+
+}  // namespace inspector::util

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -36,6 +37,15 @@ enum class StatusCode : std::uint8_t {
   kExhausted,
   /// An unexpected exception reached the API boundary (engine bug).
   kInternal,
+  /// A transient failure: the operation may succeed if retried (an IO
+  /// error mid-read, an injected fault), or the resource is currently
+  /// quarantined. Retry policies act on this code and nothing else;
+  /// every other code is permanent.
+  kUnavailable,
+  /// Stored bytes failed an integrity check: a block or whole-file
+  /// checksum mismatch. Retrying will not help; the data on disk is
+  /// damaged and fsck/repair is the remedy.
+  kDataLoss,
 };
 
 /// Stable lower-snake names, used verbatim on the wire.
@@ -55,6 +65,10 @@ enum class StatusCode : std::uint8_t {
       return "exhausted";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "internal";
 }
@@ -78,6 +92,21 @@ class [[nodiscard]] Status {
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+};
+
+/// An exception carrying a typed Status, for the few internal seams
+/// (shard pinning inside query kernels) where errors must unwind
+/// through code that cannot return Result<T>. It never crosses an API
+/// boundary: the owning backend catches it and returns the Status.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.message()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
 };
 
 /// A value or the Status explaining why there is none. Check ok()

@@ -1,0 +1,309 @@
+// Offline store verification: fsck on clean stores, crash debris
+// (detect + repair), every referenced-file damage class with its
+// precise issue kind, v2-era manifests, and in-memory bit-flip sweeps
+// over the manifest and one shard file per codec proving that no
+// single-bit mutation of the on-disk formats can pass silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cpg/graph.h"
+#include "history_fixtures.h"
+#include "shard/format.h"
+#include "shard/fsck.h"
+#include "shard/planner.h"
+#include "snapshot/compress.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace inspector;
+using namespace inspector::shard;
+namespace fixtures = inspector::fixtures;
+namespace fs = std::filesystem;
+
+using Kind = FsckIssue::Kind;
+
+std::string make_store(const std::string& name, std::uint64_t seed,
+                       ShardCodec codec = ShardCodec::kRaw) {
+  const std::string dir = ::testing::TempDir() + name;
+  fs::remove_all(dir);
+  const cpg::Graph source = fixtures::random_history(seed);
+  const auto written = write_store(source, dir, PlanOptions{3}, codec);
+  EXPECT_TRUE(written.ok()) << written.status().message();
+  return dir;
+}
+
+bool has_issue(const FsckReport& report, Kind kind,
+               const std::string& file = "") {
+  return std::any_of(report.issues.begin(), report.issues.end(),
+                     [&](const FsckIssue& i) {
+                       return i.kind == kind &&
+                              (file.empty() || i.file == file);
+                     });
+}
+
+TEST(Fsck, CleanStoreIsClean) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_clean", 50);
+  const auto report = fsck(dir);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->clean());
+  EXPECT_FALSE(report->damaged());
+  EXPECT_EQ(report->shard_count, 3u);
+  EXPECT_EQ(report->shards_verified, 3u);
+}
+
+TEST(Fsck, UnusableDirectoryIsAStatusNotAReport) {
+  EXPECT_FALSE(fsck(::testing::TempDir() + "fsck_no_such_dir").ok());
+  const std::string file = ::testing::TempDir() + "fsck_not_a_dir";
+  std::ofstream(file) << "x";
+  EXPECT_FALSE(fsck(file).ok());
+}
+
+TEST(Fsck, MissingManifestIsAnIssueInTheReport) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_no_manifest", 51);
+  fs::remove(dir + "/" + kManifestFileName);
+  const auto report = fsck(dir);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(has_issue(*report, Kind::kManifestUnreadable));
+  EXPECT_TRUE(report->damaged());
+}
+
+TEST(Fsck, CrashDebrisIsDetectedAndRepaired) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_debris", 52);
+  // Exactly what a crash between commit and sweep leaves: a stranded
+  // manifest temp and an unreferenced generation-suffixed shard file.
+  std::ofstream(dir + "/MANIFEST.bin.tmp") << "half-written";
+  fs::copy(dir + "/shard-000.bin", dir + "/shard-000.g9.bin");
+
+  const auto report = fsck(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_issue(*report, Kind::kStrandedTemp, "MANIFEST.bin.tmp"));
+  EXPECT_TRUE(has_issue(*report, Kind::kOrphanShardFile, "shard-000.g9.bin"));
+  EXPECT_TRUE(report->damaged()) << "unrepaired debris counts as damage";
+  for (const FsckIssue& i : report->issues) {
+    EXPECT_TRUE(i.repairable) << i.file;
+    EXPECT_FALSE(i.repaired) << "a plain fsck must not delete " << i.file;
+  }
+  // A plain run touches nothing.
+  EXPECT_TRUE(fs::exists(dir + "/MANIFEST.bin.tmp"));
+  EXPECT_TRUE(fs::exists(dir + "/shard-000.g9.bin"));
+
+  const auto repaired = fsck(dir, FsckOptions{/*repair=*/true});
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->issues.size(), 2u);
+  EXPECT_FALSE(repaired->damaged());
+  for (const FsckIssue& i : repaired->issues) EXPECT_TRUE(i.repaired);
+  EXPECT_FALSE(fs::exists(dir + "/MANIFEST.bin.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/shard-000.g9.bin"));
+  EXPECT_TRUE(fsck(dir)->clean());
+}
+
+TEST(Fsck, ReferencedFileDamageKindsAreNeverRepaired) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_damage", 53);
+  auto manifest = ShardReader::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok());
+
+  // shard 0: gone entirely. shard 1: truncated (wrong size). shard 2:
+  // same-size byte flip (only the whole-file checksum can see it).
+  const std::string f0 = dir + "/" + manifest->shards[0].file;
+  const std::string f1 = dir + "/" + manifest->shards[1].file;
+  const std::string f2 = dir + "/" + manifest->shards[2].file;
+  fs::remove(f0);
+  auto b1 = read_file_bytes(f1);
+  ASSERT_TRUE(b1.ok());
+  b1.value().resize(b1->size() - 7);
+  ASSERT_TRUE(write_file_bytes(f1, *b1).ok());
+  auto b2 = read_file_bytes(f2);
+  ASSERT_TRUE(b2.ok());
+  b2.value()[b2->size() / 2] ^= 0x01;
+  ASSERT_TRUE(write_file_bytes(f2, *b2).ok());
+
+  const auto report = fsck(dir, FsckOptions{/*repair=*/true});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(
+      has_issue(*report, Kind::kMissingShardFile, manifest->shards[0].file));
+  EXPECT_TRUE(
+      has_issue(*report, Kind::kSizeMismatch, manifest->shards[1].file));
+  EXPECT_TRUE(
+      has_issue(*report, Kind::kChecksumMismatch, manifest->shards[2].file));
+  EXPECT_EQ(report->shards_verified, 0u);
+  EXPECT_TRUE(report->damaged()) << "referenced damage survives --repair";
+  for (const FsckIssue& i : report->issues) {
+    EXPECT_FALSE(i.repairable) << i.file;
+    EXPECT_FALSE(i.repaired) << i.file;
+  }
+  // Repair must not have deleted the damaged-but-referenced files.
+  EXPECT_TRUE(fs::exists(f1));
+  EXPECT_TRUE(fs::exists(f2));
+}
+
+/// Recommit the store's manifest with `info` fields refreshed from the
+/// bytes on disk, so fsck's size and checksum gates pass and the
+/// deeper decode / cross-check stages run.
+void recommit_with_fresh_checksums(const std::string& dir) {
+  auto manifest = ShardReader::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  for (ShardInfo& info : manifest.value().shards) {
+    auto bytes = read_file_bytes(dir + "/" + info.file);
+    ASSERT_TRUE(bytes.ok());
+    info.byte_size = bytes->size();
+    info.file_checksum = snapshot::fnv1a(*bytes);
+  }
+  ASSERT_TRUE(replace_file_bytes(dir + "/" + kManifestFileName,
+                                 serialize_manifest(*manifest))
+                  .ok());
+}
+
+TEST(Fsck, UndecodableShardBehindAValidChecksumIsCorrupt) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_corrupt", 54);
+  auto manifest = ShardReader::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  // Same-size garbage, then a manifest whose size + checksum match it:
+  // only the decode stage can object now.
+  const std::string file = dir + "/" + manifest->shards[1].file;
+  auto bytes = read_file_bytes(file);
+  ASSERT_TRUE(bytes.ok());
+  std::fill(bytes.value().begin(), bytes.value().end(), std::uint8_t{0xEE});
+  ASSERT_TRUE(write_file_bytes(file, *bytes).ok());
+  recommit_with_fresh_checksums(dir);
+
+  const auto report = fsck(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_issue(*report, Kind::kCorruptShard,
+                        manifest->shards[1].file));
+  EXPECT_TRUE(report->damaged());
+  EXPECT_EQ(report->shards_verified, 2u);
+}
+
+TEST(Fsck, ForeignShardBehindAValidChecksumIsInconsistent) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  // The same history cut at a different shard count: its files decode
+  // perfectly but disagree with this store's manifest about fences and
+  // routing -- the cross-check's job.
+  const std::string dir = make_store("fsck_foreign", 55);
+  const std::string other = ::testing::TempDir() + "fsck_foreign_other";
+  fs::remove_all(other);
+  ASSERT_TRUE(
+      write_store(fixtures::random_history(55), other, PlanOptions{2}).ok());
+  fs::copy_file(other + "/shard-001.bin", dir + "/shard-001.bin",
+                fs::copy_options::overwrite_existing);
+  recommit_with_fresh_checksums(dir);
+
+  const auto report = fsck(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_issue(*report, Kind::kInconsistentShard, "shard-001.bin"));
+  EXPECT_TRUE(report->damaged());
+}
+
+TEST(Fsck, V2ManifestWithoutChecksumsStillVerifies) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_v2", 56);
+  // A v2-era manifest has no per-file checksums (file_checksum == 0
+  // means unknown) and no self-checksum; fsck still decodes and
+  // cross-checks every shard.
+  auto manifest = ShardReader::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(replace_file_bytes(dir + "/" + kManifestFileName,
+                                 serialize_manifest(*manifest, /*version=*/2))
+                  .ok());
+  const auto clean = fsck(dir);
+  ASSERT_TRUE(clean.ok()) << clean.status().message();
+  EXPECT_TRUE(clean->clean());
+  EXPECT_EQ(clean->shards_verified, 3u);
+
+  // Without the whole-file checksum a content flip must still be
+  // caught -- by the shard's own decode-stage checksum or structure.
+  const std::string file = dir + "/" + manifest->shards[0].file;
+  auto bytes = read_file_bytes(file);
+  ASSERT_TRUE(bytes.ok());
+  bytes.value()[bytes->size() - 3] ^= 0x10;
+  ASSERT_TRUE(write_file_bytes(file, *bytes).ok());
+  const auto report = fsck(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->damaged());
+}
+
+TEST(Fsck, ManifestBitFlipSweepYieldsTypedErrors) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store("fsck_sweep_manifest", 57);
+  const auto packed = read_file_bytes(dir + "/" + kManifestFileName);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(deserialize_manifest(*packed).ok());
+  // The manifest carries a whole-file self-checksum, so *every* flip
+  // must surface as a typed error: structurally (kInvalidArgument) or
+  // through the checksum (kDataLoss). Nothing may parse silently.
+  for (std::size_t bit = 0; bit < packed->size() * 8; ++bit) {
+    auto corrupt = *packed;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto result = deserialize_manifest(corrupt);
+    ASSERT_FALSE(result.ok()) << "bit " << bit << " flipped silently";
+    EXPECT_TRUE(result.status().code() == StatusCode::kInvalidArgument ||
+                result.status().code() == StatusCode::kDataLoss)
+        << "bit " << bit << ": " << to_string(result.status().code());
+  }
+}
+
+class FsckShardSweep : public ::testing::TestWithParam<ShardCodec> {};
+
+TEST_P(FsckShardSweep, EveryBitFlipIsCaughtByDecodeOrManifestChecksum) {
+  fixtures::ThreadCountGuard threads;
+  util::set_analysis_threads(1);
+  const std::string dir = make_store(
+      GetParam() == ShardCodec::kLz ? "fsck_sweep_lz" : "fsck_sweep_raw", 58,
+      GetParam());
+  auto manifest = ShardReader::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  const ShardInfo& info = manifest->shards[0];
+  const auto packed = read_file_bytes(dir + "/" + info.file);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(deserialize_shard(*packed).ok());
+  ASSERT_EQ(snapshot::fnv1a(*packed), info.file_checksum);
+
+  // The raw codec's body has no internal checksum, so some flips
+  // decode to a structurally valid shard -- the manifest's whole-file
+  // checksum (v3) is the layer that closes that gap. The sweep demands
+  // each flip is caught by at least one of the two.
+  std::size_t caught_by_decode = 0;
+  for (std::size_t bit = 0; bit < packed->size() * 8; ++bit) {
+    auto corrupt = *packed;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const bool checksum_catches =
+        snapshot::fnv1a(corrupt) != info.file_checksum;
+    const auto decoded = deserialize_shard(corrupt);
+    if (!decoded.ok()) {
+      ++caught_by_decode;
+      EXPECT_TRUE(
+          decoded.status().code() == StatusCode::kInvalidArgument ||
+          decoded.status().code() == StatusCode::kDataLoss)
+          << "bit " << bit << ": " << to_string(decoded.status().code());
+    }
+    ASSERT_TRUE(!decoded.ok() || checksum_catches)
+        << "bit " << bit << " passed both decode and the file checksum";
+  }
+  EXPECT_GT(caught_by_decode, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, FsckShardSweep,
+                         ::testing::Values(ShardCodec::kRaw,
+                                           ShardCodec::kLz));
+
+}  // namespace

@@ -237,6 +237,37 @@ TEST(WireSerialize, ErrorRepliesEscapeMessages) {
             R"("error":"no \"page\"\nhere"})");
 }
 
+TEST(WireSerialize, FaultStatusCodesHaveStableWireNames) {
+  // The fault-tolerance codes ride the same envelope as every other
+  // error: clients match on these exact strings.
+  const Result<Reply> gone(StatusCode::kUnavailable,
+                           "shard 2 (s/shard-002.bin) is quarantined");
+  EXPECT_EQ(wire::serialize_reply(4, gone),
+            R"({"id":4,"status":"unavailable",)"
+            R"("error":"shard 2 (s/shard-002.bin) is quarantined"})");
+  const Result<Reply> lost(StatusCode::kDataLoss, "file checksum mismatch");
+  EXPECT_EQ(wire::serialize_reply(5, lost),
+            R"({"id":5,"status":"data_loss",)"
+            R"("error":"file checksum mismatch"})");
+}
+
+TEST(WireSerialize, DegradedMarkerFollowsTheStatusField) {
+  // The marker sits right after "status":"ok" and appears only when
+  // set, so replies from a healthy store are byte-identical to the
+  // pre-degraded-mode wire format.
+  Reply reply;
+  reply.total_items = 2;
+  reply.result = NodeListResult{{4, 5}};
+  const std::string plain = wire::serialize_reply(8, Result<Reply>(reply));
+  EXPECT_EQ(plain,
+            R"({"id":8,"status":"ok","total_items":2,"has_more":false,)"
+            R"("nodes":[4,5]})");
+  reply.degraded = true;
+  EXPECT_EQ(wire::serialize_reply(8, Result<Reply>(reply)),
+            R"({"id":8,"status":"ok","degraded":true,"total_items":2,)"
+            R"("has_more":false,"nodes":[4,5]})");
+}
+
 TEST(WireRoundTrip, ParsedQuerySerializesBackToCanonicalForm) {
   // The canonical form of every query must itself be parseable (logs
   // of canonical queries are replayable), including taint's sink_kind.

@@ -2,12 +2,13 @@
 //
 // Shard files are versioned per file, and an append keeps prior files
 // byte-identical, so one store can mix generations. This test pins
-// the two sides of that contract: (1) a store whose shard files are
-// rewritten through the v2 writer shim (serialize_shard's version
-// parameter) loads in this build and serves the exact reply stream of
-// the v3 store it came from; (2) files stamped with a future version
-// fail with a typed kInvalidArgument naming the version range this
-// build reads -- never a misparse.
+// the two sides of that contract: (1) a store rewritten through the
+// v2 writer shims (serialize_shard's and serialize_manifest's version
+// parameters -- no checksums anywhere) loads in this build and serves
+// the exact reply stream of the v3 store it came from; (2) files
+// stamped with a future version fail with a typed kInvalidArgument
+// naming the version range this build reads -- and a store serving
+// such a file quarantines it as kUnavailable -- never a misparse.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -74,8 +75,11 @@ std::string serialized_session(QueryEngine& engine, cpg::NodeId last,
 }
 
 /// Rewrite every shard file of the store at `dir` through the v2
-/// writer shim and recommit the manifest with the new sizes -- i.e.
-/// the store a v2-era build would have written for this history.
+/// writer shim and recommit the manifest -- through the v2 manifest
+/// shim as well, so the result is exactly the store a v2-era build
+/// would have written: no per-shard file checksums, no manifest
+/// self-checksum. Loading it exercises kManifestMinReadVersion and the
+/// checksum-unknown (file_checksum == 0) skip path end to end.
 void downgrade_store_to_v2(const std::string& dir) {
   auto manifest_read = shard::ShardReader::read_manifest(dir);
   ASSERT_TRUE(manifest_read.ok()) << manifest_read.status().message();
@@ -91,10 +95,11 @@ void downgrade_store_to_v2(const std::string& dir) {
     info.byte_size = bytes.size();
     info.decoded_bytes = decoded;
   }
-  ASSERT_TRUE(shard::replace_file_bytes(dir + "/" +
-                                            shard::kManifestFileName,
-                                        shard::serialize_manifest(manifest))
-                  .ok());
+  ASSERT_TRUE(
+      shard::replace_file_bytes(
+          dir + "/" + shard::kManifestFileName,
+          shard::serialize_manifest(manifest, /*version=*/2))
+          .ok());
 }
 
 class ShardCompat : public ::testing::TestWithParam<shard::ShardCodec> {};
@@ -182,14 +187,23 @@ TEST(ShardCompatErrors, FutureShardVersionIsATypedError) {
   EXPECT_NE(decoded.status().message().find("version"), std::string::npos)
       << decoded.status().message();
 
-  // A store whose file on disk carries the future version fails the
-  // lazy load the same way.
+  // A store whose file on disk carries the future version quarantines
+  // the shard at lazy load: the terminal failure (here the manifest's
+  // whole-file checksum, which the edit also broke) comes back as
+  // kUnavailable naming the shard and its file.
   ASSERT_TRUE(shard::write_file_bytes(dir + "/" + info.file, *bytes).ok());
   auto store = shard::ShardStore::open(dir);
   ASSERT_TRUE(store.ok()) << store.status().message();
   const auto loaded = store.value()->load(0);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(loaded.status().message().find("quarantined"), std::string::npos)
+      << loaded.status().message();
+  // The quarantine is sticky: the same typed error, no new disk reads.
+  const auto again = store.value()->load(0);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().message(), loaded.status().message());
+  EXPECT_EQ(store.value()->stats().quarantined_shards, 1u);
 }
 
 TEST(ShardCompatErrors, FutureManifestVersionIsATypedError) {

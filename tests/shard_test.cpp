@@ -195,9 +195,13 @@ TEST(ShardStore, MixedStoreFilesAreRejectedAtLoad) {
       shard::write_file_bytes(dir_a + "/shard-001.bin", stolen.value()).ok());
   auto store = shard::ShardStore::open(dir_a);
   ASSERT_TRUE(store.ok());
+  // The load-time cross-check quarantines the foreign file: the typed
+  // kUnavailable wrap names the shard and embeds the terminal cause.
   const auto loaded = store.value()->load(1);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(loaded.status().message().find("quarantined"), std::string::npos)
+      << loaded.status().message();
   EXPECT_NE(loaded.status().message().find("does not match the manifest"),
             std::string::npos)
       << loaded.status().message();
@@ -352,9 +356,14 @@ TEST(ShardFormat, CorruptCompressedPayloadIsTypedStatus) {
           .ok());
   auto store = shard::ShardStore::open(dir);
   ASSERT_TRUE(store.ok());
+  // The damage is caught by the manifest's whole-file checksum before
+  // the body even decodes, and the shard is quarantined: kUnavailable
+  // wrapping a kDataLoss cause.
   const auto loaded = store.value()->load(0);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(loaded.status().message().find("data_loss"), std::string::npos)
+      << loaded.status().message();
 
   // Truncation too: chop the compressed payload.
   auto truncated = bytes.value();

@@ -14,8 +14,16 @@
 // file. Replies are bit-identical between the storage forms.
 //
 //   inspector_query <cpg.bin> [options]
-//   inspector_query --store <dir> [--shard-budget BYTES] [options]
+//   inspector_query --store <dir> [--shard-budget BYTES]
+//                   [--allow-degraded] [options]
 //   options: [--requests FILE] [--analysis-threads N] [--page-size N]
+//
+// --allow-degraded opts a store-backed server into degraded serving:
+// queries that touch a quarantined (corrupt or unreadable) shard skip
+// it and reply with a partial answer marked "degraded":true instead of
+// failing with status "unavailable". Queries untouched by the damage
+// reply byte-identically either way. Run inspector_fsck to diagnose
+// and repair the store.
 //
 // With --requests, the whole file is executed as one batch: queries
 // fan out over the analysis pool and replies print in request order --
@@ -49,7 +57,7 @@ using namespace inspector;
 int usage() {
   std::cerr << "usage: inspector_query <cpg.bin> [options]\n"
                "       inspector_query --store <dir> [--shard-budget BYTES] "
-               "[options]\n"
+               "[--allow-degraded] [options]\n"
                "options: [--requests FILE] [--analysis-threads N] "
                "[--page-size N]\n"
                "see the header of tools/inspector_query.cpp for the "
@@ -73,6 +81,7 @@ struct ToolArgs {
   std::string cpg_path;       ///< whole-graph file (exclusive with store)
   std::string store_path;     ///< sharded store directory
   std::uint64_t shard_budget = 0;  ///< resident bytes, 0 = unlimited
+  bool allow_degraded = false;     ///< serve partial answers off damage
   std::string requests_path;  ///< empty = interactive stdin
   std::uint64_t default_page_size = 0;
 };
@@ -111,6 +120,12 @@ bool parse_args(int argc, char** argv, ToolArgs& args) {
         std::cerr << "--shard-budget must be a non-negative byte count\n";
         return false;
       }
+    } else if (a == "--allow-degraded") {
+      if (args.store_path.empty()) {
+        std::cerr << "--allow-degraded requires --store\n";
+        return false;
+      }
+      args.allow_degraded = true;
     } else if (a == "--requests") {
       args.requests_path = next();
     } else if (a == "--analysis-threads") {
@@ -250,7 +265,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       engine = std::make_unique<shard::ShardedQueryEngine>(
-          std::move(store).value());
+          std::move(store).value(), query::EngineOptions{},
+          args.allow_degraded);
     } else {
       auto snapshot = cpg::deserialize_checked(read_file(args.cpg_path));
       if (!snapshot.ok()) {

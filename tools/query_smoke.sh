@@ -30,7 +30,8 @@ if [ $# -ge 4 ]; then
         "$TMP_DIR/smoke.shard3" "$TMP_DIR/smoke.shard7" \
         "$TMP_DIR/smoke.shardz" "$TMP_DIR/smoke.sharda"; \
         rm -rf "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.store7" \
-        "$TMP_DIR/smoke.storez" "$TMP_DIR/smoke.storea"' EXIT
+        "$TMP_DIR/smoke.storez" "$TMP_DIR/smoke.storea" \
+        "$TMP_DIR/smoke.torn" "$TMP_DIR/smoke.emptystore"' EXIT
 else
   TMP_DIR=$(mktemp -d)
   trap 'rm -rf "$TMP_DIR"' EXIT
@@ -106,4 +107,34 @@ diff -u "$GOLDEN" "$TMP_DIR/smoke.sharda" || {
   echo "FAIL: appended-store replies differ from the golden file" >&2
   exit 1
 }
-echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, and from 3-/7-shard, compressed, and appended stores under a 40000-byte budget"
+# Tool error paths: a server pointed at a broken store must print one
+# typed error and exit nonzero -- never hang, crash, or serve garbage.
+expect_error() {
+  local label=$1; shift
+  local err
+  if err=$("$@" < /dev/null 2>&1 > /dev/null); then
+    echo "FAIL: $label: expected a nonzero exit" >&2
+    exit 1
+  fi
+  if ! printf '%s' "$err" | grep -Eq "error:|failed:"; then
+    echo "FAIL: $label: no typed error on stderr (got: $err)" >&2
+    exit 1
+  fi
+}
+
+expect_error "missing store dir" \
+    "$QUERY" --store "$TMP_DIR/smoke.no-such-store"
+mkdir -p "$TMP_DIR/smoke.emptystore"
+expect_error "empty store dir (no manifest)" \
+    "$QUERY" --store "$TMP_DIR/smoke.emptystore"
+rmdir "$TMP_DIR/smoke.emptystore"
+cp -r "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.torn"
+head -c 21 "$TMP_DIR/smoke.torn/MANIFEST.bin" > "$TMP_DIR/smoke.torn/m" \
+    && mv "$TMP_DIR/smoke.torn/m" "$TMP_DIR/smoke.torn/MANIFEST.bin"
+expect_error "truncated manifest" "$QUERY" --store "$TMP_DIR/smoke.torn"
+rm -rf "$TMP_DIR/smoke.torn"
+expect_error "append into a missing store" \
+    "$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
+    --shard-append "$TMP_DIR/smoke.no-such-store"
+
+echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, and from 3-/7-shard, compressed, and appended stores under a 40000-byte budget; broken-store error paths exit nonzero"
