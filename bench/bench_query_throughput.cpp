@@ -5,22 +5,42 @@
 // the serialized replies fingerprinted and compared across worker
 // counts -- a line with "identical":false is a determinism bug.
 //
+// A second section serves the same snapshot over the framed UDS
+// transport (net/) and drives it with 1/2/4 closed-loop clients --
+// against a single-process server and against a 1- and 2-worker
+// shard router -- reporting per-call latency percentiles, aggregate
+// queries/sec, and whether every client saw the in-process reply
+// bytes ("identical":false is a transport bug).
+//
 // Deliberately not a google-benchmark binary (same rationale as
 // bench_analysis_scaling): the unit of interest is one batch per
 // worker count, not a tight-loop microsecond rate.
 //
 //   bench_query_throughput [--quick]
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <variant>
 #include <vector>
 
 #include "cpg/recorder.h"
+#include "net/client.h"
+#include "net/dispatcher.h"
+#include "net/query_service.h"
+#include "net/router.h"
+#include "net/uds.h"
 #include "query/engine.h"
 #include "query/wire.h"
+#include "shard/engine.h"
+#include "shard/planner.h"
+#include "shard/store.h"
 #include "util/parallel.h"
 
 namespace {
@@ -146,6 +166,192 @@ Measurement measure(std::shared_ptr<const cpg::Graph> snapshot,
   return m;
 }
 
+/// Canonical wire request lines cycling over the cheap node-addressed
+/// query types, so closed-loop socket clients measure transport + engine
+/// work rather than one pathological query.
+std::vector<std::string> make_lines(const cpg::Graph& g, std::size_t count) {
+  static const char* kOps[] = {"backward_slice", "forward_slice",
+                               "latest_writers"};
+  const auto nodes = g.nodes().size();
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lines.push_back("{\"id\":" + std::to_string(i + 1) + ",\"op\":\"" +
+                    kOps[i % 3] + "\",\"node\":" + std::to_string(i % nodes) +
+                    "}");
+  }
+  return lines;
+}
+
+/// What the in-process engine prints for `lines`: the byte-identity
+/// baseline every served client is compared against.
+std::uint64_t expected_hash(std::shared_ptr<const cpg::Graph> snapshot,
+                            const std::vector<std::string>& lines) {
+  query::QueryEngine engine(std::move(snapshot));
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::string& line : lines) {
+    std::uint64_t id = 0;
+    const auto parsed = query::wire::parse_request(line, &id);
+    h = fnv1a(h, query::wire::serialize_reply(
+                     id, engine.run(std::get<query::Query>(parsed.value().op),
+                                    {})));
+  }
+  return h;
+}
+
+struct ServedRun {
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool identical = true;
+};
+
+/// Closed-loop clients: each thread opens its own connection and walks
+/// the request list with blocking call()s, so latency includes framing,
+/// the socket round trip, and dispatch on both ends.
+ServedRun drive_clients(const std::string& path, unsigned clients,
+                        const std::vector<std::string>& lines,
+                        std::uint64_t want) {
+  ServedRun run;
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::uint64_t> hashes(clients, 0xCBF29CE484222325ULL);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::QueryClient::connect(path);
+      if (!client.ok()) {
+        hashes[c] = 0;
+        return;
+      }
+      latencies[c].reserve(lines.size());
+      for (const std::string& line : lines) {
+        const auto t1 = Clock::now();
+        auto reply = (*client)->call(line);
+        latencies[c].push_back(ms_since(t1));
+        if (!reply.ok()) {
+          hashes[c] = 0;
+          return;
+        }
+        hashes[c] = fnv1a(hashes[c], *reply);
+      }
+      (void)(*client)->goodbye();
+    });
+  }
+  for (auto& t : threads) t.join();
+  run.wall_ms = ms_since(t0);
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    run.p50_ms = all[all.size() / 2];
+    run.p99_ms = all[all.size() * 99 / 100];
+  }
+  for (const std::uint64_t h : hashes) run.identical = run.identical && h == want;
+  return run;
+}
+
+void print_served(const char* mode, unsigned workers, unsigned clients,
+                  std::size_t calls, const ServedRun& run) {
+  std::cout << "{\"bench\":\"query_throughput\",\"transport\":\"uds\","
+            << "\"mode\":\"" << mode << "\",\"workers\":" << workers
+            << ",\"clients\":" << clients << ",\"calls\":" << calls
+            << ",\"ms\":" << run.wall_ms << ",\"qps\":"
+            << (run.wall_ms > 0
+                    ? 1000.0 * static_cast<double>(calls) / run.wall_ms
+                    : 0.0)
+            << ",\"latency_p50_ms\":" << run.p50_ms
+            << ",\"latency_p99_ms\":" << run.p99_ms << ",\"identical\":"
+            << (run.identical ? "true" : "false") << "}\n";
+}
+
+/// Serve the snapshot over UDS (single-process, then 1- and 2-worker
+/// routed shard stores) and report closed-loop client throughput.
+/// Returns false if any client saw non-baseline bytes.
+bool bench_served(std::shared_ptr<const cpg::Graph> snapshot, bool quick) {
+  const auto lines = make_lines(*snapshot, quick ? 48 : 192);
+  const std::uint64_t want = expected_hash(snapshot, lines);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bench_query_sock." + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  bool all_identical = true;
+
+  {
+    net::QueryService service(
+        std::make_shared<query::QueryEngine>(snapshot));
+    auto server = net::uds::Server::listen(dir + "/single.sock");
+    if (!server.ok()) {
+      std::cerr << "bench_served: " << server.status().message() << "\n";
+      return false;
+    }
+    net::ServeLoop loop(std::move(server).value(), service);
+    loop.start();
+    for (const unsigned clients : {1u, 2u, 4u}) {
+      const ServedRun run =
+          drive_clients(loop.path(), clients, lines, want);
+      all_identical = all_identical && run.identical;
+      print_served("single", 0, clients, clients * lines.size(), run);
+    }
+    loop.stop();
+  }
+
+  const auto manifest =
+      shard::write_store(*snapshot, dir + "/store", shard::PlanOptions{4});
+  if (!manifest.ok()) {
+    std::cerr << "bench_served: " << manifest.status().message() << "\n";
+    return false;
+  }
+  for (const unsigned workers : {1u, 2u}) {
+    std::vector<net::WorkerEndpoint> endpoints;
+    std::vector<std::unique_ptr<net::QueryService>> services;
+    std::vector<std::unique_ptr<net::ServeLoop>> loops;
+    for (unsigned w = 0; w < workers; ++w) {
+      net::WorkerEndpoint ep;
+      ep.socket_path = dir + "/w" + std::to_string(w) + ".sock";
+      ep.shard_lo = manifest->shard_count * w / workers;
+      ep.shard_hi = manifest->shard_count * (w + 1) / workers;
+      auto store = shard::ShardStore::open(dir + "/store");
+      if (!store.ok()) {
+        std::cerr << "bench_served: " << store.status().message() << "\n";
+        return false;
+      }
+      services.push_back(std::make_unique<net::QueryService>(
+          std::make_shared<shard::ShardedQueryEngine>(
+              std::move(store).value())));
+      auto server = net::uds::Server::listen(ep.socket_path);
+      if (!server.ok()) {
+        std::cerr << "bench_served: " << server.status().message() << "\n";
+        return false;
+      }
+      loops.push_back(std::make_unique<net::ServeLoop>(
+          std::move(server).value(), *services.back()));
+      loops.back()->start();
+      endpoints.push_back(std::move(ep));
+    }
+    net::RouterService router(manifest.value(), endpoints);
+    auto front = net::uds::Server::listen(dir + "/router.sock");
+    if (!front.ok()) {
+      std::cerr << "bench_served: " << front.status().message() << "\n";
+      return false;
+    }
+    net::ServeLoop loop(std::move(front).value(), router);
+    loop.start();
+    for (const unsigned clients : {1u, 2u, 4u}) {
+      const ServedRun run =
+          drive_clients(loop.path(), clients, lines, want);
+      all_identical = all_identical && run.identical;
+      print_served("router", workers, clients, clients * lines.size(), run);
+    }
+    loop.stop();
+  }
+  std::filesystem::remove_all(dir);
+  return all_identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +403,7 @@ int main(int argc, char** argv) {
     }
   }
   util::set_analysis_threads(0);
+  all_identical = bench_served(snapshot, quick) && all_identical;
   if (!all_identical) {
     std::cerr << "DETERMINISM VIOLATION: query replies differ across "
                  "worker counts\n";

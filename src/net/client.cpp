@@ -1,0 +1,128 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace inspector::net {
+
+QueryClient::QueryClient(std::shared_ptr<uds::Channel> channel)
+    : channel_(std::move(channel)) {
+  reader_ = std::thread(&QueryClient::read_loop, this);
+}
+
+QueryClient::~QueryClient() {
+  channel_->shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+Result<std::unique_ptr<QueryClient>> QueryClient::connect(
+    const std::string& path) {
+  auto channel = uds::Channel::connect_retry(path);
+  if (!channel.ok()) return channel.status();
+  return std::unique_ptr<QueryClient>(new QueryClient(*channel));
+}
+
+Result<std::uint64_t> QueryClient::send(std::string_view request_line) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (closed_ && !error_.ok()) return error_;
+    id = next_stream_++;
+  }
+  if (Status s =
+          channel_->send(FrameType::kData, kFlagEndStream, id, request_line);
+      !s.ok()) {
+    return s;
+  }
+  return id;
+}
+
+Status QueryClient::cancel(std::uint64_t stream_id) {
+  return channel_->send(FrameType::kCancel, 0, stream_id, std::string_view());
+}
+
+Result<std::string> QueryClient::next_reply() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return !replies_.empty() || closed_; });
+  if (!replies_.empty()) {
+    std::string reply = std::move(replies_.front());
+    replies_.pop_front();
+    return reply;
+  }
+  if (!error_.ok()) return error_;
+  return Status(StatusCode::kExhausted,
+                "connection closed; every reply has been delivered");
+}
+
+Result<std::string> QueryClient::call(std::string_view request_line) {
+  if (auto id = send(request_line); !id.ok()) return id.status();
+  return next_reply();
+}
+
+Status QueryClient::goodbye() {
+  if (Status s =
+          channel_->send(FrameType::kGoodbye, 0, 0, std::string_view());
+      !s.ok()) {
+    return s;
+  }
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_; });
+  return error_;
+}
+
+void QueryClient::read_loop() {
+  std::string assembling;
+  bool saw_goodbye = false;
+  for (;;) {
+    auto got = channel_->recv();
+    if (!got.ok() || !got->has_value()) {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+      // After the server's Goodbye, the shutdown-induced EOF (or recv
+      // error) is the normal end of the drain handshake; without one,
+      // the server vanished and callers still owed a reply must know.
+      if (!saw_goodbye) {
+        error_ = !got.ok()
+                     ? got.status()
+                     : Status(StatusCode::kUnavailable,
+                              "server closed the connection without goodbye");
+      }
+      cv_.notify_all();
+      return;
+    }
+    const Frame& frame = **got;
+    switch (frame.header.type) {
+      case FrameType::kData:
+        assembling.append(
+            reinterpret_cast<const char*>(frame.payload.data()),
+            frame.payload.size());
+        if (frame.header.end_stream()) {
+          std::lock_guard lock(mu_);
+          replies_.push_back(std::move(assembling));
+          assembling = std::string();
+          cv_.notify_all();
+        }
+        break;
+      case FrameType::kGoodbye:
+        saw_goodbye = true;
+        break;
+      case FrameType::kError: {
+        std::lock_guard lock(mu_);
+        closed_ = true;
+        error_ = Status(
+            StatusCode::kUnavailable,
+            "server reported a connection error: " +
+                std::string(
+                    reinterpret_cast<const char*>(frame.payload.data()),
+                    frame.payload.size()));
+        cv_.notify_all();
+        return;
+      }
+      case FrameType::kPing:
+      case FrameType::kSettings:
+      case FrameType::kCancel:
+        break;
+    }
+  }
+}
+
+}  // namespace inspector::net

@@ -1,0 +1,69 @@
+// Client side of the serving transport: connect to a socket, pipeline
+// request lines, read reply lines back in request order. A background
+// reader thread reassembles chunked Data frames, so callers can keep
+// sending while replies stream in (the server replies strictly in
+// request order; cancelled streams produce no reply and are skipped).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "net/uds.h"
+
+namespace inspector::net {
+
+class QueryClient {
+ public:
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Dial a serving socket (with startup retries -- the usual caller
+  /// just forked the server).
+  [[nodiscard]] static Result<std::unique_ptr<QueryClient>> connect(
+      const std::string& path);
+
+  /// Send one request line; returns the stream id it was assigned.
+  [[nodiscard]] Result<std::uint64_t> send(std::string_view request_line);
+
+  /// Cancel an in-flight stream; its reply (if not already sent) will
+  /// never arrive and next_reply() skips straight over it.
+  [[nodiscard]] Status cancel(std::uint64_t stream_id);
+
+  /// Block for the next reply line, in request order. kUnavailable if
+  /// the connection died first; kExhausted when every reply owed for
+  /// the sends so far has been delivered and goodbye() completed.
+  [[nodiscard]] Result<std::string> next_reply();
+
+  /// Serial convenience: send one request and wait for its reply.
+  [[nodiscard]] Result<std::string> call(std::string_view request_line);
+
+  /// Drain: tell the server no more requests are coming and wait for
+  /// the connection to wind down. Replies still pending remain
+  /// readable via next_reply().
+  [[nodiscard]] Status goodbye();
+
+ private:
+  explicit QueryClient(std::shared_ptr<uds::Channel> channel);
+  void read_loop();
+
+  std::shared_ptr<uds::Channel> channel_;
+  std::thread reader_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> replies_;
+  bool closed_ = false;    ///< reader exited
+  Status error_;           ///< first transport/decode error, if any
+  std::uint64_t next_stream_ = 1;
+};
+
+}  // namespace inspector::net

@@ -1,0 +1,439 @@
+#include "net/dispatcher.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace inspector::net {
+
+namespace {
+
+bool trace_enabled() {
+  static const bool on = std::getenv("INSPECTOR_NET_TRACE") != nullptr;
+  return on;
+}
+
+#define NET_TRACE(...)                              \
+  do {                                              \
+    if (trace_enabled()) {                          \
+      std::fprintf(stderr, "[disp %d] ", getpid()); \
+      std::fprintf(stderr, __VA_ARGS__);            \
+      std::fprintf(stderr, "\n");                   \
+    }                                               \
+  } while (0)
+
+/// Minimal Settings parse: the payload is a one-line JSON object; the
+/// only key version 1 understands is max_frame_payload.
+std::uint32_t settings_max_frame_payload(std::string_view payload) {
+  static constexpr std::string_view kKey = "\"max_frame_payload\":";
+  const std::size_t at = payload.find(kKey);
+  if (at == std::string_view::npos) return 0;
+  std::uint64_t value = 0;
+  for (std::size_t i = at + kKey.size(); i < payload.size(); ++i) {
+    const char c = payload[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > kMaxFramePayload) return kMaxFramePayload;
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(std::shared_ptr<uds::Channel> channel,
+                       rpc::Service& service, DispatcherOptions options)
+    : channel_(std::move(channel)),
+      service_(service),
+      options_(options),
+      chunk_limit_(std::max<std::uint32_t>(1, options.max_frame_payload)) {}
+
+Dispatcher::~Dispatcher() = default;
+
+Status Dispatcher::serve() {
+  session_ = service_.open_session();
+  const std::string settings =
+      "{\"max_frame_payload\":" + std::to_string(options_.max_frame_payload) +
+      "}";
+  if (Status s = channel_->send(FrameType::kSettings, 0, 0, settings);
+      !s.ok()) {
+    return s;
+  }
+  std::thread writer(&Dispatcher::write_loop, this);
+  std::vector<std::thread> pool;
+  const std::size_t workers = std::max<std::size_t>(1, options_.worker_threads);
+  pool.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    pool.emplace_back(&Dispatcher::exec_loop, this);
+  }
+
+  read_loop();
+
+  {
+    std::lock_guard lock(mu_);
+    reader_done_ = true;
+  }
+  exec_cv_.notify_all();
+  write_cv_.notify_all();
+  for (auto& t : pool) t.join();
+  writer.join();
+  session_.reset();  // closes the engine session / worker channels
+
+  std::lock_guard lock(mu_);
+  return failed_ ? status_ : Status::Ok();
+}
+
+void Dispatcher::read_loop() {
+  for (;;) {
+    auto got = channel_->recv();
+    {
+      std::lock_guard lock(mu_);
+      if (failed_) return;
+    }
+    if (!got.ok()) {
+      {
+        std::lock_guard lock(mu_);
+        // After the writer answers Goodbye it shuts the channel down;
+        // the recv error that wakes us is the handshake completing.
+        if (goodbye_) return;
+      }
+      fail(got.status());
+      return;
+    }
+    if (!got->has_value()) {  // EOF at a frame boundary
+      {
+        std::lock_guard lock(mu_);
+        if (!goodbye_) peer_gone_ = true;
+      }
+      exec_cv_.notify_all();
+      write_cv_.notify_all();
+      admit_cv_.notify_all();
+      return;
+    }
+    const Frame& frame = **got;
+    NET_TRACE("recv %s stream=%llu len=%zu end=%d",
+              to_string(frame.header.type),
+              static_cast<unsigned long long>(frame.header.stream_id),
+              frame.payload.size(), frame.header.end_stream() ? 1 : 0);
+    switch (frame.header.type) {
+      case FrameType::kData:
+        if (!handle_data(frame)) return;
+        break;
+      case FrameType::kCancel: {
+        const std::uint64_t id = frame.header.stream_id;
+        std::shared_ptr<Stream> target;
+        {
+          std::lock_guard lock(mu_);
+          if (partial_open_ && partial_id_ == id) {
+            partial_open_ = false;
+            partial_.clear();
+            skip_id_ = id;
+            break;
+          }
+          const auto it = live_.find(id);
+          if (it != live_.end()) {
+            it->second->cancelled.store(true, std::memory_order_relaxed);
+            target = it->second;
+          }
+        }
+        if (target) {
+          session_->on_cancel(id);
+          write_cv_.notify_all();
+        }
+        break;
+      }
+      case FrameType::kPing:
+        if (Status s = channel_->send(FrameType::kPing, 0,
+                                      frame.header.stream_id,
+                                      std::span(frame.payload));
+            !s.ok()) {
+          fail(s);
+          return;
+        }
+        break;
+      case FrameType::kSettings: {
+        const std::uint32_t peer_cap = settings_max_frame_payload(
+            std::string_view(reinterpret_cast<const char*>(
+                                 frame.payload.data()),
+                             frame.payload.size()));
+        if (peer_cap > 0) {
+          chunk_limit_.store(
+              std::min(options_.max_frame_payload, peer_cap));
+        }
+        break;
+      }
+      case FrameType::kGoodbye:
+        {
+          std::lock_guard lock(mu_);
+          goodbye_ = true;
+        }
+        exec_cv_.notify_all();
+        write_cv_.notify_all();
+        break;
+      case FrameType::kError: {
+        fail(Status(StatusCode::kUnavailable,
+                    "peer reported a connection error: " +
+                        std::string(reinterpret_cast<const char*>(
+                                        frame.payload.data()),
+                                    frame.payload.size())));
+        return;
+      }
+    }
+  }
+}
+
+bool Dispatcher::handle_data(const Frame& frame) {
+  const std::uint64_t id = frame.header.stream_id;
+  std::shared_ptr<Stream> stream;
+  Status violation;  // fail() locks mu_, so it must run outside the scope
+  {
+    std::lock_guard lock(mu_);
+    if (goodbye_) {
+      // Admitting work after a drain request would never be replied to.
+      violation =
+          Status(StatusCode::kInvalidArgument,
+                 "data frame after goodbye on stream " + std::to_string(id));
+    } else if (id == 0) {
+      violation = Status(StatusCode::kInvalidArgument,
+                         "stream id 0 is reserved for connection frames");
+    } else if (!partial_open_ && id == skip_id_) {
+      return true;  // tail of a request cancelled mid-assembly
+    } else if (partial_open_ && id != partial_id_) {
+      violation = Status(StatusCode::kInvalidArgument,
+                         "interleaved request streams: stream " +
+                             std::to_string(id) + " arrived inside stream " +
+                             std::to_string(partial_id_));
+    } else if (!partial_open_ && id <= last_stream_id_) {
+      violation = Status(StatusCode::kInvalidArgument,
+                         "stream ids must be strictly increasing (got " +
+                             std::to_string(id) + " after " +
+                             std::to_string(last_stream_id_) + ")");
+    } else if (partial_.size() + frame.payload.size() > kMaxFramePayload) {
+      violation = Status(StatusCode::kInvalidArgument,
+                         "request on stream " + std::to_string(id) +
+                             " exceeds the " +
+                             std::to_string(kMaxFramePayload) + "-byte cap");
+    } else {
+      if (!partial_open_) {
+        partial_open_ = true;
+        partial_id_ = id;
+        last_stream_id_ = id;
+        partial_.clear();
+      }
+      partial_.append(reinterpret_cast<const char*>(frame.payload.data()),
+                      frame.payload.size());
+      if (!frame.header.end_stream()) return true;
+      partial_open_ = false;
+      stream = std::make_shared<Stream>();
+      stream->id = id;
+      stream->request = std::move(partial_);
+      partial_ = std::string();
+    }
+  }
+  if (!violation.ok()) {
+    fail(std::move(violation));
+    return false;
+  }
+  admit(std::move(stream));
+  return true;
+}
+
+void Dispatcher::admit(std::shared_ptr<Stream> stream) {
+  std::unique_lock lock(mu_);
+  admit_cv_.wait(lock, [&] {
+    return order_.size() < options_.max_in_flight || failed_ || peer_gone_;
+  });
+  if (failed_ || peer_gone_) return;
+  live_.emplace(stream->id, stream);
+  order_.push_back(stream);
+  exec_queue_.push_back(std::move(stream));
+  lock.unlock();
+  exec_cv_.notify_one();
+  write_cv_.notify_all();
+}
+
+void Dispatcher::exec_loop() {
+  for (;;) {
+    std::shared_ptr<Stream> stream;
+    {
+      std::unique_lock lock(mu_);
+      exec_cv_.wait(lock, [&] {
+        return !exec_queue_.empty() || reader_done_ || failed_ || peer_gone_;
+      });
+      if (exec_queue_.empty()) {
+        if (reader_done_ || failed_ || peer_gone_) return;
+        continue;
+      }
+      stream = exec_queue_.front();
+      exec_queue_.pop_front();
+    }
+    rpc::Finalizer finalizer;
+    if (!stream->cancelled.load(std::memory_order_relaxed)) {
+      const std::string name = service_.method_of(stream->request);
+      const rpc::Method* method = service_.registry().find(name);
+      if (method == nullptr) {
+        fail(Status(StatusCode::kInternal,
+                    "service resolved unregistered method '" + name + "'"));
+        return;
+      }
+      rpc::Context ctx{stream->id, &stream->cancelled};
+      NET_TRACE("exec stream=%llu method=%s",
+                static_cast<unsigned long long>(stream->id), name.c_str());
+      try {
+        finalizer = (*method)(*session_, ctx, stream->request);
+      } catch (const std::exception& e) {
+        fail(Status(StatusCode::kInternal,
+                    std::string("method body escaped: ") + e.what()));
+        return;
+      }
+    }
+    NET_TRACE("exec done stream=%llu",
+              static_cast<unsigned long long>(stream->id));
+    {
+      std::lock_guard lock(mu_);
+      stream->finalizer = std::move(finalizer);
+      stream->ready = true;
+    }
+    write_cv_.notify_all();
+  }
+}
+
+void Dispatcher::write_loop() {
+  for (;;) {
+    std::shared_ptr<Stream> stream;
+    bool send_goodbye = false;
+    {
+      std::unique_lock lock(mu_);
+      write_cv_.wait(lock, [&] {
+        if (failed_ || peer_gone_) return true;
+        if (!order_.empty()) {
+          return order_.front()->ready ||
+                 order_.front()->cancelled.load(std::memory_order_relaxed);
+        }
+        return goodbye_ || reader_done_;
+      });
+      if (failed_ || peer_gone_) return;
+      if (order_.empty()) {
+        if (goodbye_) {
+          send_goodbye = true;
+        } else {
+          return;  // reader_done_: clean EOF with nothing owed
+        }
+      } else {
+        stream = order_.front();
+        order_.pop_front();
+        live_.erase(stream->id);
+      }
+    }
+    admit_cv_.notify_one();
+    if (send_goodbye) {
+      (void)channel_->send(FrameType::kGoodbye, 0, 0, std::string_view());
+      channel_->shutdown();  // wakes the reader; drain complete
+      return;
+    }
+    if (stream->cancelled.load(std::memory_order_relaxed)) continue;
+    std::string reply;
+    try {
+      if (stream->finalizer) reply = stream->finalizer();
+    } catch (const std::exception& e) {
+      fail(Status(StatusCode::kInternal,
+                  std::string("finalizer escaped: ") + e.what()));
+      return;
+    }
+    NET_TRACE("reply stream=%llu len=%zu",
+              static_cast<unsigned long long>(stream->id), reply.size());
+    if (Status s = send_reply(stream->id, reply); !s.ok()) {
+      fail(s);
+      return;
+    }
+  }
+}
+
+Status Dispatcher::send_reply(std::uint64_t stream_id,
+                              const std::string& reply) {
+  const std::uint32_t limit = std::max<std::uint32_t>(1, chunk_limit_.load());
+  std::size_t offset = 0;
+  do {
+    const std::size_t n =
+        std::min<std::size_t>(limit, reply.size() - offset);
+    const bool last = offset + n == reply.size();
+    const Status s =
+        channel_->send(FrameType::kData, last ? kFlagEndStream : 0, stream_id,
+                       std::string_view(reply).substr(offset, n));
+    if (!s.ok()) return s;
+    offset += n;
+  } while (offset < reply.size());
+  return Status::Ok();
+}
+
+void Dispatcher::fail(Status status) {
+  NET_TRACE("fail: %s", status.message().c_str());
+  bool first = false;
+  {
+    std::lock_guard lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      status_ = std::move(status);
+      first = true;
+    }
+  }
+  if (first) {
+    std::lock_guard lock(mu_);
+    // Tell the peer why before cutting it off -- but only for protocol
+    // violations; transport errors mean the wire is already dead.
+    if (status_.code() == StatusCode::kInvalidArgument ||
+        status_.code() == StatusCode::kDataLoss) {
+      (void)channel_->send(FrameType::kError, 0, 0, status_.message());
+    }
+    channel_->shutdown();
+  }
+  exec_cv_.notify_all();
+  write_cv_.notify_all();
+  admit_cv_.notify_all();
+}
+
+ServeLoop::ServeLoop(uds::Server server, rpc::Service& service,
+                     DispatcherOptions options)
+    : server_(std::move(server)), service_(service), options_(options) {}
+
+ServeLoop::~ServeLoop() { stop(); }
+
+void ServeLoop::start() {
+  accept_thread_ = std::thread([this] {
+    for (;;) {
+      auto channel = server_.accept();
+      if (!channel.ok()) return;  // listener closed
+      std::lock_guard lock(mu_);
+      if (stopped_.load()) {
+        (*channel)->shutdown();
+        return;
+      }
+      channels_.push_back(*channel);
+      conn_threads_.emplace_back([this, ch = *channel] {
+        Dispatcher dispatcher(ch, service_, options_);
+        (void)dispatcher.serve();
+      });
+    }
+  });
+}
+
+void ServeLoop::stop() {
+  if (stopped_.exchange(true)) return;
+  server_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<uds::Channel>> channels;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    channels.swap(channels_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& channel : channels) channel->shutdown();
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+}  // namespace inspector::net

@@ -1,0 +1,203 @@
+#include "net/frame.h"
+
+#include <array>
+#include <string>
+
+namespace inspector::net {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string hex32(std::uint32_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  for (int i = 28; i >= 0; i -= 4) s.push_back(digits[(v >> i) & 0xF]);
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kData:
+      return "data";
+    case FrameType::kSettings:
+      return "settings";
+    case FrameType::kGoodbye:
+      return "goodbye";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kCancel:
+      return "cancel";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> bytes) noexcept {
+  for (const std::uint8_t b : bytes) {
+    state = kCrc32Table[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint8_t flags, std::uint64_t stream_id,
+                  std::span<const std::uint8_t> payload) {
+  const std::size_t header_at = out.size();
+  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u16(out, kFrameFormatVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(flags);
+  put_u64(out, stream_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = crc32_update(
+      kCrc32Init, std::span(out).subspan(header_at, kFrameHeaderSize - 4));
+  crc = crc32_finalize(crc32_update(crc, payload));
+  put_u32(out, crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint8_t flags, std::uint64_t stream_id,
+                  std::string_view payload) {
+  append_frame(out, type, flags, stream_id,
+               std::span(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                         payload.size()));
+}
+
+Result<FrameHeader> decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status(StatusCode::kInvalidArgument,
+                  "truncated frame header: " + std::to_string(bytes.size()) +
+                      " of " + std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  const std::uint8_t* p = bytes.data();
+  const std::uint32_t magic = get_u32(p);
+  if (magic != kFrameMagic) {
+    return Status(StatusCode::kInvalidArgument,
+                  "not a frame (bad magic " + hex32(magic) + ", want " +
+                      hex32(kFrameMagic) + ")");
+  }
+  FrameHeader h;
+  h.version = get_u16(p + 4);
+  if (h.version != kFrameFormatVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  "frame format version " + std::to_string(h.version) +
+                      " is not supported (this build speaks version " +
+                      std::to_string(kFrameFormatVersion) + ")");
+  }
+  const std::uint8_t type = p[6];
+  if (type > kMaxFrameType) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown frame type " + std::to_string(type));
+  }
+  h.type = static_cast<FrameType>(type);
+  h.flags = p[7];
+  if ((h.flags & ~kKnownFlags) != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown frame flags " + std::to_string(h.flags));
+  }
+  h.stream_id = get_u64(p + 8);
+  h.payload_length = get_u32(p + 16);
+  if (h.payload_length > kMaxFramePayload) {
+    return Status(StatusCode::kInvalidArgument,
+                  "frame payload length " + std::to_string(h.payload_length) +
+                      " exceeds the " + std::to_string(kMaxFramePayload) +
+                      "-byte cap");
+  }
+  h.checksum = get_u32(p + 20);
+  return h;
+}
+
+Status verify_frame(const FrameHeader& header,
+                    std::span<const std::uint8_t> header_bytes,
+                    std::span<const std::uint8_t> payload) {
+  std::uint32_t crc =
+      crc32_update(kCrc32Init, header_bytes.first(kFrameHeaderSize - 4));
+  crc = crc32_finalize(crc32_update(crc, payload));
+  if (crc != header.checksum) {
+    return Status(StatusCode::kDataLoss,
+                  "frame checksum mismatch (stored " + hex32(header.checksum) +
+                      ", computed " + hex32(crc) + ")");
+  }
+  return Status::Ok();
+}
+
+Result<Frame> decode_frame(std::span<const std::uint8_t> bytes,
+                           std::size_t& pos) {
+  if (pos > bytes.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "frame offset past end of buffer");
+  }
+  const auto rest = bytes.subspan(pos);
+  auto header = decode_header(rest.first(
+      rest.size() < kFrameHeaderSize ? rest.size() : kFrameHeaderSize));
+  if (!header.ok()) return header.status();
+  const std::size_t want = header->payload_length;
+  if (rest.size() - kFrameHeaderSize < want) {
+    return Status(StatusCode::kInvalidArgument,
+                  "truncated frame payload: have " +
+                      std::to_string(rest.size() - kFrameHeaderSize) + " of " +
+                      std::to_string(want) + " bytes");
+  }
+  const auto payload = rest.subspan(kFrameHeaderSize, want);
+  if (Status s = verify_frame(*header, rest.first(kFrameHeaderSize), payload);
+      !s.ok()) {
+    return s;
+  }
+  Frame frame;
+  frame.header = *header;
+  frame.payload.assign(payload.begin(), payload.end());
+  pos += kFrameHeaderSize + want;
+  return frame;
+}
+
+}  // namespace inspector::net

@@ -1,0 +1,120 @@
+#include "net/query_service.h"
+
+#include <utility>
+#include <variant>
+
+#include "query/wire.h"
+
+namespace inspector::net {
+
+namespace {
+
+using query::QueryEngine;
+using query::QueryOptions;
+using query::Reply;
+using query::wire::NextRequest;
+using query::wire::Request;
+
+class EngineSession final : public rpc::Session {
+ public:
+  EngineSession(std::shared_ptr<QueryEngine> engine,
+                QueryEngine::SessionId id)
+      : engine_(std::move(engine)), id_(id) {}
+
+  ~EngineSession() override { (void)engine_->close_session(id_); }
+
+  [[nodiscard]] QueryEngine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] QueryEngine::SessionId id() const noexcept { return id_; }
+
+ private:
+  std::shared_ptr<QueryEngine> engine_;
+  QueryEngine::SessionId id_;
+};
+
+}  // namespace
+
+QueryService::QueryService(std::shared_ptr<query::QueryEngine> engine,
+                           Options options)
+    : engine_(std::move(engine)), options_(options) {
+  const std::uint64_t default_page_size = options_.default_page_size;
+
+  // A malformed line still produces a normal error reply on its own
+  // stream -- a bad request never poisons the connection.
+  registry_.add("error", [](rpc::Session&, const rpc::Context&,
+                            std::string_view line) -> rpc::Finalizer {
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    const Status status = request.ok()
+                              ? Status(StatusCode::kInternal,
+                                       "error method on a valid request")
+                              : request.status();
+    return [echo, status] {
+      return query::wire::serialize_reply(echo, Result<Reply>(status));
+    };
+  });
+
+  registry_.add(
+      "query",
+      [default_page_size](rpc::Session& session, const rpc::Context&,
+                          std::string_view line) -> rpc::Finalizer {
+        auto& s = static_cast<EngineSession&>(session);
+        std::uint64_t echo = 0;
+        auto request = query::wire::parse_request(line, &echo);
+        // method_of() vetted the parse; a race-proof re-check anyway.
+        if (!request.ok() ||
+            !std::holds_alternative<query::Query>(request->op)) {
+          const Status status =
+              request.ok() ? Status(StatusCode::kInternal,
+                                    "query method on a non-query request")
+                           : request.status();
+          return [echo, status] {
+            return query::wire::serialize_reply(echo, Result<Reply>(status));
+          };
+        }
+        QueryOptions options;
+        options.page_size = request->page_size != 0 ? request->page_size
+                                                    : default_page_size;
+        // Phase 1 (concurrent): the analysis. Phase 2 (serial, in
+        // request order): pagination + cursor registration.
+        auto prepared =
+            s.engine().prepare(std::get<query::Query>(request->op), options);
+        return [&s, echo, prepared = std::move(prepared)]() mutable {
+          return query::wire::serialize_reply(
+              echo, s.engine().finish(s.id(), std::move(prepared)));
+        };
+      });
+
+  registry_.add("next", [](rpc::Session& session, const rpc::Context&,
+                           std::string_view line) -> rpc::Finalizer {
+    auto& s = static_cast<EngineSession&>(session);
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    if (!request.ok() || !std::holds_alternative<NextRequest>(request->op)) {
+      const Status status =
+          request.ok() ? Status(StatusCode::kInternal,
+                                "next method on a non-next request")
+                       : request.status();
+      return [echo, status] {
+        return query::wire::serialize_reply(echo, Result<Reply>(status));
+      };
+    }
+    const std::uint64_t cursor = std::get<NextRequest>(request->op).cursor;
+    // Entirely in the finalizer: a cursor fetch must observe every
+    // earlier request's cursor registration (the batch-mode barrier).
+    return [&s, echo, cursor] {
+      return query::wire::serialize_reply(echo, s.engine().next(s.id(), cursor));
+    };
+  });
+}
+
+std::unique_ptr<rpc::Session> QueryService::open_session() {
+  return std::make_unique<EngineSession>(engine_, engine_->open_session());
+}
+
+std::string QueryService::method_of(std::string_view request) const {
+  auto parsed = query::wire::parse_request(request);
+  if (!parsed.ok()) return "error";
+  return std::holds_alternative<NextRequest>(parsed->op) ? "next" : "query";
+}
+
+}  // namespace inspector::net

@@ -1,0 +1,522 @@
+#include "net/router.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "net/uds.h"
+#include "query/engine.h"
+#include "query/overloaded.h"
+#include "query/wire.h"
+
+namespace inspector::net {
+
+namespace {
+
+using query::Query;
+using query::Reply;
+using query::wire::NextRequest;
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// One router->worker connection: pipelined calls keyed by stream id,
+/// a reader thread completing them, and a sticky dead flag once the
+/// channel fails. A reply counts only when every frame of it arrived
+/// (kFlagEndStream seen) -- a worker killed mid-reply therefore never
+/// produces a hybrid stream, just a failed call.
+class WorkerLink {
+ public:
+  WorkerLink(RouterService& owner, std::size_t index,
+             const WorkerEndpoint& endpoint, Status dead_status)
+      : owner_(owner),
+        index_(index),
+        endpoint_(endpoint),
+        dead_status_(std::move(dead_status)) {}
+
+  ~WorkerLink() {
+    std::shared_ptr<uds::Channel> channel;
+    {
+      std::lock_guard lock(mu_);
+      closing_ = true;  // the EOF the reader is about to see is ours
+      channel = channel_;
+    }
+    if (channel) channel->shutdown();
+    if (reader_.joinable()) reader_.join();
+  }
+
+  /// Send one request line and block for its complete reply.
+  ///
+  /// The link speaks its own stream-id space: router-side stream ids
+  /// arrive out of order (exec threads race, and a "next" finalizer
+  /// fires long after younger queries were forwarded), but the worker's
+  /// dispatcher requires strictly increasing ids. Allocating the link
+  /// id and sending under one lock keeps the wire order monotonic.
+  [[nodiscard]] Result<std::string> call(std::uint64_t stream_id,
+                                         std::string_view line) {
+    auto pending = std::make_shared<Pending>();
+    std::uint64_t link_id = 0;
+    {
+      std::unique_lock lock(mu_);
+      if (Status s = ensure_connected(lock); !s.ok()) return s;
+      link_id = next_link_stream_++;
+      pending_.emplace(link_id, pending);
+      link_of_.emplace(stream_id, link_id);
+      const Status sent = channel_->send(FrameType::kData, kFlagEndStream,
+                                         link_id, line);
+      if (sent.ok()) {
+        cv_.wait(lock, [&] { return pending->done || dead_; });
+      }
+      link_of_.erase(stream_id);
+      if (pending->done) return std::move(pending->reply);
+      pending_.erase(link_id);
+    }
+    mark_dead();
+    return dead_status_;
+  }
+
+  /// Best-effort cancel, translated to the worker's link stream id.
+  void cancel(std::uint64_t stream_id) {
+    std::shared_ptr<uds::Channel> channel;
+    std::uint64_t link_id = 0;
+    {
+      std::lock_guard lock(mu_);
+      if (dead_ || !channel_) return;
+      const auto it = link_of_.find(stream_id);
+      if (it == link_of_.end()) return;  // already answered
+      link_id = it->second;
+      channel = channel_;
+    }
+    (void)channel->send(FrameType::kCancel, 0, link_id, std::string_view());
+  }
+
+  [[nodiscard]] bool dead() const {
+    std::lock_guard lock(mu_);
+    return dead_;
+  }
+
+ private:
+  struct Pending {
+    std::string reply;
+    bool done = false;
+  };
+
+  [[nodiscard]] Status ensure_connected(std::unique_lock<std::mutex>& lock) {
+    (void)lock;
+    if (dead_) return dead_status_;
+    if (channel_) return Status::Ok();
+    auto channel = uds::Channel::connect_retry(endpoint_.socket_path, 40, 25);
+    if (!channel.ok()) {
+      dead_ = true;
+      owner_.mark_dead(index_);
+      cv_.notify_all();
+      return dead_status_;
+    }
+    channel_ = *channel;
+    reader_ = std::thread(&WorkerLink::read_loop, this);
+    return Status::Ok();
+  }
+
+  void mark_dead() {
+    std::shared_ptr<uds::Channel> channel;
+    bool worker_died = false;
+    {
+      std::lock_guard lock(mu_);
+      if (!dead_) {
+        dead_ = true;
+        // A channel failure during session teardown is this link
+        // closing, not the worker dying: only a live link's failure
+        // may poison the service-wide sticky ledger.
+        worker_died = !closing_;
+        channel = channel_;
+      }
+    }
+    if (worker_died) owner_.mark_dead(index_);
+    if (channel) channel->shutdown();
+    cv_.notify_all();
+  }
+
+  void read_loop() {
+    for (;;) {
+      auto got = channel_->recv();
+      if (!got.ok() || !got->has_value()) {
+        mark_dead();
+        return;
+      }
+      const Frame& frame = **got;
+      if (frame.header.type == FrameType::kError) {
+        mark_dead();
+        return;
+      }
+      if (frame.header.type != FrameType::kData) continue;
+      std::lock_guard lock(mu_);
+      const auto it = pending_.find(frame.header.stream_id);
+      if (it == pending_.end()) continue;  // cancelled stream's tail
+      it->second->reply.append(
+          reinterpret_cast<const char*>(frame.payload.data()),
+          frame.payload.size());
+      if (frame.header.end_stream()) {
+        it->second->done = true;
+        pending_.erase(it);
+        cv_.notify_all();
+      }
+    }
+  }
+
+  RouterService& owner_;
+  const std::size_t index_;
+  const WorkerEndpoint& endpoint_;
+  const Status dead_status_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<uds::Channel> channel_;
+  std::thread reader_;
+  bool dead_ = false;
+  bool closing_ = false;
+  std::uint64_t next_link_stream_ = 1;
+  /// In-flight calls keyed by the link's own stream id...
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  /// ...and the router stream id -> link stream id view, for Cancel.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_of_;
+};
+
+}  // namespace
+
+/// Per-connection router state: lazy worker links, the stream->worker
+/// table (for Cancel forwarding), and the cursor translation table
+/// (finalizer-only, hence unlocked).
+class RouterSession final : public rpc::Session {
+ public:
+  explicit RouterSession(RouterService& owner) : owner_(owner) {
+    links_.resize(owner.worker_count());
+  }
+
+  void on_cancel(std::uint64_t stream_id) override {
+    std::size_t worker = 0;
+    {
+      std::lock_guard lock(streams_mu_);
+      const auto it = stream_worker_.find(stream_id);
+      if (it == stream_worker_.end()) return;
+      worker = it->second;
+    }
+    std::lock_guard lock(links_mu_);
+    if (links_[worker]) links_[worker]->cancel(stream_id);
+  }
+
+  struct Dispatched {
+    Result<std::string> reply;
+    std::size_t worker;
+  };
+
+  /// Send `line` to the preferred worker, failing over to the next
+  /// live one when degraded serving is allowed. Every worker is tried
+  /// at most once; the typed error names the last worker tried.
+  [[nodiscard]] Dispatched dispatch(std::uint64_t stream_id,
+                                    std::string_view line,
+                                    std::size_t preferred) {
+    std::size_t worker = preferred;
+    for (std::size_t attempt = 0; attempt < owner_.worker_count(); ++attempt) {
+      if (owner_.is_dead(worker)) {
+        if (!owner_.options_.allow_degraded) {
+          return {owner_.worker_unavailable(worker), worker};
+        }
+        const std::size_t live = owner_.next_live(worker);
+        if (live == owner_.worker_count()) {
+          return {owner_.worker_unavailable(worker), worker};
+        }
+        worker = live;
+      }
+      {
+        std::lock_guard lock(streams_mu_);
+        stream_worker_[stream_id] = worker;
+      }
+      auto reply = link(worker).call(stream_id, line);
+      {
+        std::lock_guard lock(streams_mu_);
+        stream_worker_.erase(stream_id);
+      }
+      if (reply.ok() || !owner_.options_.allow_degraded) {
+        return {std::move(reply), worker};
+      }
+      // Degraded: the worker died under this call; re-dispatch. The
+      // query re-runs from scratch on the next worker, so the reply is
+      // always one worker's complete answer -- never a hybrid.
+    }
+    return {owner_.worker_unavailable(preferred), preferred};
+  }
+
+  [[nodiscard]] WorkerLink& link(std::size_t worker) {
+    std::lock_guard lock(links_mu_);
+    if (!links_[worker]) {
+      links_[worker] = std::make_unique<WorkerLink>(
+          owner_, worker, owner_.workers_[worker],
+          owner_.worker_unavailable(worker));
+    }
+    return *links_[worker];
+  }
+
+  [[nodiscard]] bool link_dead(std::size_t worker) {
+    if (owner_.is_dead(worker)) return true;
+    std::lock_guard lock(links_mu_);
+    return links_[worker] && links_[worker]->dead();
+  }
+
+  /// ---- cursor virtualization (finalizer-only state) ----
+
+  struct CursorRef {
+    std::size_t worker = 0;
+    std::uint64_t local = 0;
+  };
+
+  /// Rewrite a worker reply's cursor id into the session's own id
+  /// space. The reply header is `...,"has_more":true,"cursor":<local>`
+  /// before any payload field, so the first match is the header.
+  [[nodiscard]] std::string virtualize_cursor(std::string reply,
+                                              std::size_t worker) {
+    static constexpr std::string_view kKey = "\"has_more\":true,\"cursor\":";
+    const std::size_t at = reply.find(kKey);
+    if (at == std::string::npos) return reply;  // no cursor issued
+    const std::size_t digits_at = at + kKey.size();
+    std::size_t digits_end = digits_at;
+    while (digits_end < reply.size() && reply[digits_end] >= '0' &&
+           reply[digits_end] <= '9') {
+      ++digits_end;
+    }
+    const std::uint64_t local = std::stoull(
+        reply.substr(digits_at, digits_end - digits_at));
+    const std::uint64_t global = next_cursor_++;
+    cursors_[global] = CursorRef{worker, local};
+    reply.replace(digits_at, digits_end - digits_at, std::to_string(global));
+    return reply;
+  }
+
+  [[nodiscard]] const CursorRef* find_cursor(std::uint64_t global) const {
+    const auto it = cursors_.find(global);
+    return it == cursors_.end() ? nullptr : &it->second;
+  }
+
+  RouterService& owner_;
+
+ private:
+  std::mutex links_mu_;
+  std::vector<std::unique_ptr<WorkerLink>> links_;
+
+  std::mutex streams_mu_;
+  std::unordered_map<std::uint64_t, std::size_t> stream_worker_;
+
+  // Written and read only from finalizers, which the dispatcher runs
+  // serially on one thread per connection.
+  std::uint64_t next_cursor_ = 1;
+  std::unordered_map<std::uint64_t, CursorRef> cursors_;
+};
+
+namespace {
+
+std::string error_reply(std::uint64_t echo, Status status) {
+  return query::wire::serialize_reply(echo, Result<Reply>(std::move(status)));
+}
+
+/// Status name inside a reply line, e.g. `"status":"not_found"`.
+bool reply_has_status(std::string_view reply, std::string_view name) {
+  std::string key = "\"status\":\"";
+  key += name;
+  key += "\"";
+  return reply.find(key) != std::string_view::npos;
+}
+
+}  // namespace
+
+RouterService::RouterService(shard::Manifest manifest,
+                             std::vector<WorkerEndpoint> workers,
+                             RouterOptions options)
+    : manifest_(std::move(manifest)),
+      workers_(std::move(workers)),
+      options_(options),
+      dead_(new std::atomic<bool>[workers_.size()]) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) dead_[w].store(false);
+  shard_to_worker_.assign(manifest_.shard_count, 0);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    for (std::uint32_t s = workers_[w].shard_lo;
+         s < workers_[w].shard_hi && s < manifest_.shard_count; ++s) {
+      shard_to_worker_[s] = static_cast<std::uint32_t>(w);
+    }
+  }
+
+  registry_.add("error", [](rpc::Session&, const rpc::Context&,
+                            std::string_view line) -> rpc::Finalizer {
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    const Status status = request.ok()
+                              ? Status(StatusCode::kInternal,
+                                       "error method on a valid request")
+                              : request.status();
+    return [echo, status] { return error_reply(echo, status); };
+  });
+
+  registry_.add("query", [this](rpc::Session& session, const rpc::Context& ctx,
+                                std::string_view line) -> rpc::Finalizer {
+    auto& s = static_cast<RouterSession&>(session);
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    if (!request.ok() || !std::holds_alternative<Query>(request->op)) {
+      const Status status =
+          request.ok() ? Status(StatusCode::kInternal,
+                                "query method on a non-query request")
+                       : request.status();
+      return [echo, status] { return error_reply(echo, status); };
+    }
+    // Phase 1 (concurrent): forward the original bytes and await the
+    // complete worker reply (or fail over). Phase 2 (serial): assign
+    // the global cursor id, which must follow request order.
+    auto dispatched = s.dispatch(
+        ctx.stream_id, line, route(std::get<Query>(request->op)));
+    return [&s, echo, dispatched = std::move(dispatched)]() mutable {
+      if (!dispatched.reply.ok()) {
+        return error_reply(echo, dispatched.reply.status());
+      }
+      return s.virtualize_cursor(std::move(dispatched.reply).value(),
+                                 dispatched.worker);
+    };
+  });
+
+  registry_.add("next", [this](rpc::Session& session, const rpc::Context& ctx,
+                               std::string_view line) -> rpc::Finalizer {
+    auto& s = static_cast<RouterSession&>(session);
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    if (!request.ok() || !std::holds_alternative<NextRequest>(request->op)) {
+      const Status status =
+          request.ok() ? Status(StatusCode::kInternal,
+                                "next method on a non-next request")
+                       : request.status();
+      return [echo, status] { return error_reply(echo, status); };
+    }
+    const std::uint64_t global = std::get<NextRequest>(request->op).cursor;
+    const std::uint64_t stream_id = ctx.stream_id;
+    // Entirely in the finalizer: the cursor table is only consistent
+    // once every earlier query's finalizer has run, and "next" acts as
+    // the same barrier it is in batch mode.
+    return [this, &s, echo, global, stream_id] {
+      const RouterSession::CursorRef* ref = s.find_cursor(global);
+      if (ref == nullptr) {
+        return error_reply(echo,
+                           query::detail::cursor_not_found_error(global));
+      }
+      // The paginated result lives in the owning worker; a dead worker
+      // means the cursor state is gone, degraded serving or not.
+      if (s.link_dead(ref->worker)) {
+        return error_reply(echo, worker_unavailable(ref->worker));
+      }
+      const std::string forwarded = "{\"id\":" + std::to_string(echo) +
+                                    ",\"op\":\"next\",\"cursor\":" +
+                                    std::to_string(ref->local) + "}";
+      auto reply = s.link(ref->worker).call(stream_id, forwarded);
+      if (!reply.ok()) {
+        return error_reply(echo, worker_unavailable(ref->worker));
+      }
+      // Translate the worker's local cursor id (and its id-bearing
+      // errors) back into the global id the client knows.
+      if (reply_has_status(*reply, "not_found")) {
+        return error_reply(echo,
+                           query::detail::cursor_not_found_error(global));
+      }
+      if (reply_has_status(*reply, "exhausted")) {
+        return error_reply(echo,
+                           query::detail::cursor_exhausted_error(global));
+      }
+      static constexpr std::string_view kKey =
+          "\"has_more\":true,\"cursor\":";
+      std::string out = std::move(reply).value();
+      const std::size_t at = out.find(kKey);
+      if (at != std::string::npos) {
+        const std::size_t digits_at = at + kKey.size();
+        std::size_t digits_end = digits_at;
+        while (digits_end < out.size() && out[digits_end] >= '0' &&
+               out[digits_end] <= '9') {
+          ++digits_end;
+        }
+        out.replace(digits_at, digits_end - digits_at,
+                    std::to_string(global));
+      }
+      return out;
+    };
+  });
+}
+
+std::unique_ptr<rpc::Session> RouterService::open_session() {
+  return std::make_unique<RouterSession>(*this);
+}
+
+std::string RouterService::method_of(std::string_view request) const {
+  auto parsed = query::wire::parse_request(request);
+  if (!parsed.ok()) return "error";
+  return std::holds_alternative<NextRequest>(parsed->op) ? "next" : "query";
+}
+
+Status RouterService::worker_unavailable(std::size_t worker) const {
+  const WorkerEndpoint& ep = workers_[worker];
+  return Status(StatusCode::kUnavailable,
+                "worker " + std::to_string(worker) + " (shards [" +
+                    std::to_string(ep.shard_lo) + ", " +
+                    std::to_string(ep.shard_hi) + ")) is unavailable");
+}
+
+std::size_t RouterService::next_live(std::size_t from) const {
+  for (std::size_t step = 1; step <= workers_.size(); ++step) {
+    const std::size_t w = (from + step) % workers_.size();
+    if (!is_dead(w)) return w;
+  }
+  return workers_.size();
+}
+
+std::size_t RouterService::route(const query::Query& q) const {
+  // Out-of-range nodes and fence-less pages fall back to the hash
+  // route; the chosen worker answers them with the usual typed error.
+  const auto by_hash = [&]() -> std::size_t {
+    return static_cast<std::size_t>(fnv1a64(query::wire::serialize_query(q)) %
+                                    workers_.size());
+  };
+  const auto by_node = [&](cpg::NodeId node) -> std::size_t {
+    if (node < manifest_.node_shard.size() &&
+        manifest_.node_shard[node] < shard_to_worker_.size()) {
+      return shard_to_worker_[manifest_.node_shard[node]];
+    }
+    return by_hash();
+  };
+  const auto by_page = [&](std::uint64_t page) -> std::size_t {
+    for (std::size_t s = 0;
+         s < manifest_.shards.size() && s < shard_to_worker_.size(); ++s) {
+      const shard::ShardInfo& info = manifest_.shards[s];
+      if (info.min_page != shard::kNoPage && page >= info.min_page &&
+          page <= info.max_page) {
+        return shard_to_worker_[s];
+      }
+    }
+    return by_hash();
+  };
+  return std::visit(
+      query::detail::Overloaded{
+          [&](const query::BackwardSliceQuery& v) { return by_node(v.node); },
+          [&](const query::ForwardSliceQuery& v) { return by_node(v.node); },
+          [&](const query::LatestWritersQuery& v) { return by_node(v.node); },
+          [&](const query::DataDependenciesQuery& v) {
+            return by_node(v.node);
+          },
+          [&](const query::PageAccessorsQuery& v) { return by_page(v.page); },
+          [&](const query::HappensBeforeQuery& v) { return by_node(v.first); },
+          [&](const auto&) { return by_hash(); },
+      },
+      q);
+}
+
+}  // namespace inspector::net

@@ -1,0 +1,91 @@
+// RPC vocabulary between the frame transport and the query engine.
+//
+// A Service is the per-process application: it opens one Session per
+// connection (the query layer keeps a QueryEngine session in there;
+// the router keeps its worker channels), names the method a request
+// line should run ("query", "next", "error"), and registers a Method
+// per name.
+//
+// Methods run in two phases, mirroring QueryEngine::run_batch:
+//
+//   phase 1  the Method body. Runs concurrently on dispatcher pool
+//            threads; does the heavy analysis and returns a Finalizer.
+//   phase 2  the Finalizer. Runs serially on the connection's reply
+//            thread, in request-arrival order, and returns the reply
+//            bytes to send.
+//
+// Everything order-sensitive -- cursor id assignment, reply emission --
+// belongs in the finalizer; that is what keeps a served session's
+// reply stream byte-identical to the in-process engine's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace inspector::net::rpc {
+
+/// Per-request context handed to a method.
+struct Context {
+  std::uint64_t stream_id = 0;
+  /// Set once a Cancel frame for this stream has arrived. Long phase-1
+  /// bodies may poll it and bail out early; the dispatcher never sends
+  /// a reply for a cancelled stream either way.
+  const std::atomic<bool>* cancelled = nullptr;
+
+  [[nodiscard]] bool is_cancelled() const noexcept {
+    return cancelled != nullptr &&
+           cancelled->load(std::memory_order_relaxed);
+  }
+};
+
+/// Per-connection service state; destroyed when the connection ends.
+class Session {
+ public:
+  virtual ~Session() = default;
+
+  /// Called (from the connection's reader thread) when a stream is
+  /// cancelled, so a session that delegated the request elsewhere can
+  /// propagate the cancel.
+  virtual void on_cancel(std::uint64_t /*stream_id*/) {}
+};
+
+/// Phase 2 of a request; see the file comment.
+using Finalizer = std::function<std::string()>;
+
+/// Phase 1 of a request; see the file comment. The request bytes are
+/// only valid for the duration of the call.
+using Method =
+    std::function<Finalizer(Session&, const Context&, std::string_view)>;
+
+class Registry {
+ public:
+  void add(std::string name, Method method) {
+    methods_[std::move(name)] = std::move(method);
+  }
+
+  [[nodiscard]] const Method* find(std::string_view name) const {
+    const auto it = methods_.find(std::string(name));
+    return it == methods_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, Method> methods_;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<Session> open_session() = 0;
+  [[nodiscard]] virtual const Registry& registry() const = 0;
+  /// Name the method for one request line; must be a registered name.
+  [[nodiscard]] virtual std::string method_of(
+      std::string_view request) const = 0;
+};
+
+}  // namespace inspector::net::rpc

@@ -1,0 +1,248 @@
+#include "net/uds.h"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace inspector::net::uds {
+
+namespace {
+
+Status errno_error(const std::string& what, int err) {
+  return Status(StatusCode::kUnavailable,
+                what + ": " + std::strerror(err));
+}
+
+/// Fill a sockaddr_un, rejecting paths that do not fit sun_path.
+Result<sockaddr_un> make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "socket path must be 1.." +
+                      std::to_string(sizeof(addr.sun_path) - 1) +
+                      " bytes, got " + std::to_string(path.size()) + " (" +
+                      path + ")");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// send(2) with MSG_NOSIGNAL so a dead peer yields EPIPE, not SIGPIPE.
+Status send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("socket send failed", errno);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Read exactly `size` bytes. Returns the byte count actually read,
+/// which is short only on EOF; errors come back through `out_status`.
+Result<std::size_t> recv_exact(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd, data + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("socket recv failed", errno);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+Channel::~Channel() { close(); }
+
+Result<std::shared_ptr<Channel>> Channel::connect(const std::string& path) {
+  auto addr = make_addr(path);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_error("socket() failed", errno);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                sizeof(*addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return errno_error("connect to " + path + " failed", err);
+  }
+  return std::make_shared<Channel>(fd);
+}
+
+Result<std::shared_ptr<Channel>> Channel::connect_retry(const std::string& path,
+                                                        int attempts,
+                                                        int backoff_ms) {
+  Status last(StatusCode::kUnavailable, "no connect attempts made");
+  for (int i = 0; i < attempts; ++i) {
+    auto channel = connect(path);
+    if (channel.ok()) return channel;
+    if (channel.status().code() != StatusCode::kUnavailable) return channel;
+    last = channel.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+  return last;
+}
+
+Status Channel::send(FrameType type, std::uint8_t flags,
+                     std::uint64_t stream_id,
+                     std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status(StatusCode::kInvalidArgument,
+                  "frame payload of " + std::to_string(payload.size()) +
+                      " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                      "-byte cap; split it across frames");
+  }
+  // One contiguous buffer per frame: a single send_all under the lock
+  // keeps the frame atomic on the wire even with concurrent senders.
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, type, flags, stream_id, payload);
+  std::lock_guard lock(send_mu_);
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "channel is closed");
+  }
+  return send_all(fd_, wire.data(), wire.size());
+}
+
+Status Channel::send(FrameType type, std::uint8_t flags,
+                     std::uint64_t stream_id, std::string_view payload) {
+  return send(type, flags, stream_id,
+              std::span(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                        payload.size()));
+}
+
+Result<std::optional<Frame>> Channel::recv() {
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "channel is closed");
+  }
+  std::uint8_t header_bytes[kFrameHeaderSize];
+  auto got = recv_exact(fd_, header_bytes, kFrameHeaderSize);
+  if (!got.ok()) return got.status();
+  if (*got == 0) return std::optional<Frame>();  // clean EOF
+  if (*got < kFrameHeaderSize) {
+    return Status(StatusCode::kUnavailable,
+                  "connection closed mid-frame (" + std::to_string(*got) +
+                      " of " + std::to_string(kFrameHeaderSize) +
+                      " header bytes)");
+  }
+  auto header = decode_header(header_bytes);
+  if (!header.ok()) return header.status();
+  Frame frame;
+  frame.header = *header;
+  frame.payload.resize(header->payload_length);
+  if (header->payload_length > 0) {
+    got = recv_exact(fd_, frame.payload.data(), frame.payload.size());
+    if (!got.ok()) return got.status();
+    if (*got < frame.payload.size()) {
+      return Status(StatusCode::kUnavailable,
+                    "connection closed mid-frame (" + std::to_string(*got) +
+                        " of " + std::to_string(frame.payload.size()) +
+                        " payload bytes)");
+    }
+  }
+  if (Status s = verify_frame(*header, header_bytes, frame.payload); !s.ok()) {
+    return s;
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+void Channel::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Channel::close() noexcept {
+  std::lock_guard lock(send_mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Server::~Server() { close(); }
+
+Server::Server(Server&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+Server& Server::operator=(Server&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Result<Server> Server::listen(const std::string& path, int backlog) {
+  auto addr = make_addr(path);
+  if (!addr.ok()) return addr.status();
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return Status(StatusCode::kInvalidArgument,
+                    path + " exists and is not a socket; refusing to replace it");
+    }
+    // A socket file with no listener behind it is debris from a dead
+    // server; bind() needs the name free.
+    ::unlink(path.c_str());
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_error("socket() failed", errno);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return errno_error("bind to " + path + " failed", err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    return errno_error("listen on " + path + " failed", err);
+  }
+  Server server;
+  server.fd_.store(fd);
+  server.path_ = path;
+  return server;
+}
+
+Result<std::shared_ptr<Channel>> Server::accept() {
+  for (;;) {
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) {
+      return Status(StatusCode::kUnavailable, "server is closed");
+    }
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return std::make_shared<Channel>(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return errno_error("accept on " + path_ + " failed", errno);
+  }
+}
+
+void Server::close() noexcept {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() wakes an accept() blocked in another thread; close()
+    // alone is not guaranteed to.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace inspector::net::uds

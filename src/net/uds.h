@@ -1,0 +1,109 @@
+// AF_UNIX stream transport for the serving tier: a Server that
+// accepts connections and a Channel that sends and receives whole
+// frames (net/frame.h). The channel is the only layer that touches
+// file descriptors; everything above it deals in frames.
+//
+// Threading contract: send() is frame-atomic -- an internal mutex
+// serializes writers, so concurrent senders interleave at frame
+// boundaries, never inside one. recv() must be called from a single
+// reader thread. shutdown() may be called from any thread and wakes a
+// blocked reader or writer; close() frees the descriptor and must only
+// run once no other thread is inside the channel (in practice: from
+// the owner after joining the reader).
+//
+// IO failures (peer reset, EOF mid-frame, EPIPE) surface as
+// kUnavailable -- the transient code the retry and failover policies
+// act on -- while malformed frames keep their typed decode errors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace inspector::net::uds {
+
+class Channel {
+ public:
+  /// Wrap an already-connected descriptor (the server's accept path,
+  /// or a socketpair in tests).
+  explicit Channel(int fd) noexcept : fd_(fd) {}
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Dial a listening socket. One attempt; connect_retry() backs off
+  /// while a just-forked server is still coming up.
+  [[nodiscard]] static Result<std::shared_ptr<Channel>> connect(
+      const std::string& path);
+  [[nodiscard]] static Result<std::shared_ptr<Channel>> connect_retry(
+      const std::string& path, int attempts = 100,
+      int backoff_ms = 25);
+
+  /// Send one whole frame (header + payload), retrying short writes.
+  [[nodiscard]] Status send(FrameType type, std::uint8_t flags,
+                            std::uint64_t stream_id,
+                            std::span<const std::uint8_t> payload);
+  [[nodiscard]] Status send(FrameType type, std::uint8_t flags,
+                            std::uint64_t stream_id, std::string_view payload);
+
+  /// Receive one whole frame. nullopt on a clean EOF at a frame
+  /// boundary (the peer closed after its last frame); kUnavailable on
+  /// EOF mid-frame or a socket error; typed decode errors for
+  /// malformed headers and checksum mismatches.
+  [[nodiscard]] Result<std::optional<Frame>> recv();
+
+  /// Shut both directions down (threadsafe): a blocked recv() returns
+  /// EOF, further sends fail. The descriptor stays valid until close()
+  /// or destruction.
+  void shutdown() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::mutex send_mu_;
+};
+
+class Server {
+ public:
+  Server() = default;
+  ~Server();
+
+  Server(Server&& other) noexcept;
+  Server& operator=(Server&& other) noexcept;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on `path`. A stale socket file left by a dead
+  /// server is unlinked; any other existing file is an error (never
+  /// delete something that is not a socket).
+  [[nodiscard]] static Result<Server> listen(const std::string& path,
+                                             int backlog = 64);
+
+  /// Block for the next connection. kUnavailable once close() has been
+  /// called (the accept loop's exit signal).
+  [[nodiscard]] Result<std::shared_ptr<Channel>> accept();
+
+  /// Stop accepting (threadsafe): closes the listening descriptor --
+  /// waking a blocked accept() -- and unlinks the socket path.
+  void close() noexcept;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_.load() >= 0; }
+
+ private:
+  /// Atomic so close() (from a stopping thread) and the accept loop
+  /// can race safely; the loser of the exchange sees -1.
+  std::atomic<int> fd_{-1};
+  std::string path_;
+};
+
+}  // namespace inspector::net::uds

@@ -57,6 +57,18 @@ Status cyclic_error(const char* what) {
               " requires a topological order, but the graph has a cycle"};
 }
 
+Status cursor_not_found_error(std::uint64_t cursor) {
+  return {StatusCode::kNotFound,
+          "cursor " + std::to_string(cursor) +
+              " was never issued by this session (or was "
+              "evicted by the per-session cursor cap)"};
+}
+
+Status cursor_exhausted_error(std::uint64_t cursor) {
+  return {StatusCode::kExhausted,
+          "cursor " + std::to_string(cursor) + " is exhausted"};
+}
+
 }  // namespace detail
 
 using detail::cyclic_error;
@@ -326,6 +338,19 @@ Result<Reply> QueryEngine::run(SessionId session, const Query& q,
   return paginate(session, execute_full(q, options), options);
 }
 
+QueryEngine::Prepared QueryEngine::prepare(const Query& q,
+                                           const QueryOptions& options) {
+  return Prepared(execute_full(q, options), options);
+}
+
+Result<Reply> QueryEngine::finish(SessionId session, Prepared prepared) {
+  if (!session_exists(session)) {
+    return Status(StatusCode::kNotFound,
+                  "unknown session " + std::to_string(session));
+  }
+  return paginate(session, std::move(prepared.full_), prepared.options_);
+}
+
 bool QueryEngine::session_exists(SessionId session) const {
   std::lock_guard lock(mu_);
   return sessions_.contains(session);
@@ -399,15 +424,11 @@ Result<Reply> QueryEngine::next(SessionId session, std::uint64_t cursor) {
     Session& s = sit->second;
     const auto cit = s.cursors.find(cursor);
     if (cit == s.cursors.end()) {
-      return Status(StatusCode::kNotFound,
-                    "cursor " + std::to_string(cursor) +
-                        " was never issued by this session (or was "
-                        "evicted by the per-session cursor cap)");
+      return detail::cursor_not_found_error(cursor);
     }
     Cursor& c = cit->second;
     if (c.offset >= c.total) {
-      return Status(StatusCode::kExhausted,
-                    "cursor " + std::to_string(cursor) + " is exhausted");
+      return detail::cursor_exhausted_error(cursor);
     }
     full = c.full;
     offset = c.offset;

@@ -91,6 +91,11 @@ namespace detail {
 [[nodiscard]] Status node_range_error(cpg::NodeId id, std::size_t count);
 [[nodiscard]] Status untouched_page_error(std::uint64_t page);
 [[nodiscard]] Status cyclic_error(const char* what);
+/// Cursor lifecycle errors, shared with the serving router: when the
+/// router rewrites a worker-local cursor id into its own id space it
+/// must synthesize the exact bytes the engine would have produced.
+[[nodiscard]] Status cursor_not_found_error(std::uint64_t cursor);
+[[nodiscard]] Status cursor_exhausted_error(std::uint64_t cursor);
 }  // namespace detail
 
 class QueryEngine {
@@ -107,6 +112,37 @@ class QueryEngine {
   /// Always open; cursors of callers that never open_session() live
   /// here.
   static constexpr SessionId kDefaultSession = 0;
+
+ private:
+  /// A full result plus its degraded marker (shared_ptr so cursors and
+  /// the cache alias one payload; degraded results are never cached).
+  struct FullOutcome {
+    std::shared_ptr<const QueryResult> result;
+    bool degraded = false;
+  };
+
+ public:
+  /// The two-phase form of run(), for callers that overlap many
+  /// queries but need cursor ids handed out in request order (the
+  /// socket dispatcher): prepare() does the heavy analysis and may run
+  /// concurrently; finish() cuts the first page and registers the
+  /// cursor, and must be called serially in the order replies are
+  /// owed. run() == finish(session, prepare(q, options)).
+  class Prepared {
+   public:
+    Prepared(Prepared&&) = default;
+    Prepared(const Prepared&) = default;
+    Prepared& operator=(Prepared&&) = default;
+    Prepared& operator=(const Prepared&) = default;
+
+   private:
+    friend class QueryEngine;
+    Prepared(Result<FullOutcome> full, QueryOptions options)
+        : full_(std::move(full)), options_(options) {}
+
+    Result<FullOutcome> full_;
+    QueryOptions options_;
+  };
 
   explicit QueryEngine(std::shared_ptr<const cpg::Graph> graph,
                        Options options = Options());
@@ -137,6 +173,14 @@ class QueryEngine {
                                   const QueryOptions& options = {});
   [[nodiscard]] Result<Reply> run(SessionId session, const Query& q,
                                   const QueryOptions& options = {});
+
+  /// Phase 1: validate + execute to the full result (cache-aware,
+  /// safe to call concurrently). Never touches session state.
+  [[nodiscard]] Prepared prepare(const Query& q,
+                                 const QueryOptions& options = {});
+  /// Phase 2: paginate a prepared result and (if it spans pages)
+  /// register its cursor with `session`. Call in request order.
+  [[nodiscard]] Result<Reply> finish(SessionId session, Prepared prepared);
 
   /// One batch entry: a query plus its own pagination/cache knobs.
   struct BatchItem {
@@ -189,13 +233,6 @@ class QueryEngine {
     std::deque<std::uint64_t> issue_order;
   };
   static constexpr std::size_t kMaxSessionCursors = 1024;
-
-  /// A full result plus its degraded marker (shared_ptr so cursors and
-  /// the cache alias one payload; degraded results are never cached).
-  struct FullOutcome {
-    std::shared_ptr<const QueryResult> result;
-    bool degraded = false;
-  };
 
   /// Validate + execute one query to its full (unpaginated) result.
   [[nodiscard]] Result<FullOutcome> execute_full(const Query& q,

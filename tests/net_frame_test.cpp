@@ -1,0 +1,213 @@
+// Tests for the frame layer: header round-trips, every malformed-input
+// class as a typed Status, and the exhaustive single-bit-flip sweep
+// the CRC-32 checksum exists to win.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace {
+
+using namespace inspector;
+using net::decode_frame;
+using net::decode_header;
+using net::Frame;
+using net::FrameHeader;
+using net::FrameType;
+
+std::vector<std::uint8_t> encode(FrameType type, std::uint8_t flags,
+                                 std::uint64_t stream_id,
+                                 std::string_view payload) {
+  std::vector<std::uint8_t> out;
+  net::append_frame(out, type, flags, stream_id, payload);
+  return out;
+}
+
+Frame decode_one(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  auto frame = decode_frame(bytes, pos);
+  EXPECT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(pos, bytes.size());
+  return std::move(frame).value();
+}
+
+TEST(NetFrame, RoundTripsEveryTypeAndFlag) {
+  const std::string payload = "{\"id\":7,\"op\":\"stats\"}";
+  for (std::uint8_t t = 0; t <= net::kMaxFrameType; ++t) {
+    for (const std::uint8_t flags : {std::uint8_t{0}, net::kFlagEndStream}) {
+      const auto type = static_cast<FrameType>(t);
+      const auto bytes = encode(type, flags, 0x1122334455667788ULL, payload);
+      ASSERT_EQ(bytes.size(), net::kFrameHeaderSize + payload.size());
+      const Frame frame = decode_one(bytes);
+      EXPECT_EQ(frame.header.type, type);
+      EXPECT_EQ(frame.header.flags, flags);
+      EXPECT_EQ(frame.header.version, net::kFrameFormatVersion);
+      EXPECT_EQ(frame.header.stream_id, 0x1122334455667788ULL);
+      EXPECT_EQ(std::string(frame.payload.begin(), frame.payload.end()),
+                payload);
+    }
+  }
+}
+
+TEST(NetFrame, RoundTripsEmptyPayload) {
+  const auto bytes = encode(FrameType::kGoodbye, 0, 0, "");
+  const Frame frame = decode_one(bytes);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_FALSE(frame.header.end_stream());
+}
+
+TEST(NetFrame, DecodesBackToBackFrames) {
+  auto bytes = encode(FrameType::kData, 0, 1, "first half ");
+  const auto second = encode(FrameType::kData, net::kFlagEndStream, 1,
+                             "second half");
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  std::size_t pos = 0;
+  const auto a = decode_frame(bytes, pos);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->header.end_stream());
+  const auto b = decode_frame(bytes, pos);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->header.end_stream());
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(NetFrame, TruncatedHeaderIsInvalidArgument) {
+  const auto bytes = encode(FrameType::kData, 0, 1, "payload");
+  for (std::size_t keep = 0; keep < net::kFrameHeaderSize; ++keep) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(keep));
+    std::size_t pos = 0;
+    const auto frame = decode_frame(cut, pos);
+    ASSERT_FALSE(frame.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetFrame, TruncatedPayloadIsInvalidArgument) {
+  const auto bytes = encode(FrameType::kData, 0, 1, "payload");
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 1);
+  std::size_t pos = 0;
+  const auto frame = decode_frame(cut, pos);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, BadMagicIsInvalidArgument) {
+  auto bytes = encode(FrameType::kData, 0, 1, "x");
+  bytes[0] ^= 0xFF;
+  const auto header =
+      decode_header(std::span(bytes).subspan(0, net::kFrameHeaderSize));
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(header.status().message().find("magic"), std::string::npos);
+}
+
+TEST(NetFrame, FutureVersionIsInvalidArgument) {
+  auto bytes = encode(FrameType::kData, 0, 1, "x");
+  bytes[4] = 2;  // version lo byte
+  const auto header =
+      decode_header(std::span(bytes).subspan(0, net::kFrameHeaderSize));
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(header.status().message().find("version"), std::string::npos);
+}
+
+TEST(NetFrame, UnknownTypeIsInvalidArgument) {
+  auto bytes = encode(FrameType::kData, 0, 1, "x");
+  bytes[6] = net::kMaxFrameType + 1;
+  const auto header =
+      decode_header(std::span(bytes).subspan(0, net::kFrameHeaderSize));
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, UnknownFlagsAreInvalidArgument) {
+  auto bytes = encode(FrameType::kData, 0, 1, "x");
+  bytes[7] = 0x80;
+  const auto header =
+      decode_header(std::span(bytes).subspan(0, net::kFrameHeaderSize));
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, OversizedLengthIsInvalidArgument) {
+  auto bytes = encode(FrameType::kData, 0, 1, "x");
+  const std::uint32_t huge = net::kMaxFramePayload + 1;
+  bytes[16] = static_cast<std::uint8_t>(huge);
+  bytes[17] = static_cast<std::uint8_t>(huge >> 8);
+  bytes[18] = static_cast<std::uint8_t>(huge >> 16);
+  bytes[19] = static_cast<std::uint8_t>(huge >> 24);
+  const auto header =
+      decode_header(std::span(bytes).subspan(0, net::kFrameHeaderSize));
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(header.status().message().find("cap"), std::string::npos);
+}
+
+// The reason the header carries a CRC: flip ANY single bit of a frame
+// and the decoder must reject it with a typed error -- either a field
+// validation (kInvalidArgument) or the checksum (kDataLoss). No flip
+// may produce a frame that decodes "successfully" with different
+// contents.
+TEST(NetFrame, EverySingleBitFlipIsDetected) {
+  const auto bytes =
+      encode(FrameType::kData, net::kFlagEndStream, 42,
+             "{\"id\":3,\"op\":\"backward_slice\",\"node\":20}");
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    std::size_t pos = 0;
+    const auto frame = decode_frame(flipped, pos);
+    ASSERT_FALSE(frame.ok()) << "bit " << bit << " flip went undetected";
+    const StatusCode code = frame.status().code();
+    EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                code == StatusCode::kDataLoss)
+        << "bit " << bit << ": " << frame.status().message();
+  }
+}
+
+// Corrupting payload bytes (header intact) must always be kDataLoss:
+// the fields parse, only the checksum can catch it.
+TEST(NetFrame, PayloadBitFlipsAreDataLoss) {
+  const auto bytes = encode(FrameType::kData, 0, 9, "canonical reply bytes");
+  for (std::size_t bit = net::kFrameHeaderSize * 8; bit < bytes.size() * 8;
+       ++bit) {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    std::size_t pos = 0;
+    const auto frame = decode_frame(flipped, pos);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss)
+        << frame.status().message();
+  }
+}
+
+TEST(NetFrame, CrcMatchesKnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string_view check = "123456789";
+  const std::uint32_t crc = net::crc32_finalize(net::crc32_update(
+      net::kCrc32Init,
+      std::span(reinterpret_cast<const std::uint8_t*>(check.data()),
+                check.size())));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+// A frame whose length field claims fewer bytes than were damaged:
+// verify_frame sees exactly payload_length bytes, so the pairing of
+// decode_header + verify_frame is what the channel relies on.
+TEST(NetFrame, VerifyFrameChecksDeclaredPayloadOnly) {
+  const auto bytes = encode(FrameType::kData, 0, 5, "abc");
+  const auto header =
+      decode_header(std::span(bytes).subspan(0, net::kFrameHeaderSize));
+  ASSERT_TRUE(header.ok());
+  EXPECT_TRUE(net::verify_frame(*header,
+                                std::span(bytes).subspan(
+                                    0, net::kFrameHeaderSize),
+                                std::span(bytes).subspan(net::kFrameHeaderSize))
+                  .ok());
+}
+
+}  // namespace

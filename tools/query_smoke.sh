@@ -24,17 +24,27 @@ fi
 CLI=$1
 QUERY=$2
 DATA_DIR=$3
+SERVE_PID=
+stop_server() {
+  if [ -n "${SERVE_PID:-}" ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=
+  fi
+}
 if [ $# -ge 4 ]; then
   TMP_DIR=$4
-  trap 'rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" \
+  trap 'stop_server; \
+        rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" \
         "$TMP_DIR/smoke.shard3" "$TMP_DIR/smoke.shard7" \
-        "$TMP_DIR/smoke.shardz" "$TMP_DIR/smoke.sharda"; \
+        "$TMP_DIR/smoke.shardz" "$TMP_DIR/smoke.sharda" \
+        "$TMP_DIR"/smoke.net* "$TMP_DIR"/smoke.sock*; \
         rm -rf "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.store7" \
         "$TMP_DIR/smoke.storez" "$TMP_DIR/smoke.storea" \
         "$TMP_DIR/smoke.torn" "$TMP_DIR/smoke.emptystore"' EXIT
 else
   TMP_DIR=$(mktemp -d)
-  trap 'rm -rf "$TMP_DIR"' EXIT
+  trap 'stop_server; rm -rf "$TMP_DIR"' EXIT
 fi
 
 REQUESTS="$DATA_DIR/query_smoke_requests.jsonl"
@@ -137,4 +147,81 @@ expect_error "append into a missing store" \
     "$CLI" run histogram --threads 4 --scale 0.2 --seed 0 \
     --shard-append "$TMP_DIR/smoke.no-such-store"
 
-echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, and from 3-/7-shard, compressed, and appended stores under a 40000-byte budget; broken-store error paths exit nonzero"
+# Serving tier: the same golden replies must come back byte-identical
+# over the framed UDS transport -- from a single-process server on the
+# flat capture (both client input paths), and from a 2-worker router
+# over the sharded store. Then the worker-crash contract: a worker that
+# aborts on its first shard load yields one typed "unavailable" reply
+# per affected request (never a hang or a short stream), and with
+# --allow-degraded the router re-runs those requests on the surviving
+# worker and still reproduces the golden file exactly.
+SOCK="$TMP_DIR/smoke.sock"
+wait_for_socket() {
+  for _ in $(seq 1 200); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  echo "FAIL: server socket $1 never appeared" >&2
+  exit 1
+}
+
+"$QUERY" "$TMP_DIR/smoke.cpg" --serve "$SOCK" --analysis-threads 8 &
+SERVE_PID=$!
+wait_for_socket "$SOCK"
+timeout 60 "$QUERY" --connect "$SOCK" --requests "$REQUESTS" \
+    > "$TMP_DIR/smoke.netfile"
+timeout 60 "$QUERY" --connect "$SOCK" < "$REQUESTS" > "$TMP_DIR/smoke.netpipe"
+stop_server
+diff -u "$GOLDEN" "$TMP_DIR/smoke.netfile" || {
+  echo "FAIL: served replies (--requests client) differ from golden" >&2
+  exit 1
+}
+diff -u "$GOLDEN" "$TMP_DIR/smoke.netpipe" || {
+  echo "FAIL: served replies (stdin client) differ from golden" >&2
+  exit 1
+}
+
+"$QUERY" --store "$TMP_DIR/smoke.store3" --shard-budget 40000 \
+    --serve "$SOCK" --workers 2 &
+SERVE_PID=$!
+wait_for_socket "$SOCK"
+timeout 60 "$QUERY" --connect "$SOCK" --requests "$REQUESTS" \
+    > "$TMP_DIR/smoke.netrouter"
+stop_server
+diff -u "$GOLDEN" "$TMP_DIR/smoke.netrouter" || {
+  echo "FAIL: routed replies (2 shard workers) differ from golden" >&2
+  exit 1
+}
+
+# Crash worker 0 on its first shard load (failpoint hit 1 is the
+# manifest read, hit 2 the load). The client must still get exactly one
+# reply per request and a clean exit.
+"$QUERY" --store "$TMP_DIR/smoke.store3" --serve "$SOCK" --workers 2 \
+    --worker-failpoints 0:shard.read_file:abort-after:1 &
+SERVE_PID=$!
+wait_for_socket "$SOCK"
+timeout 60 "$QUERY" --connect "$SOCK" --requests "$REQUESTS" \
+    > "$TMP_DIR/smoke.netkill"
+stop_server
+if [ "$(wc -l < "$TMP_DIR/smoke.netkill")" != "$(wc -l < "$REQUESTS")" ]; then
+  echo "FAIL: dead worker dropped replies instead of erroring them" >&2
+  exit 1
+fi
+if ! grep -q '"status":"unavailable"' "$TMP_DIR/smoke.netkill"; then
+  echo "FAIL: dead worker produced no typed unavailable reply" >&2
+  exit 1
+fi
+
+"$QUERY" --store "$TMP_DIR/smoke.store3" --serve "$SOCK" --workers 2 \
+    --allow-degraded --worker-failpoints 0:shard.read_file:abort-after:1 &
+SERVE_PID=$!
+wait_for_socket "$SOCK"
+timeout 60 "$QUERY" --connect "$SOCK" --requests "$REQUESTS" \
+    > "$TMP_DIR/smoke.netdeg"
+stop_server
+diff -u "$GOLDEN" "$TMP_DIR/smoke.netdeg" || {
+  echo "FAIL: degraded routing did not reproduce the golden replies" >&2
+  exit 1
+}
+
+echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, from 3-/7-shard, compressed, and appended stores under a 40000-byte budget, over --serve (single-process and 2-worker router), and degraded routing around a crashed worker; broken-store error paths exit nonzero"
