@@ -21,6 +21,7 @@
 
 #include "analysis/races.h"
 #include "analysis/taint.h"
+#include "bench_json.h"
 #include "cpg/recorder.h"
 #include "util/parallel.h"
 
@@ -143,11 +144,15 @@ Measurement measure(const std::vector<cpg::SubComputation>& nodes,
 
 void emit(const std::string& phase, std::size_t nodes, std::size_t pages,
           unsigned workers, double ms, double baseline_ms, bool identical) {
-  std::cout << "{\"bench\":\"analysis_scaling\",\"phase\":\"" << phase
-            << "\",\"nodes\":" << nodes << ",\"pages\":" << pages
-            << ",\"workers\":" << workers << ",\"ms\":" << ms
-            << ",\"speedup_vs_1w\":" << (ms > 0 ? baseline_ms / ms : 0.0)
-            << ",\"identical\":" << (identical ? "true" : "false") << "}\n";
+  bench::JsonLine("analysis_scaling")
+      .field("phase", phase)
+      .field("nodes", nodes)
+      .field("pages", pages)
+      .field("workers", workers)
+      .field("ms", ms)
+      .field("speedup_vs_1w", ms > 0 ? baseline_ms / ms : 0.0)
+      .field("identical", identical)
+      .emit();
 }
 
 }  // namespace

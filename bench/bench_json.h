@@ -1,0 +1,79 @@
+// Shared JSON-line emission for the bench binaries: every bench prints
+// one self-describing object per line on stdout, and this builder is
+// the single place that formats them (quoting, key ordering by call
+// order, trailing newline). Numeric formatting matches what the
+// benches historically printed: ostream defaults for doubles, plain
+// digits for integers.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+#include <type_traits>
+
+namespace inspector::bench {
+
+/// Builder for one `{"bench":...,...}` line. Fields appear in call
+/// order; emit() writes the line to stdout.
+class JsonLine {
+ public:
+  explicit JsonLine(std::string_view bench) { field("bench", bench); }
+  /// For lines whose leading key is not "bench" (bench_micro's "check"
+  /// lines); the caller supplies every field.
+  JsonLine() = default;
+
+  JsonLine& field(std::string_view key, std::string_view value) {
+    begin_field(key);
+    out_ << '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+    return *this;
+  }
+  JsonLine& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonLine& field(std::string_view key, bool value) {
+    begin_field(key);
+    out_ << (value ? "true" : "false");
+    return *this;
+  }
+  JsonLine& field(std::string_view key, double value) {
+    begin_field(key);
+    out_ << value;
+    return *this;
+  }
+  /// Fixed-point double, for benches that print a set digit count.
+  JsonLine& field_fixed(std::string_view key, double value, int digits) {
+    begin_field(key);
+    out_ << std::fixed << std::setprecision(digits) << value
+         << std::defaultfloat << std::setprecision(6);
+    return *this;
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonLine& field(std::string_view key, T value) {
+    begin_field(key);
+    out_ << value;
+    return *this;
+  }
+
+  /// Print the completed object (plus newline) to stdout.
+  void emit() { std::cout << '{' << out_.str() << "}\n"; }
+
+ private:
+  void begin_field(std::string_view key) {
+    if (!first_) out_ << ',';
+    first_ = false;
+    out_ << '"' << key << "\":";
+  }
+
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+}  // namespace inspector::bench

@@ -25,6 +25,7 @@
 #include "util/varint.h"
 
 #include "analysis/races.h"
+#include "bench_json.h"
 #include "cpg/recorder.h"
 #include "memtrack/thread_memory.h"
 #include "ptsim/decoder.h"
@@ -378,10 +379,13 @@ double seconds_per_call(Fn&& fn, int repeats = 5,
 bool report_floor(const char* check, double value, double floor,
                   const char* unit) {
   const bool pass = value >= floor;
-  std::printf(
-      "{\"check\":\"%s\",\"value\":%.3f,\"floor\":%.3f,\"unit\":\"%s\","
-      "\"pass\":%s}\n",
-      check, value, floor, unit, pass ? "true" : "false");
+  bench::JsonLine()
+      .field("check", check)
+      .field_fixed("value", value, 3)
+      .field_fixed("floor", floor, 3)
+      .field("unit", unit)
+      .field("pass", pass)
+      .emit();
   if (!pass) {
     std::fprintf(stderr,
                  "bench_micro: %s = %.3f %s is below the floor %.3f\n", check,
@@ -419,13 +423,31 @@ bool check_varint_decode() {
   });
   const double decode_gbs =
       static_cast<double>(encoded.size()) / decode_s / 1e9;
-  std::printf("{\"check\":\"varint_decode_abs\",\"value\":%.3f,"
-              "\"unit\":\"GB/s\"}\n", decode_gbs);
+  bench::JsonLine()
+      .field("check", "varint_decode_abs")
+      .field_fixed("value", decode_gbs, 3)
+      .field("unit", "GB/s")
+      .emit();
   // ~0.011x measured (0.48 GB/s decode vs an L2-resident ~40 GB/s
   // memcpy); the floor sits ~3x below that. A per-element allocation
   // or a lost fast path lands an order of magnitude under it.
   return report_floor("varint_decode_vs_memcpy", memcpy_s / decode_s, 0.004,
                       "x memcpy");
+}
+
+/// Both intersection kernels behind call boundaries: they are
+/// header-inline, and letting them inline into the timing lambdas
+/// makes the measured ratio hostage to unrelated code layout in this
+/// TU (adding unrelated helpers elsewhere in the file has flipped
+/// it). noinline pins each kernel's codegen to its own function.
+[[gnu::noinline]] std::optional<std::uint64_t> timed_first_intersection(
+    const PageSet& a, const PageSet& b, const PageSet& ignored) {
+  return page_set_first_intersection(a, b, ignored);
+}
+[[gnu::noinline]] std::optional<std::uint64_t>
+timed_first_intersection_scalar(const PageSet& a, const PageSet& b,
+                                const PageSet& ignored) {
+  return detail::page_set_first_intersection_scalar(a, b, ignored);
 }
 
 /// First-intersection kernel vs the scalar reference it replaced, on
@@ -446,11 +468,10 @@ bool check_intersection_speedup() {
   }
   const PageSet ignored;
   const double fast_s = seconds_per_call([&] {
-    benchmark::DoNotOptimize(page_set_first_intersection(a, b, ignored));
+    benchmark::DoNotOptimize(timed_first_intersection(a, b, ignored));
   });
   const double scalar_s = seconds_per_call([&] {
-    benchmark::DoNotOptimize(
-        detail::page_set_first_intersection_scalar(a, b, ignored));
+    benchmark::DoNotOptimize(timed_first_intersection_scalar(a, b, ignored));
   });
   return report_floor("page_set_intersection_speedup", scalar_s / fast_s, 1.3,
                       "x scalar");

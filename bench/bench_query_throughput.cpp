@@ -30,12 +30,14 @@
 #include <variant>
 #include <vector>
 
+#include "bench_json.h"
 #include "cpg/recorder.h"
 #include "net/client.h"
 #include "net/dispatcher.h"
 #include "net/query_service.h"
 #include "net/router.h"
 #include "net/uds.h"
+#include "obs/metrics.h"
 #include "query/engine.h"
 #include "query/wire.h"
 #include "shard/engine.h"
@@ -254,16 +256,43 @@ ServedRun drive_clients(const std::string& path, unsigned clients,
 
 void print_served(const char* mode, unsigned workers, unsigned clients,
                   std::size_t calls, const ServedRun& run) {
-  std::cout << "{\"bench\":\"query_throughput\",\"transport\":\"uds\","
-            << "\"mode\":\"" << mode << "\",\"workers\":" << workers
-            << ",\"clients\":" << clients << ",\"calls\":" << calls
-            << ",\"ms\":" << run.wall_ms << ",\"qps\":"
-            << (run.wall_ms > 0
-                    ? 1000.0 * static_cast<double>(calls) / run.wall_ms
-                    : 0.0)
-            << ",\"latency_p50_ms\":" << run.p50_ms
-            << ",\"latency_p99_ms\":" << run.p99_ms << ",\"identical\":"
-            << (run.identical ? "true" : "false") << "}\n";
+  bench::JsonLine("query_throughput")
+      .field("transport", "uds")
+      .field("mode", mode)
+      .field("workers", workers)
+      .field("clients", clients)
+      .field("calls", calls)
+      .field("ms", run.wall_ms)
+      .field("qps", run.wall_ms > 0
+                        ? 1000.0 * static_cast<double>(calls) / run.wall_ms
+                        : 0.0)
+      .field("latency_p50_ms", run.p50_ms)
+      .field("latency_p99_ms", run.p99_ms)
+      .field("identical", run.identical)
+      .emit();
+}
+
+/// Per-phase latency percentiles from the process-wide metrics
+/// registry: every histogram the instrumented layers populated during
+/// the runs above (query_latency_us per kind, net stream/finalize
+/// wall time, shard decode, task-pool waits). One line per series, so
+/// BENCH trajectories can track where the time goes, not just the
+/// end-to-end rate.
+void print_phase_histograms() {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  for (const auto& s : snap.series) {
+    if (s.kind != obs::SeriesSnapshot::Kind::kHistogram) continue;
+    if (s.histogram.count == 0) continue;
+    bench::JsonLine("query_throughput")
+        .field("histogram", s.name)
+        .field("count", s.histogram.count)
+        .field("p50_us", s.histogram.percentile(0.50))
+        .field("p90_us", s.histogram.percentile(0.90))
+        .field("p99_us", s.histogram.percentile(0.99))
+        .field("mean_us", static_cast<double>(s.histogram.sum) /
+                              static_cast<double>(s.histogram.count))
+        .emit();
+  }
 }
 
 /// Serve the snapshot over UDS (single-process, then 1- and 2-worker
@@ -385,25 +414,27 @@ int main(int argc, char** argv) {
       if (workers == 1) baseline = m;
       const bool identical = m.hash == baseline.hash;
       all_identical = all_identical && identical;
-      std::cout << "{\"bench\":\"query_throughput\",\"query\":\""
-                << kind.type << "\",\"nodes\":" << source.nodes().size()
-                << ",\"pages\":" << source.page_count()
-                << ",\"workers\":" << workers
-                << ",\"batch\":" << batch.size() << ",\"ms\":" << m.batch_ms
-                << ",\"qps\":"
-                << (m.batch_ms > 0
-                        ? 1000.0 * static_cast<double>(batch.size()) /
-                              m.batch_ms
-                        : 0.0)
-                << ",\"latency_ms\":" << m.latency_ms
-                << ",\"speedup_vs_1w\":"
-                << (m.batch_ms > 0 ? baseline.batch_ms / m.batch_ms : 0.0)
-                << ",\"identical\":" << (identical ? "true" : "false")
-                << "}\n";
+      bench::JsonLine("query_throughput")
+          .field("query", kind.type)
+          .field("nodes", source.nodes().size())
+          .field("pages", source.page_count())
+          .field("workers", workers)
+          .field("batch", batch.size())
+          .field("ms", m.batch_ms)
+          .field("qps", m.batch_ms > 0
+                            ? 1000.0 * static_cast<double>(batch.size()) /
+                                  m.batch_ms
+                            : 0.0)
+          .field("latency_ms", m.latency_ms)
+          .field("speedup_vs_1w",
+                 m.batch_ms > 0 ? baseline.batch_ms / m.batch_ms : 0.0)
+          .field("identical", identical)
+          .emit();
     }
   }
   util::set_analysis_threads(0);
   all_identical = bench_served(snapshot, quick) && all_identical;
+  print_phase_histograms();
   if (!all_identical) {
     std::cerr << "DETERMINISM VIOLATION: query replies differ across "
                  "worker counts\n";

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "cpg/recorder.h"
 #include "query/engine.h"
 #include "query/wire.h"
@@ -155,15 +156,18 @@ int main(int argc, char** argv) {
   {
     query::QueryEngine engine(std::make_shared<const cpg::Graph>(source));
     baseline = run_fingerprinted(engine, batch, unsharded_ms);
-    std::cout << "{\"bench\":\"shard_scaling\",\"mode\":\"unsharded\","
-              << "\"nodes\":" << source.nodes().size()
-              << ",\"shards\":0,\"batch\":" << batch.size()
-              << ",\"qps\":"
-              << (unsharded_ms > 0
-                      ? 1000.0 * static_cast<double>(batch.size()) /
-                            unsharded_ms
-                      : 0.0)
-              << ",\"ms\":" << unsharded_ms << ",\"identical\":true}\n";
+    bench::JsonLine("shard_scaling")
+        .field("mode", "unsharded")
+        .field("nodes", source.nodes().size())
+        .field("shards", 0)
+        .field("batch", batch.size())
+        .field("qps", unsharded_ms > 0
+                          ? 1000.0 * static_cast<double>(batch.size()) /
+                                unsharded_ms
+                          : 0.0)
+        .field("ms", unsharded_ms)
+        .field("identical", true)
+        .emit();
   }
 
   const std::string base_dir =
@@ -225,11 +229,14 @@ int main(int argc, char** argv) {
                           static_cast<double>(v2_bytes)
               : 0.0;
       if (shrink < 0.15) shrink_ok = false;
-      std::cout << "{\"bench\":\"shard_scaling\",\"check\":\"v3_vs_v2\","
-                << "\"codec\":\"" << (compressed ? "lz" : "raw")
-                << "\",\"shards\":" << shards << ",\"v2_bytes\":" << v2_bytes
-                << ",\"v3_bytes\":" << total_bytes << ",\"shrink\":" << shrink
-                << "}\n";
+      bench::JsonLine("shard_scaling")
+          .field("check", "v3_vs_v2")
+          .field("codec", compressed ? "lz" : "raw")
+          .field("shards", shards)
+          .field("v2_bytes", v2_bytes)
+          .field("v3_bytes", total_bytes)
+          .field("shrink", shrink)
+          .emit();
       // Two budget modes: everything resident, and an out-of-core
       // budget of about half the decoded store (floored at one shard).
       const std::uint64_t half_budget =
@@ -260,31 +267,31 @@ int main(int argc, char** argv) {
             compressed && raw_serve_ms[budget_mode] > 0
                 ? serve_ms / raw_serve_ms[budget_mode]
                 : 1.0;
-        std::cout << "{\"bench\":\"shard_scaling\",\"mode\":\""
-                  << (budget == 0 ? "resident" : "out_of_core")
-                  << "\",\"codec\":\"" << (compressed ? "lz" : "raw")
-                  << "\",\"nodes\":" << source.nodes().size()
-                  << ",\"shards\":" << shards
-                  << ",\"build_ms\":" << build_ms
-                  << ",\"store_bytes\":" << total_bytes
-                  << ",\"decoded_bytes\":" << total_decoded
-                  << ",\"compression_ratio\":" << ratio
-                  << ",\"budget_bytes\":" << budget
-                  << ",\"peak_cache_bytes\":" << stats.peak_cache_bytes
-                  << ",\"peak_resident_bytes\":" << stats.peak_resident_bytes
-                  << ",\"loads\":" << stats.loads
-                  << ",\"evictions\":" << stats.evictions
-                  << ",\"batch\":" << batch.size() << ",\"ms\":" << serve_ms
-                  << ",\"qps\":"
-                  << (serve_ms > 0
-                          ? 1000.0 * static_cast<double>(batch.size()) /
-                                serve_ms
-                          : 0.0)
-                  << ",\"decode_overhead_vs_raw\":" << decode_overhead
-                  << ",\"slowdown_vs_unsharded\":"
-                  << (unsharded_ms > 0 ? serve_ms / unsharded_ms : 0.0)
-                  << ",\"identical\":" << (identical ? "true" : "false")
-                  << "}\n";
+        bench::JsonLine("shard_scaling")
+            .field("mode", budget == 0 ? "resident" : "out_of_core")
+            .field("codec", compressed ? "lz" : "raw")
+            .field("nodes", source.nodes().size())
+            .field("shards", shards)
+            .field("build_ms", build_ms)
+            .field("store_bytes", total_bytes)
+            .field("decoded_bytes", total_decoded)
+            .field("compression_ratio", ratio)
+            .field("budget_bytes", budget)
+            .field("peak_cache_bytes", stats.peak_cache_bytes)
+            .field("peak_resident_bytes", stats.peak_resident_bytes)
+            .field("loads", stats.loads)
+            .field("evictions", stats.evictions)
+            .field("batch", batch.size())
+            .field("ms", serve_ms)
+            .field("qps", serve_ms > 0
+                              ? 1000.0 * static_cast<double>(batch.size()) /
+                                    serve_ms
+                              : 0.0)
+            .field("decode_overhead_vs_raw", decode_overhead)
+            .field("slowdown_vs_unsharded",
+                   unsharded_ms > 0 ? serve_ms / unsharded_ms : 0.0)
+            .field("identical", identical)
+            .emit();
         ++budget_mode;
       }
       std::filesystem::remove_all(dir);

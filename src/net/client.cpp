@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace inspector::net {
 
 QueryClient::QueryClient(std::shared_ptr<uds::Channel> channel)
@@ -27,6 +29,13 @@ Result<std::uint64_t> QueryClient::send(std::string_view request_line) {
     std::lock_guard lock(mu_);
     if (closed_ && !error_.ok()) return error_;
     id = next_stream_++;
+  }
+  // Carry the caller's trace context to the server ahead of the data,
+  // so the server's rpc span joins this thread's trace. Dropped (not
+  // misattributed) if a concurrent send interleaves: the server keys
+  // the pending context by stream id.
+  if (const obs::TraceContext ctx = obs::current_context(); ctx.sampled) {
+    (void)channel_->send(FrameType::kTrace, 0, id, obs::encode_context(ctx));
   }
   if (Status s =
           channel_->send(FrameType::kData, kFlagEndStream, id, request_line);
@@ -120,6 +129,7 @@ void QueryClient::read_loop() {
       case FrameType::kPing:
       case FrameType::kSettings:
       case FrameType::kCancel:
+      case FrameType::kTrace:
         break;
     }
   }

@@ -1,29 +1,36 @@
 #include "net/dispatcher.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <exception>
+
+#include "obs/metrics.h"
 
 namespace inspector::net {
 
 namespace {
 
-bool trace_enabled() {
-  static const bool on = std::getenv("INSPECTOR_NET_TRACE") != nullptr;
-  return on;
-}
+/// Per-process dispatcher series, shared by every connection.
+struct DispatcherMetrics {
+  obs::Counter& streams;
+  obs::Counter& connection_errors;
+  obs::Gauge& finalizer_queue_depth;
+  obs::Histogram& stream_wall_us;  ///< admission -> reply on the wire
+  obs::Histogram& finalize_us;
+};
 
-#define NET_TRACE(...)                              \
-  do {                                              \
-    if (trace_enabled()) {                          \
-      std::fprintf(stderr, "[disp %d] ", getpid()); \
-      std::fprintf(stderr, __VA_ARGS__);            \
-      std::fprintf(stderr, "\n");                   \
-    }                                               \
-  } while (0)
+DispatcherMetrics& dispatcher_metrics() {
+  static DispatcherMetrics* m = [] {
+    auto& reg = obs::Registry::global();
+    return new DispatcherMetrics{
+        reg.counter("net_streams_total"),
+        reg.counter("net_connection_errors_total"),
+        reg.gauge("net_finalizer_queue_depth"),
+        reg.histogram("net_stream_wall_us"),
+        reg.histogram("net_finalize_us"),
+    };
+  }();
+  return *m;
+}
 
 /// Minimal Settings parse: the payload is a one-line JSON object; the
 /// only key version 1 understands is max_frame_payload.
@@ -113,10 +120,6 @@ void Dispatcher::read_loop() {
       return;
     }
     const Frame& frame = **got;
-    NET_TRACE("recv %s stream=%llu len=%zu end=%d",
-              to_string(frame.header.type),
-              static_cast<unsigned long long>(frame.header.stream_id),
-              frame.payload.size(), frame.header.end_stream() ? 1 : 0);
     switch (frame.header.type) {
       case FrameType::kData:
         if (!handle_data(frame)) return;
@@ -180,6 +183,16 @@ void Dispatcher::read_loop() {
                                     frame.payload.size())));
         return;
       }
+      case FrameType::kTrace: {
+        // The peer's context for the stream named in the header; its
+        // data frames follow on this same link.
+        std::lock_guard lock(mu_);
+        pending_trace_ = obs::decode_context(std::string_view(
+            reinterpret_cast<const char*>(frame.payload.data()),
+            frame.payload.size()));
+        pending_trace_id_ = frame.header.stream_id;
+        break;
+      }
     }
   }
 }
@@ -229,6 +242,11 @@ bool Dispatcher::handle_data(const Frame& frame) {
       stream = std::make_shared<Stream>();
       stream->id = id;
       stream->request = std::move(partial_);
+      if (pending_trace_id_ == id) {
+        stream->trace = pending_trace_;
+        pending_trace_ = obs::TraceContext{};
+        pending_trace_id_ = 0;
+      }
       partial_ = std::string();
     }
   }
@@ -246,8 +264,18 @@ void Dispatcher::admit(std::shared_ptr<Stream> stream) {
     return order_.size() < options_.max_in_flight || failed_ || peer_gone_;
   });
   if (failed_ || peer_gone_) return;
+  DispatcherMetrics& metrics = dispatcher_metrics();
+  metrics.streams.add();
+  stream->admitted = std::chrono::steady_clock::now();
+  if (obs::Tracer::enabled()) {
+    // Server span: child of the peer's kTrace context when one came,
+    // a fresh root otherwise. Finished after the reply is sent.
+    stream->span = std::make_unique<obs::Span>("rpc", stream->trace);
+  }
   live_.emplace(stream->id, stream);
   order_.push_back(stream);
+  metrics.finalizer_queue_depth.set(
+      static_cast<std::int64_t>(order_.size()));
   exec_queue_.push_back(std::move(stream));
   lock.unlock();
   exec_cv_.notify_one();
@@ -279,8 +307,13 @@ void Dispatcher::exec_loop() {
         return;
       }
       rpc::Context ctx{stream->id, &stream->cancelled};
-      NET_TRACE("exec stream=%llu method=%s",
-                static_cast<unsigned long long>(stream->id), name.c_str());
+      if (stream->span && stream->span->active()) {
+        stream->span->annotate("method", std::string_view(name));
+      }
+      // Spans opened inside the method body (parse, route, execute,
+      // shard loads on this thread) parent under the server span.
+      obs::ContextScope trace_scope(stream->span ? stream->span->context()
+                                                 : obs::TraceContext{});
       try {
         finalizer = (*method)(*session_, ctx, stream->request);
       } catch (const std::exception& e) {
@@ -289,8 +322,6 @@ void Dispatcher::exec_loop() {
         return;
       }
     }
-    NET_TRACE("exec done stream=%llu",
-              static_cast<unsigned long long>(stream->id));
     {
       std::lock_guard lock(mu_);
       stream->finalizer = std::move(finalizer);
@@ -325,6 +356,8 @@ void Dispatcher::write_loop() {
         stream = order_.front();
         order_.pop_front();
         live_.erase(stream->id);
+        dispatcher_metrics().finalizer_queue_depth.set(
+            static_cast<std::int64_t>(order_.size()));
       }
     }
     admit_cv_.notify_one();
@@ -335,19 +368,36 @@ void Dispatcher::write_loop() {
     }
     if (stream->cancelled.load(std::memory_order_relaxed)) continue;
     std::string reply;
+    const auto finalize_started = std::chrono::steady_clock::now();
     try {
+      obs::ContextScope trace_scope(stream->span ? stream->span->context()
+                                                  : obs::TraceContext{});
       if (stream->finalizer) reply = stream->finalizer();
     } catch (const std::exception& e) {
       fail(Status(StatusCode::kInternal,
                   std::string("finalizer escaped: ") + e.what()));
       return;
     }
-    NET_TRACE("reply stream=%llu len=%zu",
-              static_cast<unsigned long long>(stream->id), reply.size());
+    DispatcherMetrics& metrics = dispatcher_metrics();
+    metrics.finalize_us.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - finalize_started)
+            .count()));
     if (Status s = send_reply(stream->id, reply); !s.ok()) {
       fail(s);
       return;
     }
+    // Span emission happens after the reply bytes are on the wire, so
+    // tracing can never reorder or perturb the reply stream.
+    if (stream->span) {
+      stream->span->annotate("reply_bytes",
+                             static_cast<std::uint64_t>(reply.size()));
+      stream->span->finish();
+    }
+    metrics.stream_wall_us.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - stream->admitted)
+            .count()));
   }
 }
 
@@ -369,7 +419,7 @@ Status Dispatcher::send_reply(std::uint64_t stream_id,
 }
 
 void Dispatcher::fail(Status status) {
-  NET_TRACE("fail: %s", status.message().c_str());
+  dispatcher_metrics().connection_errors.add();
   bool first = false;
   {
     std::lock_guard lock(mu_);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,7 @@
 
 #include "net/rpc.h"
 #include "net/uds.h"
+#include "obs/trace.h"
 
 namespace inspector::net {
 
@@ -64,6 +66,13 @@ class Dispatcher {
     std::atomic<bool> cancelled{false};
     bool ready = false;  ///< finalizer present (guarded by mu_)
     rpc::Finalizer finalizer;
+    /// Peer trace context from a kTrace frame (unsampled when absent).
+    obs::TraceContext trace;
+    /// Server-side span for this request; created at admission (only
+    /// when tracing is on), finished by the writer after the reply is
+    /// on the wire -- never inside the serial finalizer phase.
+    std::unique_ptr<obs::Span> span;
+    std::chrono::steady_clock::time_point admitted{};
   };
 
   void read_loop();
@@ -100,6 +109,12 @@ class Dispatcher {
   bool partial_open_ = false;
   std::uint64_t skip_id_ = 0;  ///< cancelled mid-request: drop its tail
   std::uint64_t last_stream_id_ = 0;
+
+  // Trace context announced by the latest kTrace frame, waiting for
+  // its stream's data to complete. One slot suffices -- requests are
+  // contiguous per stream -- so a peer cannot grow state here.
+  obs::TraceContext pending_trace_;
+  std::uint64_t pending_trace_id_ = 0;
 
   std::atomic<std::uint32_t> chunk_limit_;
 };

@@ -75,6 +75,8 @@ const char* to_string(FrameType type) noexcept {
       return "cancel";
     case FrameType::kError:
       return "error";
+    case FrameType::kTrace:
+      return "trace";
   }
   return "unknown";
 }

@@ -47,9 +47,11 @@ enum class FrameType : std::uint8_t {
   kPing = 3,      ///< liveness probe; peer echoes the payload back
   kCancel = 4,    ///< tear down one stream; no reply will be sent
   kError = 5,     ///< fatal connection-level error (payload = message)
+  kTrace = 6,     ///< trace context for the next stream on this link
+                  ///< (JSON; sent only when tracing is enabled)
 };
 inline constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kError);
+    static_cast<std::uint8_t>(FrameType::kTrace);
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;
 

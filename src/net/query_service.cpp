@@ -3,6 +3,8 @@
 #include <utility>
 #include <variant>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/wire.h"
 
 namespace inspector::net {
@@ -12,6 +14,7 @@ namespace {
 using query::QueryEngine;
 using query::QueryOptions;
 using query::Reply;
+using query::wire::MetricsRequest;
 using query::wire::NextRequest;
 using query::wire::Request;
 
@@ -59,7 +62,9 @@ QueryService::QueryService(std::shared_ptr<query::QueryEngine> engine,
                           std::string_view line) -> rpc::Finalizer {
         auto& s = static_cast<EngineSession&>(session);
         std::uint64_t echo = 0;
+        obs::Span parse_span("parse", obs::Span::Root::kDeny);
         auto request = query::wire::parse_request(line, &echo);
+        parse_span.finish();
         // method_of() vetted the parse; a race-proof re-check anyway.
         if (!request.ok() ||
             !std::holds_alternative<query::Query>(request->op)) {
@@ -105,6 +110,29 @@ QueryService::QueryService(std::shared_ptr<query::QueryEngine> engine,
       return query::wire::serialize_reply(echo, s.engine().next(s.id(), cursor));
     };
   });
+
+  // Introspection: a snapshot of this worker process's registry. The
+  // snapshot is taken in phase 1; the finalizer only serializes, so
+  // the serial path stays free of registry walks.
+  registry_.add("metrics", [](rpc::Session&, const rpc::Context&,
+                              std::string_view line) -> rpc::Finalizer {
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    if (!request.ok() ||
+        !std::holds_alternative<MetricsRequest>(request->op)) {
+      const Status status =
+          request.ok() ? Status(StatusCode::kInternal,
+                                "metrics method on a non-metrics request")
+                       : request.status();
+      return [echo, status] {
+        return query::wire::serialize_reply(echo, Result<Reply>(status));
+      };
+    }
+    std::string json = obs::to_json(obs::Registry::global().snapshot());
+    return [echo, json = std::move(json)] {
+      return query::wire::serialize_metrics_reply(echo, json);
+    };
+  });
 }
 
 std::unique_ptr<rpc::Session> QueryService::open_session() {
@@ -114,7 +142,9 @@ std::unique_ptr<rpc::Session> QueryService::open_session() {
 std::string QueryService::method_of(std::string_view request) const {
   auto parsed = query::wire::parse_request(request);
   if (!parsed.ok()) return "error";
-  return std::holds_alternative<NextRequest>(parsed->op) ? "next" : "query";
+  if (std::holds_alternative<NextRequest>(parsed->op)) return "next";
+  if (std::holds_alternative<MetricsRequest>(parsed->op)) return "metrics";
+  return "query";
 }
 
 }  // namespace inspector::net

@@ -8,6 +8,8 @@
 #include <variant>
 
 #include "net/uds.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "query/overloaded.h"
 #include "query/wire.h"
@@ -71,6 +73,14 @@ class WorkerLink {
       link_id = next_link_stream_++;
       pending_.emplace(link_id, pending);
       link_of_.emplace(stream_id, link_id);
+      // Propagate the router-side trace context under this same lock
+      // hold: the worker requires strictly increasing stream ids, so
+      // the kTrace frame must ride immediately ahead of its data.
+      if (const obs::TraceContext trace_ctx = obs::current_context();
+          trace_ctx.sampled) {
+        (void)channel_->send(FrameType::kTrace, 0, link_id,
+                             obs::encode_context(trace_ctx));
+      }
       const Status sent = channel_->send(FrameType::kData, kFlagEndStream,
                                          link_id, line);
       if (sent.ok()) {
@@ -378,8 +388,15 @@ RouterService::RouterService(shard::Manifest manifest,
     // Phase 1 (concurrent): forward the original bytes and await the
     // complete worker reply (or fail over). Phase 2 (serial): assign
     // the global cursor id, which must follow request order.
-    auto dispatched = s.dispatch(
-        ctx.stream_id, line, route(std::get<Query>(request->op)));
+    auto dispatched = [&] {
+      obs::Span span("route", obs::Span::Root::kDeny);
+      auto d = s.dispatch(ctx.stream_id, line,
+                          route(std::get<Query>(request->op)));
+      if (span.active()) {
+        span.annotate("worker", static_cast<std::uint64_t>(d.worker));
+      }
+      return d;
+    }();
     return [&s, echo, dispatched = std::move(dispatched)]() mutable {
       if (!dispatched.reply.ok()) {
         return error_reply(echo, dispatched.reply.status());
@@ -451,16 +468,48 @@ RouterService::RouterService(shard::Manifest manifest,
       return out;
     };
   });
+
+  // Introspection: the router answers with its own registry snapshot
+  // (worker registries are reachable by asking a worker directly).
+  registry_.add("metrics", [](rpc::Session&, const rpc::Context&,
+                              std::string_view line) -> rpc::Finalizer {
+    std::uint64_t echo = 0;
+    auto request = query::wire::parse_request(line, &echo);
+    if (!request.ok() ||
+        !std::holds_alternative<query::wire::MetricsRequest>(request->op)) {
+      const Status status =
+          request.ok() ? Status(StatusCode::kInternal,
+                                "metrics method on a non-metrics request")
+                       : request.status();
+      return [echo, status] { return error_reply(echo, status); };
+    }
+    std::string json = obs::to_json(obs::Registry::global().snapshot());
+    return [echo, json = std::move(json)] {
+      return query::wire::serialize_metrics_reply(echo, json);
+    };
+  });
 }
 
 std::unique_ptr<rpc::Session> RouterService::open_session() {
   return std::make_unique<RouterSession>(*this);
 }
 
+void RouterService::mark_dead(std::size_t worker) {
+  if (!dead_[worker].exchange(true, std::memory_order_relaxed)) {
+    static obs::Counter& deaths =
+        obs::Registry::global().counter("router_worker_deaths_total");
+    deaths.add();
+  }
+}
+
 std::string RouterService::method_of(std::string_view request) const {
   auto parsed = query::wire::parse_request(request);
   if (!parsed.ok()) return "error";
-  return std::holds_alternative<NextRequest>(parsed->op) ? "next" : "query";
+  if (std::holds_alternative<NextRequest>(parsed->op)) return "next";
+  if (std::holds_alternative<query::wire::MetricsRequest>(parsed->op)) {
+    return "metrics";
+  }
+  return "query";
 }
 
 Status RouterService::worker_unavailable(std::size_t worker) const {

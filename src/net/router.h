@@ -77,9 +77,7 @@ class RouterService final : public rpc::Service {
   [[nodiscard]] bool is_dead(std::size_t worker) const {
     return dead_[worker].load(std::memory_order_relaxed);
   }
-  void mark_dead(std::size_t worker) {
-    dead_[worker].store(true, std::memory_order_relaxed);
-  }
+  void mark_dead(std::size_t worker);
 
  private:
   friend class RouterSession;

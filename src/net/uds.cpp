@@ -11,9 +11,32 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace inspector::net::uds {
 
 namespace {
+
+/// Wire-level totals, both directions, all channels in the process.
+struct ChannelMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& bytes_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_received;
+};
+
+ChannelMetrics& channel_metrics() {
+  static ChannelMetrics* m = [] {
+    auto& reg = obs::Registry::global();
+    return new ChannelMetrics{
+        reg.counter("net_frames_sent_total"),
+        reg.counter("net_bytes_sent_total"),
+        reg.counter("net_frames_received_total"),
+        reg.counter("net_bytes_received_total"),
+    };
+  }();
+  return *m;
+}
 
 Status errno_error(const std::string& what, int err) {
   return Status(StatusCode::kUnavailable,
@@ -114,7 +137,13 @@ Status Channel::send(FrameType type, std::uint8_t flags,
   if (fd_ < 0) {
     return Status(StatusCode::kUnavailable, "channel is closed");
   }
-  return send_all(fd_, wire.data(), wire.size());
+  Status sent = send_all(fd_, wire.data(), wire.size());
+  if (sent.ok()) {
+    ChannelMetrics& m = channel_metrics();
+    m.frames_sent.add();
+    m.bytes_sent.add(wire.size());
+  }
+  return sent;
 }
 
 Status Channel::send(FrameType type, std::uint8_t flags,
@@ -156,6 +185,9 @@ Result<std::optional<Frame>> Channel::recv() {
   if (Status s = verify_frame(*header, header_bytes, frame.payload); !s.ok()) {
     return s;
   }
+  ChannelMetrics& m = channel_metrics();
+  m.frames_received.add();
+  m.bytes_received.add(kFrameHeaderSize + frame.payload.size());
   return std::optional<Frame>(std::move(frame));
 }
 

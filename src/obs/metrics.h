@@ -1,0 +1,195 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// latency histograms with near-zero hot-path cost.
+//
+// Hot-path writes are single relaxed atomic RMWs -- counters stripe
+// across cache lines (hashed by thread id) so concurrent writers never
+// contend on one line, and histograms index a power-of-two bucket by
+// bit width. Registration (name -> metric) takes a mutex once per call
+// site; instrumented code caches the returned reference in a function-
+// local static, so steady state never touches the registry lock.
+//
+// Snapshots are taken with relaxed loads while writers keep writing:
+// each stripe and bucket is monotone, so successive snapshots of a
+// counter never decrease (the concurrent-registry test relies on
+// this). Snapshots serialize to Prometheus text exposition format and
+// to a single JSON object (the `metrics` rpc / --dump-metrics form).
+//
+// Naming convention: a plain series is "shard_store_loads_total"; a
+// labelled series embeds one label pair verbatim in the registry key,
+// e.g. "query_latency_us{kind=\"races\"}". The Prometheus renderer
+// splits the key so histogram suffixes compose: the example renders
+// as query_latency_us_bucket{kind="races",le="..."}.
+//
+// Observability must never perturb reply bytes: nothing in this layer
+// writes to stdout or a reply path, and instrumented code treats every
+// metric as write-only (replies never read a metric).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace inspector::obs {
+
+/// Monotone event counter, striped to keep concurrent add() calls off
+/// one cache line. value() is a relaxed sum: monotone across calls,
+/// exact once writers quiesce.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    stripe().fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  [[nodiscard]] std::atomic<std::uint64_t>& stripe() noexcept;
+
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+/// Last-written level (resident bytes, queue depth, ...). set() also
+/// tracks the high-water mark, for peak gauges.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::int64_t delta) noexcept {
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket b counts observations with
+/// value < 2^b (upper bounds 1, 2, 4, ... microseconds; the last
+/// bucket is +inf), so observe() is a bit-width computation plus one
+/// relaxed increment -- no allocation, no lock, no float math.
+class Histogram {
+ public:
+  /// 2^26 us ~= 67 s; anything slower lands in the +inf bucket.
+  static constexpr std::size_t kBuckets = 28;
+
+  void observe(std::uint64_t value) noexcept {
+    std::size_t b = 0;
+    while (b + 1 < kBuckets && value >= (std::uint64_t{1} << b)) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    /// Upper bound of the bucket holding quantile `q` in [0, 1]: a
+    /// conservative percentile estimate ("p99 <= this many us").
+    [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+    /// Inclusive upper bound of bucket b in microseconds (the last
+    /// bucket reports the largest finite bound).
+    [[nodiscard]] static std::uint64_t bucket_bound(std::size_t b) noexcept {
+      return std::uint64_t{1} << (b < kBuckets - 1 ? b : kBuckets - 2);
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot out;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      out.count += out.counts[b];
+    }
+    out.sum = sum_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One registered series in a snapshot.
+struct SeriesSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;  ///< full registry key, label pair included
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  Histogram::Snapshot histogram;
+};
+
+struct MetricsSnapshot {
+  std::vector<SeriesSnapshot> series;  ///< sorted by name
+};
+
+/// Name -> metric. Metrics live for the registry's lifetime at stable
+/// addresses; lookups of an existing name return the same object, so
+/// every call site (and every store/engine instance) shares one
+/// series. The process-wide instance is global().
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    SeriesSnapshot::Kind kind = SeriesSnapshot::Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Prometheus text exposition format (one HELP-less series per line;
+/// histograms expand to _bucket/_sum/_count with an `le` label).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// One JSON object on a single line:
+/// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+/// "sum":..,"p50":..,"p90":..,"p99":..}}}
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace inspector::obs

@@ -1,5 +1,8 @@
 #include "query/engine.h"
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <optional>
 #include <stdexcept>
@@ -9,6 +12,8 @@
 #include "analysis/incremental.h"
 #include "analysis/races.h"
 #include "analysis/taint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/overloaded.h"
 #include "query/wire.h"
 #include "util/parallel.h"
@@ -33,6 +38,37 @@ Query canonicalized(Query q) {
              },
              q);
   return q;
+}
+
+/// Per-query-kind registry handles, resolved once per kind: a lookup
+/// is an index into this array plus one acquire load, so the metrics
+/// cost on the execute path is two relaxed RMWs.
+struct KindMetrics {
+  obs::Counter* count;
+  obs::Histogram* latency;
+};
+
+KindMetrics& kind_metrics(const Query& q) {
+  static std::array<std::atomic<KindMetrics*>, std::variant_size_v<Query>>
+      slots{};
+  std::atomic<KindMetrics*>& slot = slots[q.index()];
+  KindMetrics* m = slot.load(std::memory_order_acquire);
+  if (m == nullptr) {
+    auto& reg = obs::Registry::global();
+    const std::string kind = query_name(q);
+    auto* fresh = new KindMetrics{
+        &reg.counter("query_total{kind=\"" + kind + "\"}"),
+        &reg.histogram("query_latency_us{kind=\"" + kind + "\"}")};
+    KindMetrics* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel)) {
+      m = fresh;
+    } else {
+      delete fresh;  // lost the race; the registry handles are shared
+      m = expected;
+    }
+  }
+  return *m;
 }
 
 }  // namespace
@@ -243,35 +279,61 @@ Result<QueryResult> GraphQueryBackend::run_query(const Query& q) const {
 Result<QueryEngine::FullOutcome> QueryEngine::execute_full(
     const Query& q, const QueryOptions& options) {
   using FullResult = Result<FullOutcome>;
-  const bool cacheable = options_.cache_entries > 0 && !options.skip_cache;
-  std::string key;
-  try {
-    const Query canonical = canonicalized(q);
-    if (cacheable) {
-      key = wire::cache_key(canonical);
-      if (auto hit = cache_get(key)) {
-        return FullResult(FullOutcome{std::move(hit), false});
+  KindMetrics& metrics = kind_metrics(q);
+  obs::Span span("execute");
+  if (span.active()) span.annotate("kind", std::string_view(query_name(q)));
+  // Children (shard loads on this thread) parent under the execute
+  // span; batch phase-1 runs on pool threads with no ambient context,
+  // so the span roots a fresh trace there.
+  obs::ContextScope trace_scope(span.context());
+  const auto started = std::chrono::steady_clock::now();
+  bool cache_hit = false;
+  FullResult out = [&]() -> FullResult {
+    const bool cacheable = options_.cache_entries > 0 && !options.skip_cache;
+    std::string key;
+    try {
+      const Query canonical = canonicalized(q);
+      if (cacheable) {
+        key = wire::cache_key(canonical);
+        if (auto hit = cache_get(key)) {
+          cache_hit = true;
+          return FullResult(FullOutcome{std::move(hit), false});
+        }
       }
+      Result<Execution> computed = backend_->execute(canonical);
+      if (!computed.ok()) return FullResult(computed.status());
+      const bool degraded = computed->degraded;
+      // Built non-const so a sole owner may later move the payload out
+      // (paginate()'s unpaginated fast path); shared as pointer-to-const.
+      auto value = std::make_shared<QueryResult>(
+          std::move(computed.value().result));
+      // A degraded answer is a view of a damaged store, not the answer:
+      // caching it would keep serving the partial result even after the
+      // store heals (or after healthy queries stop opting in).
+      if (cacheable && !degraded) cache_put(key, value);
+      return FullResult(FullOutcome{
+          std::shared_ptr<const QueryResult>(std::move(value)), degraded});
+    } catch (const std::exception& e) {
+      return FullResult(StatusCode::kInternal,
+                        std::string("unexpected exception: ") + e.what());
+    } catch (...) {
+      return FullResult(StatusCode::kInternal, "unexpected unknown exception");
     }
-    Result<Execution> computed = backend_->execute(canonical);
-    if (!computed.ok()) return FullResult(computed.status());
-    const bool degraded = computed->degraded;
-    // Built non-const so a sole owner may later move the payload out
-    // (paginate()'s unpaginated fast path); shared as pointer-to-const.
-    auto value = std::make_shared<QueryResult>(
-        std::move(computed.value().result));
-    // A degraded answer is a view of a damaged store, not the answer:
-    // caching it would keep serving the partial result even after the
-    // store heals (or after healthy queries stop opting in).
-    if (cacheable && !degraded) cache_put(key, value);
-    return FullResult(FullOutcome{
-        std::shared_ptr<const QueryResult>(std::move(value)), degraded});
-  } catch (const std::exception& e) {
-    return FullResult(StatusCode::kInternal,
-                      std::string("unexpected exception: ") + e.what());
-  } catch (...) {
-    return FullResult(StatusCode::kInternal, "unexpected unknown exception");
+  }();
+  const std::uint64_t wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  metrics.count->add();
+  metrics.latency->observe(wall_us);
+  if (span.active()) {
+    span.annotate("cache", cache_hit ? std::string_view("hit")
+                                     : std::string_view("miss"));
+    if (!out.ok()) span.annotate("status", std::string_view("error"));
   }
+  obs::Tracer::log_slow_query(query_name(q), wall_us,
+                              out.ok() ? "ok" : "error");
+  return out;
 }
 
 Result<Reply> QueryEngine::paginate(SessionId session,
@@ -456,13 +518,19 @@ QueryEngine::CacheStats QueryEngine::cache_stats() const {
 
 std::shared_ptr<const QueryResult> QueryEngine::cache_get(
     const std::string& key) {
+  static obs::Counter& hit_count =
+      obs::Registry::global().counter("query_cache_hits_total");
+  static obs::Counter& miss_count =
+      obs::Registry::global().counter("query_cache_misses_total");
   std::lock_guard lock(mu_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
     ++cache_stats_.misses;
+    miss_count.add();
     return nullptr;
   }
   ++cache_stats_.hits;
+  hit_count.add();
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
   return it->second->value;
 }
@@ -473,10 +541,13 @@ void QueryEngine::cache_put(const std::string& key,
   if (cache_.contains(key)) return;  // a concurrent miss computed it too
   cache_lru_.push_front(CacheEntry{key, std::move(value)});
   cache_.emplace(key, cache_lru_.begin());
+  static obs::Counter& eviction_count =
+      obs::Registry::global().counter("query_cache_evictions_total");
   while (cache_.size() > options_.cache_entries) {
     cache_.erase(cache_lru_.back().key);
     cache_lru_.pop_back();
     ++cache_stats_.evictions;
+    eviction_count.add();
   }
 }
 

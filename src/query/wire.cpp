@@ -638,6 +638,16 @@ Result<Request> parse_request(std::string_view line,
     request.op = Query(StatsQuery{});
     return request;
   }
+  if (*op == "metrics") {
+    if (auto st = check({}); !st.ok()) return st;
+    if (auto st = reject_page_size("the reply is a single metrics "
+                                   "snapshot and never paginates");
+        !st.ok()) {
+      return st;
+    }
+    request.op = MetricsRequest{};
+    return request;
+  }
   if (*op == "next") {
     if (auto st = check({"cursor"}); !st.ok()) return st;
     // page_size is envelope-level for queries, but a cursor's page
@@ -715,6 +725,15 @@ std::string serialize_reply(std::uint64_t id, const Result<Reply>& reply) {
   out += r.has_more ? "true" : "false";
   if (r.cursor != 0) out += ",\"cursor\":" + std::to_string(r.cursor);
   append_payload(out, r.result);
+  out.push_back('}');
+  return out;
+}
+
+std::string serialize_metrics_reply(std::uint64_t id,
+                                    std::string_view metrics_json) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"status\":\"ok\",\"metrics\":";
+  out += metrics_json;
   out.push_back('}');
   return out;
 }

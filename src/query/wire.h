@@ -41,11 +41,16 @@ struct NextRequest {
   std::uint64_t cursor = 0;
 };
 
+/// Introspection ("op":"metrics"): a snapshot of the serving process's
+/// metrics registry. Answered locally by whichever process receives it
+/// (a router answers with its own registry, not its workers').
+struct MetricsRequest {};
+
 /// A parsed request line.
 struct Request {
   std::uint64_t id = 0;  ///< client-chosen, echoed in the reply
   std::uint64_t page_size = 0;  ///< 0 = unpaginated
-  std::variant<Query, NextRequest> op;
+  std::variant<Query, NextRequest, MetricsRequest> op;
 };
 
 /// Parse one request line. kInvalidArgument with a precise message on
@@ -66,5 +71,10 @@ struct Request {
 /// name and message; successes serialize the paginated payload.
 [[nodiscard]] std::string serialize_reply(std::uint64_t id,
                                           const Result<Reply>& reply);
+
+/// Reply line for a MetricsRequest: `metrics_json` (one JSON object,
+/// e.g. obs::to_json of a registry snapshot) embedded verbatim.
+[[nodiscard]] std::string serialize_metrics_reply(
+    std::uint64_t id, std::string_view metrics_json);
 
 }  // namespace inspector::query::wire

@@ -6,9 +6,44 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace inspector::shard {
 
 namespace {
+
+/// Process-wide shard-store series (all stores share them; the
+/// per-store Stats struct stays the per-instance view). Resolved once.
+struct StoreMetrics {
+  obs::Counter& hits;
+  obs::Counter& loads;
+  obs::Counter& evictions;
+  obs::Counter& retries;
+  obs::Counter& backoff_ms;
+  obs::Counter& quarantine_transitions;
+  obs::Gauge& quarantined;
+  obs::Gauge& resident_bytes;
+  obs::Histogram& decode_us;
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics* m = [] {
+    auto& reg = obs::Registry::global();
+    return new StoreMetrics{
+        reg.counter("shard_store_hits_total"),
+        reg.counter("shard_store_loads_total"),
+        reg.counter("shard_store_evictions_total"),
+        reg.counter("shard_store_retries_total"),
+        reg.counter("shard_store_backoff_ms_total"),
+        reg.counter("shard_store_quarantine_transitions_total"),
+        reg.gauge("shard_store_quarantined_shards"),
+        reg.gauge("shard_store_resident_bytes"),
+        reg.histogram("shard_store_decode_us"),
+    };
+  }();
+  return *m;
+}
 
 /// Backoff for retry `attempt` (1-based): exponential from the policy
 /// floor, capped, with deterministic jitter in the upper half so
@@ -156,6 +191,7 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
   for (;;) {
     if (const auto it = resident_.find(shard); it != resident_.end()) {
       ++stats_.hits;
+      store_metrics().hits.add();
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->loaded;
     }
@@ -195,7 +231,14 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
     }
   };
   ClearLoading clear_loading{this, &lock, shard};
+  // The whole miss path (read, decode, validate, lookup build) is one
+  // shard_load span -- child-only, so pool threads with no sampled
+  // ambient context never mint stray trace roots.
+  obs::Span span("shard_load", obs::Span::Root::kDeny);
+  if (span.active()) span.annotate("shard", static_cast<std::uint64_t>(shard));
+  const auto miss_started = std::chrono::steady_clock::now();
   std::uint64_t retries = 0;
+  std::uint64_t backoff_slept_ms = 0;
   // Quarantine the shard under the lock (the guard then wakes waiters
   // holding the same lock, and they pick the entry up). Every load of
   // a quarantined shard -- this one included -- returns the same
@@ -208,8 +251,14 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
                        cause.message());
     lock.lock();
     stats_.retries += retries;
+    stats_.backoff_ms += backoff_slept_ms;
+    StoreMetrics& m = store_metrics();
+    m.retries.add(retries);
+    m.backoff_ms.add(backoff_slept_ms);
+    if (!quarantined_.contains(shard)) m.quarantine_transitions.add();
     quarantined_.insert_or_assign(shard, wrapped);
     stats_.quarantined_shards = quarantined_.size();
+    m.quarantined.set(static_cast<std::int64_t>(quarantined_.size()));
     return wrapped;
   };
   // Miss: file read, decompression, checksum, validation, and lookup
@@ -229,8 +278,9 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
         return data;
       }
       ++retries;
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          backoff_ms(policy, shard, attempt)));
+      const std::uint64_t wait_ms = backoff_ms(policy, shard, attempt);
+      backoff_slept_ms += wait_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
     }
   };
   auto data = read_with_retry();
@@ -292,9 +342,21 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
   // Back under the lock only for the cache mutation itself; the guard
   // clears the in-flight mark (and wakes waiters) under this same
   // lock hold once the shard is resident.
+  const std::uint64_t miss_wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - miss_started)
+          .count());
   lock.lock();
   ++stats_.loads;
   stats_.retries += retries;
+  stats_.backoff_ms += backoff_slept_ms;
+  StoreMetrics& m = store_metrics();
+  m.loads.add();
+  m.retries.add(retries);
+  m.backoff_ms.add(backoff_slept_ms);
+  // Decode time proper: the miss wall clock minus backoff sleeps.
+  const std::uint64_t slept_us = backoff_slept_ms * 1000;
+  m.decode_us.observe(miss_wall_us > slept_us ? miss_wall_us - slept_us : 0);
   // Evict before inserting, so the cache never exceeds max(budget,
   // one shard) of decoded bytes. Pinned shards stay alive through
   // their shared_ptrs; eviction only drops the cache reference, and
@@ -307,6 +369,7 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
       Entry& victim = lru_.back();
       stats_.resident_bytes -= victim.loaded->decoded_bytes;
       ++stats_.evictions;
+      m.evictions.add();
       if (victim.loaded.use_count() > 1) {
         evicted_pinned_.emplace_back(victim.loaded,
                                      victim.loaded->decoded_bytes);
@@ -318,6 +381,7 @@ Result<std::shared_ptr<const LoadedShard>> ShardStore::load(
   stats_.resident_bytes += loaded->decoded_bytes;
   stats_.peak_cache_bytes =
       std::max(stats_.peak_cache_bytes, stats_.resident_bytes);
+  m.resident_bytes.set(static_cast<std::int64_t>(stats_.resident_bytes));
   refresh_pinned_locked();
   lru_.push_front(Entry{shard, loaded});
   resident_.emplace(shard, lru_.begin());

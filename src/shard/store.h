@@ -111,6 +111,9 @@ class ShardStore {
     std::uint64_t total_decoded_bytes = 0;  ///< whole store once decoded
     /// Transient read failures retried under the RetryPolicy.
     std::uint64_t retries = 0;
+    /// Total milliseconds slept in retry backoff (the latency cost of
+    /// riding out transient failures, distinct from the retry count).
+    std::uint64_t backoff_ms = 0;
     /// Shards currently quarantined (loads fail without touching disk).
     std::uint64_t quarantined_shards = 0;
   };

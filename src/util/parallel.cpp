@@ -1,11 +1,34 @@
 #include "util/parallel.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace inspector::util {
 
 namespace {
+
+/// Pooled-path series only: the serial fast path below stays exactly
+/// "no locks, no atomics" and is deliberately not instrumented.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Histogram& submit_wait_us;
+  obs::Histogram& job_us;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = [] {
+    auto& reg = obs::Registry::global();
+    return new PoolMetrics{
+        reg.counter("task_pool_jobs_total"),
+        reg.histogram("task_pool_submit_wait_us"),
+        reg.histogram("task_pool_job_us"),
+    };
+  }();
+  return *m;
+}
 
 /// Set while a thread is executing chunks of a job. A parallel_for
 /// issued from inside a chunk (e.g. a Graph built inside an analysis
@@ -96,7 +119,15 @@ void TaskPool::parallel_for(std::size_t begin, std::size_t end,
     fn(begin, end, 0);
     return;
   }
+  const auto submit_started = std::chrono::steady_clock::now();
   std::lock_guard submit(submit_mu_);
+  const auto job_started = std::chrono::steady_clock::now();
+  PoolMetrics& metrics = pool_metrics();
+  metrics.jobs.add();
+  metrics.submit_wait_us.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(job_started -
+                                                            submit_started)
+          .count()));
   {
     std::lock_guard lock(mu_);
     fn_ = &fn;
@@ -114,6 +145,10 @@ void TaskPool::parallel_for(std::size_t begin, std::size_t end,
   std::unique_lock lock(mu_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;
+  metrics.job_us.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - job_started)
+          .count()));
   if (error_) {
     const std::exception_ptr err = std::exchange(error_, nullptr);
     lock.unlock();

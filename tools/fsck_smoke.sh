@@ -31,7 +31,7 @@ if [ $# -ge 5 ]; then
   trap 'rm -rf "$TMP_DIR/fsck.store" "$TMP_DIR/fsck.grow"; \
         rm -f "$TMP_DIR/fsck.before" "$TMP_DIR/fsck.after" \
         "$TMP_DIR/fsck.plain" "$TMP_DIR/fsck.degraded" \
-        "$TMP_DIR/fsck.out"' EXIT
+        "$TMP_DIR/fsck.metrics" "$TMP_DIR/fsck.out"' EXIT
 else
   TMP_DIR=$(mktemp -d)
   trap 'rm -rf "$TMP_DIR"' EXIT
@@ -126,10 +126,25 @@ grep -q '"status":"unavailable"' "$TMP_DIR/fsck.plain" || {
   exit 1
 }
 "$QUERY" --store "$STORE" --allow-degraded --requests "$REQUESTS" \
-    --analysis-threads 1 > "$TMP_DIR/fsck.degraded"
+    --analysis-threads 1 --dump-metrics > "$TMP_DIR/fsck.degraded" \
+    2> "$TMP_DIR/fsck.metrics"
 grep -q '"degraded":true' "$TMP_DIR/fsck.degraded" || {
   echo "FAIL: --allow-degraded produced no degraded replies" >&2
   exit 1
 }
+# The degraded session's metrics snapshot must account for the fault
+# handling it just did: the corrupt shard was retried, backoff time
+# was recorded, and the shard crossed into quarantine.
+for series in shard_store_retries_total shard_store_backoff_ms_total; do
+  grep -qF "$series" "$TMP_DIR/fsck.metrics" || {
+    echo "FAIL: degraded-session metrics lack $series" >&2
+    exit 1
+  }
+done
+grep -Eq '"shard_store_quarantine_transitions_total":[1-9]' \
+    "$TMP_DIR/fsck.metrics" || {
+  echo "FAIL: corrupt shard did not register a quarantine transition" >&2
+  exit 1
+}
 
-echo "fsck smoke OK: clean/debris/crashed-append/corrupt-shard all detected, repair restores the committed generation, degraded serving opt-in works"
+echo "fsck smoke OK: clean/debris/crashed-append/corrupt-shard all detected, repair restores the committed generation, degraded serving opt-in works and its metrics record the retries and quarantine"

@@ -60,9 +60,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <variant>
@@ -75,6 +79,8 @@
 #include "net/query_service.h"
 #include "net/router.h"
 #include "net/uds.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "query/wire.h"
 #include "shard/engine.h"
@@ -94,6 +100,7 @@ int usage() {
                "       inspector_query --connect <socket> [--requests FILE]\n"
                "options: [--requests FILE] [--analysis-threads N] "
                "[--page-size N]\n"
+               "         [--dump-metrics] [--metrics-out FILE]\n"
                "see the header of tools/inspector_query.cpp for the "
                "wire format\n";
   return 2;
@@ -124,6 +131,75 @@ struct ToolArgs {
   /// Fault-injection spec armed inside forked workers only, for the
   /// worker-kill smoke: "SPEC" arms every worker, "K:SPEC" worker K.
   std::string worker_failpoints;
+  /// Observability surface. Both emit on exit (and --metrics-out also
+  /// periodically under --serve); neither touches stdout, so reply
+  /// bytes stay identical with or without them.
+  bool dump_metrics = false;    ///< JSON snapshot to stderr at exit
+  std::string metrics_out;      ///< Prometheus text file
+};
+
+/// Export interval for --metrics-out under --serve (default 1s).
+std::uint64_t metrics_interval_ms() {
+  if (const char* env = std::getenv("INSPECTOR_METRICS_INTERVAL_MS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return v;
+  }
+  return 1000;
+}
+
+void write_metrics_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return;
+  }
+  out << obs::to_prometheus(obs::Registry::global().snapshot());
+}
+
+/// Final exports, run once per process on the way out.
+void export_metrics_at_exit(const ToolArgs& args) {
+  if (!args.metrics_out.empty()) write_metrics_file(args.metrics_out);
+  if (args.dump_metrics) {
+    std::cerr << obs::to_json(obs::Registry::global().snapshot()) << "\n";
+  }
+}
+
+/// Rewrites --metrics-out every INSPECTOR_METRICS_INTERVAL_MS while a
+/// server runs; one final write on destruction. Inert without a path.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    thread_ = std::thread([this] {
+      const auto interval = std::chrono::milliseconds(metrics_interval_ms());
+      std::unique_lock lock(mu_);
+      for (;;) {
+        if (cv_.wait_for(lock, interval, [&] { return stop_; })) break;
+        lock.unlock();
+        write_metrics_file(path_);
+        lock.lock();
+      }
+    });
+  }
+
+  ~MetricsExporter() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    write_metrics_file(path_);
+  }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 bool parse_uint(const std::string& value, std::uint64_t& out) {
@@ -190,6 +266,10 @@ bool parse_args(int argc, char** argv, ToolArgs& args) {
       }
     } else if (a == "--worker-failpoints") {
       args.worker_failpoints = next();
+    } else if (a == "--dump-metrics") {
+      args.dump_metrics = true;
+    } else if (a == "--metrics-out") {
+      args.metrics_out = next();
     } else {
       std::cerr << "unknown option: " << a << "\n";
       return false;
@@ -286,6 +366,13 @@ int serve_batch(query::QueryEngine& engine, const ToolArgs& args) {
           p.id, engine.next(next_request->cursor));
       continue;
     }
+    if (std::holds_alternative<query::wire::MetricsRequest>(
+            p.parsed.value().op)) {
+      flush_wave();  // snapshot after earlier queries' effects land
+      replies[i] = query::wire::serialize_metrics_reply(
+          p.id, obs::to_json(obs::Registry::global().snapshot()));
+      continue;
+    }
     wave.push_back(i);
   }
   flush_wave();
@@ -310,6 +397,10 @@ int serve_stdin(query::QueryEngine& engine, const ToolArgs& args) {
                        &parsed.value().op)) {
       reply = query::wire::serialize_reply(
           id, engine.next(next_request->cursor));
+    } else if (std::holds_alternative<query::wire::MetricsRequest>(
+                   parsed.value().op)) {
+      reply = query::wire::serialize_metrics_reply(
+          id, obs::to_json(obs::Registry::global().snapshot()));
     } else {
       reply = query::wire::serialize_reply(
           id, engine.run(std::get<query::Query>(parsed.value().op),
@@ -375,6 +466,7 @@ int run_server(const ToolArgs& args) {
       std::move(engine), {.default_page_size = args.default_page_size});
   net::ServeLoop loop(std::move(server).value(), service);
   loop.start();
+  MetricsExporter exporter(args.metrics_out);
   std::cerr << "serving on " << args.serve_path << "\n";
   wait_shutdown_signal(signals);
   loop.stop();
@@ -505,6 +597,7 @@ int run_router(const ToolArgs& args) {
       net::ServeLoop loop(std::move(server).value(), service,
                           dispatcher_options);
       loop.start();
+      MetricsExporter exporter(args.metrics_out);
       std::cerr << "routing " << args.serve_path << " over " << workers
                 << " worker(s)\n";
       wait_shutdown_signal(signals);
@@ -579,14 +672,19 @@ int main(int argc, char** argv) {
   ToolArgs args;
   try {
     if (!parse_args(argc, argv, args)) return usage();
-    if (!args.connect_path.empty()) return run_client(args);
-    if (!args.serve_path.empty()) {
-      return args.workers != 0 ? run_router(args) : run_server(args);
-    }
-    auto engine = make_engine(args);
-    if (!engine) return 1;
-    return args.requests_path.empty() ? serve_stdin(*engine, args)
+    int rc = 0;
+    if (!args.connect_path.empty()) {
+      rc = run_client(args);
+    } else if (!args.serve_path.empty()) {
+      rc = args.workers != 0 ? run_router(args) : run_server(args);
+    } else {
+      auto engine = make_engine(args);
+      if (!engine) return 1;
+      rc = args.requests_path.empty() ? serve_stdin(*engine, args)
                                       : serve_batch(*engine, args);
+    }
+    export_metrics_at_exit(args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

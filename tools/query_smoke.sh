@@ -13,6 +13,12 @@
 # determinism contract, or the shard-store equivalence contract
 # (shard count, compression, or append) regressed.
 #
+# The observability layer rides the same golden session: one run with
+# the trace sink, slow-query log, and metrics exports fully enabled
+# must still match the golden file byte for byte (instrumentation must
+# never perturb replies), and the --dump-metrics / "op":"metrics"
+# snapshots must carry the core series.
+#
 #   query_smoke.sh <inspector_cli> <inspector_query> <data_dir> [tmp_dir]
 set -euo pipefail
 
@@ -38,6 +44,7 @@ if [ $# -ge 4 ]; then
         rm -f "$TMP_DIR/smoke.cpg" "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" \
         "$TMP_DIR/smoke.shard3" "$TMP_DIR/smoke.shard7" \
         "$TMP_DIR/smoke.shardz" "$TMP_DIR/smoke.sharda" \
+        "$TMP_DIR"/smoke.obs* "$TMP_DIR"/smoke.trace* "$TMP_DIR/smoke.prom" \
         "$TMP_DIR"/smoke.net* "$TMP_DIR"/smoke.sock*; \
         rm -rf "$TMP_DIR/smoke.store3" "$TMP_DIR/smoke.store7" \
         "$TMP_DIR/smoke.storez" "$TMP_DIR/smoke.storea" \
@@ -87,6 +94,54 @@ diff -u "$TMP_DIR/smoke.1w" "$TMP_DIR/smoke.8w" || {
   echo "FAIL: replies differ between 1 and 8 workers" >&2
   exit 1
 }
+
+# Observability must never perturb reply bytes: the same session with
+# the trace sink, an aggressive slow-query log, and both metrics
+# exports fully enabled must still reproduce the golden file exactly.
+# Replies own stdout; traces go to the sink file, the JSON metrics
+# snapshot to stderr (--dump-metrics), Prometheus text to --metrics-out.
+INSPECTOR_TRACE="$TMP_DIR/smoke.trace" INSPECTOR_SLOW_QUERY_MS=1 \
+    "$QUERY" "$TMP_DIR/smoke.cpg" --requests "$REQUESTS" \
+    --analysis-threads 8 --dump-metrics \
+    --metrics-out "$TMP_DIR/smoke.prom" \
+    > "$TMP_DIR/smoke.obs" 2> "$TMP_DIR/smoke.obs.err"
+diff -u "$GOLDEN" "$TMP_DIR/smoke.obs" || {
+  echo "FAIL: replies changed with tracing and metrics enabled" >&2
+  exit 1
+}
+grep -q '"type":"span"' "$TMP_DIR/smoke.trace" || {
+  echo "FAIL: trace sink captured no spans from the traced session" >&2
+  exit 1
+}
+# The --dump-metrics snapshot is one JSON object holding the core
+# series: per-kind query latency histograms and the query counters.
+grep -q '^{"counters":{.*}}$' "$TMP_DIR/smoke.obs.err" || {
+  echo "FAIL: --dump-metrics did not emit a JSON metrics object" >&2
+  exit 1
+}
+for series in 'query_total{kind=' 'query_latency_us{kind=' \
+    'query_cache_hits_total'; do
+  grep -qF "$series" "$TMP_DIR/smoke.obs.err" || {
+    echo "FAIL: --dump-metrics snapshot lacks series $series" >&2
+    exit 1
+  }
+done
+grep -q '^query_latency_us_bucket{kind=' "$TMP_DIR/smoke.prom" || {
+  echo "FAIL: --metrics-out lacks per-kind latency buckets" >&2
+  exit 1
+}
+
+# The sharded session exports the shard-store series.
+"$QUERY" --store "$TMP_DIR/smoke.store3" --shard-budget 40000 \
+    --requests "$REQUESTS" --analysis-threads 1 --dump-metrics \
+    > /dev/null 2> "$TMP_DIR/smoke.obs.store"
+for series in shard_store_loads_total shard_store_evictions_total \
+    shard_store_retries_total shard_store_quarantine_transitions_total; do
+  grep -qF "$series" "$TMP_DIR/smoke.obs.store" || {
+    echo "FAIL: sharded --dump-metrics snapshot lacks $series" >&2
+    exit 1
+  }
+done
 
 # Sharded serving: a 40 KB budget (decoded bytes) is far below either
 # store's ~75 KB of decoded shards, so every session runs genuinely
@@ -181,15 +236,37 @@ diff -u "$GOLDEN" "$TMP_DIR/smoke.netpipe" || {
   exit 1
 }
 
-"$QUERY" --store "$TMP_DIR/smoke.store3" --shard-budget 40000 \
+# The router runs with the trace sink on: replies must stay golden
+# while kTrace frames stitch router and worker spans into one file.
+INSPECTOR_TRACE="$TMP_DIR/smoke.trace.router" \
+    "$QUERY" --store "$TMP_DIR/smoke.store3" --shard-budget 40000 \
     --serve "$SOCK" --workers 2 &
 SERVE_PID=$!
 wait_for_socket "$SOCK"
 timeout 60 "$QUERY" --connect "$SOCK" --requests "$REQUESTS" \
     > "$TMP_DIR/smoke.netrouter"
+# The in-band introspection rpc: each process answers "op":"metrics"
+# from its own registry; the router's snapshot carries the net-layer
+# frame and stream counters.
+printf '{"id":1,"op":"metrics"}\n' | timeout 60 "$QUERY" --connect "$SOCK" \
+    > "$TMP_DIR/smoke.netmetrics"
 stop_server
 diff -u "$GOLDEN" "$TMP_DIR/smoke.netrouter" || {
   echo "FAIL: routed replies (2 shard workers) differ from golden" >&2
+  exit 1
+}
+grep -q '"status":"ok","metrics":{"counters":' "$TMP_DIR/smoke.netmetrics" || {
+  echo "FAIL: metrics rpc returned no snapshot" >&2
+  exit 1
+}
+for series in net_frames_received_total net_streams_total; do
+  grep -qF "$series" "$TMP_DIR/smoke.netmetrics" || {
+    echo "FAIL: router metrics rpc snapshot lacks $series" >&2
+    exit 1
+  }
+done
+grep -q '"name":"route"' "$TMP_DIR/smoke.trace.router" || {
+  echo "FAIL: routed session produced no route spans in the trace sink" >&2
   exit 1
 }
 
@@ -224,4 +301,4 @@ diff -u "$GOLDEN" "$TMP_DIR/smoke.netdeg" || {
   exit 1
 }
 
-echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, from 3-/7-shard, compressed, and appended stores under a 40000-byte budget, over --serve (single-process and 2-worker router), and degraded routing around a crashed worker; broken-store error paths exit nonzero"
+echo "query smoke OK: $(wc -l < "$GOLDEN") golden replies matched at 1 and 8 workers, from 3-/7-shard, compressed, and appended stores under a 40000-byte budget, over --serve (single-process and 2-worker router), with tracing and metrics fully enabled, and degraded routing around a crashed worker; broken-store error paths exit nonzero"
