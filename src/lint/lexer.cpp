@@ -1,0 +1,281 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace inspector::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the rules care to see whole. Longest
+/// match first; everything else lexes as a single character.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+
+  bool done() const { return i >= s.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < s.size() ? s[i + ahead] : '\0';
+  }
+  void advance() {
+    if (s[i] == '\n') ++line;
+    ++i;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t k = 0; k < n && !done(); ++k) advance();
+  }
+};
+
+/// Consume a (possibly raw) string or char literal starting at the
+/// opening quote; `i` already sits past any encoding prefix.
+void consume_quoted(Cursor& c, bool raw) {
+  const char quote = c.peek();
+  c.advance();  // opening quote
+  if (raw) {
+    // R"delim( ... )delim"
+    std::string delim;
+    while (!c.done() && c.peek() != '(') {
+      delim.push_back(c.peek());
+      c.advance();
+    }
+    if (!c.done()) c.advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    while (!c.done()) {
+      if (c.s.compare(c.i, close.size(), close) == 0) {
+        c.advance_n(close.size());
+        return;
+      }
+      c.advance();
+    }
+    return;
+  }
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\') {
+      c.advance();
+      if (!c.done()) c.advance();
+      continue;
+    }
+    if (ch == quote || ch == '\n') {  // newline: unterminated, stop
+      c.advance();
+      return;
+    }
+    c.advance();
+  }
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string content) {
+  LexedFile out;
+  out.path = std::move(path);
+  out.content = std::move(content);
+  Cursor c{out.content};
+
+  bool line_has_token = false;
+  std::uint32_t current_line = 1;
+  auto note_line = [&] {
+    if (c.line != current_line) {
+      current_line = c.line;
+      line_has_token = false;
+    }
+  };
+
+  while (!c.done()) {
+    note_line();
+    const char ch = c.peek();
+
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') {
+      c.advance();
+      continue;
+    }
+
+    // Comments -> side list, with trailing-ness for annotation scope.
+    if (ch == '/' && c.peek(1) == '/') {
+      const std::uint32_t line = c.line;
+      const bool trailing = line_has_token;
+      c.advance_n(2);
+      const std::size_t begin = c.i;
+      while (!c.done() && c.peek() != '\n') c.advance();
+      std::string_view text(out.content.data() + begin, c.i - begin);
+      // Strip doc-comment slashes (`///`), then spaces -- in that
+      // order, so a nested `// lint: ...` example inside a comment
+      // keeps its slashes and cannot parse as a real annotation.
+      while (!text.empty() && text.front() == '/') text.remove_prefix(1);
+      while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+      while (!text.empty() && (text.back() == ' ' || text.back() == '\r'))
+        text.remove_suffix(1);
+      out.comments.push_back(Comment{text, line, trailing});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      const std::uint32_t line = c.line;
+      const bool trailing = line_has_token;
+      c.advance_n(2);
+      const std::size_t begin = c.i;
+      std::size_t end = out.content.size();
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          end = c.i;
+          c.advance_n(2);
+          break;
+        }
+        c.advance();
+      }
+      std::string_view text(out.content.data() + begin, end - begin);
+      while (!text.empty() &&
+             (text.front() == ' ' || text.front() == '*' ||
+              text.front() == '\n' || text.front() == '\r'))
+        text.remove_prefix(1);
+      while (!text.empty() &&
+             (text.back() == ' ' || text.back() == '\n' || text.back() == '\r'))
+        text.remove_suffix(1);
+      out.comments.push_back(Comment{text, line, trailing});
+      continue;
+    }
+
+    // Preprocessor directive: opaque to end of logical line. Only when
+    // `#` is the first token on its line (a `#` elsewhere is lexed as
+    // punctuation, though valid C++ has none outside directives).
+    if (ch == '#' && !line_has_token) {
+      const std::uint32_t line = c.line;
+      const std::size_t begin = c.i;
+      while (!c.done()) {
+        if (c.peek() == '\\' && (c.peek(1) == '\n' ||
+                                 (c.peek(1) == '\r' && c.peek(2) == '\n'))) {
+          c.advance_n(c.peek(1) == '\r' ? 3 : 2);
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        // A // comment ends the directive's token content.
+        if (c.peek() == '/' && c.peek(1) == '/') break;
+        c.advance();
+      }
+      out.tokens.push_back(
+          Token{TokKind::kPreprocessor,
+                std::string_view(out.content.data() + begin, c.i - begin),
+                line});
+      line_has_token = true;
+      continue;
+    }
+
+    // String / char literals, including prefixes and raw strings.
+    {
+      std::size_t p = 0;  // prefix length
+      bool raw = false;
+      const auto rest = std::string_view(out.content).substr(c.i);
+      auto starts = [&](std::string_view pre) {
+        return rest.size() > pre.size() && rest.compare(0, pre.size(), pre) == 0;
+      };
+      if (starts("u8R\"") || starts("uR\"") || starts("UR\"") ||
+          starts("LR\"")) {
+        p = rest[0] == 'u' && rest[1] == '8' ? 3 : 2;
+        raw = true;
+      } else if (starts("R\"")) {
+        p = 1;
+        raw = true;
+      } else if (starts("u8\"") || starts("u8'")) {
+        p = 2;
+      } else if ((starts("u\"") || starts("U\"") || starts("L\"") ||
+                  starts("u'") || starts("U'") || starts("L'"))) {
+        p = 1;
+      }
+      const char q = c.peek(p);
+      const bool is_quote = q == '"' || q == '\'';
+      // `p > 0` means we matched a literal prefix; bare quotes too.
+      if (is_quote && (p > 0 || q == '"' || q == '\'')) {
+        // Don't treat `alpha'5` digit separators here: a `'` directly
+        // after an identifier char belongs to a number only when we are
+        // mid-number, which the number path below consumes itself.
+        const std::uint32_t line = c.line;
+        const std::size_t begin = c.i;
+        c.advance_n(p);
+        consume_quoted(c, raw);
+        out.tokens.push_back(
+            Token{q == '\'' ? TokKind::kChar : TokKind::kString,
+                  std::string_view(out.content.data() + begin, c.i - begin),
+                  line});
+        line_has_token = true;
+        continue;
+      }
+    }
+
+    if (ident_start(ch)) {
+      const std::uint32_t line = c.line;
+      const std::size_t begin = c.i;
+      while (!c.done() && ident_char(c.peek())) c.advance();
+      out.tokens.push_back(
+          Token{TokKind::kIdent,
+                std::string_view(out.content.data() + begin, c.i - begin),
+                line});
+      line_has_token = true;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      const std::uint32_t line = c.line;
+      const std::size_t begin = c.i;
+      // pp-number: digits, idents, separators, exponent signs, dots.
+      while (!c.done()) {
+        const char n = c.peek();
+        if (ident_char(n) || n == '.') {
+          c.advance();
+          continue;
+        }
+        if (n == '\'' && ident_char(c.peek(1))) {  // digit separator
+          c.advance_n(2);
+          continue;
+        }
+        if ((n == '+' || n == '-') && !c.done() && c.i > begin) {
+          const char prev = out.content[c.i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(
+          Token{TokKind::kNumber,
+                std::string_view(out.content.data() + begin, c.i - begin),
+                line});
+      line_has_token = true;
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    {
+      const std::uint32_t line = c.line;
+      const auto rest = std::string_view(out.content).substr(c.i);
+      std::size_t len = 1;
+      for (const std::string_view p : kPuncts) {
+        if (rest.size() >= p.size() && rest.compare(0, p.size(), p) == 0) {
+          len = p.size();
+          break;
+        }
+      }
+      out.tokens.push_back(
+          Token{TokKind::kPunct, rest.substr(0, len), line});
+      c.advance_n(len);
+      line_has_token = true;
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace inspector::lint

@@ -1,0 +1,72 @@
+// Comment- and string-aware C++ tokenizer for the contract linter.
+//
+// inspector_lint enforces project invariants (no-throw boundaries,
+// failpoint seam coverage, finalizer purity, determinism hygiene) by
+// matching token patterns, never regexes over raw text: a `throw`
+// inside a comment, a string literal containing "::open(", or a raw
+// string spelling `std::cout` must not fire. The lexer produces the
+// minimal token stream the rules need -- identifiers, numbers,
+// punctuation -- with literals kept as opaque single tokens and
+// comments lifted out into a side list (rules read suppression and
+// fixture-expectation annotations from there). Preprocessor directives
+// are emitted as one opaque token per logical line so `#include
+// <fstream>` never looks like a use of `fstream`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace inspector::lint {
+
+enum class TokKind : std::uint8_t {
+  /// Identifier or keyword (the lexer does not distinguish).
+  kIdent,
+  /// Integer / floating literal, including separators and suffixes.
+  kNumber,
+  /// String literal (any prefix, raw or not), content opaque.
+  kString,
+  /// Character literal, content opaque.
+  kChar,
+  /// One punctuator: `::` `->` `.` `(` `)` `{` `}` `<` `>` etc.
+  kPunct,
+  /// A whole preprocessor directive (one logical line, backslash
+  /// continuations included), content opaque to the rules.
+  kPreprocessor,
+};
+
+struct Token {
+  TokKind kind;
+  /// View into LexedFile::content (valid while the LexedFile lives).
+  std::string_view text;
+  /// 1-based line of the token's first character.
+  std::uint32_t line = 0;
+};
+
+struct Comment {
+  /// Comment text without the `//` / `/*` markers, trimmed.
+  std::string_view text;
+  /// 1-based line the comment starts on.
+  std::uint32_t line = 0;
+  /// True when source tokens precede the comment on its first line
+  /// (a trailing comment annotates that line; a whole-line comment
+  /// annotates the next line of code).
+  bool trailing = false;
+};
+
+struct LexedFile {
+  /// Path the rules scope against. May be a pretend path for fixtures.
+  std::string path;
+  /// Owning copy of the source bytes; tokens/comments point into it.
+  std::string content;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `content`. Never fails: unterminated literals and comments
+/// lex as one token/comment running to end of file, which is the
+/// conservative behavior for a linter (nothing inside them can fire).
+[[nodiscard]] LexedFile lex(std::string path, std::string content);
+
+}  // namespace inspector::lint

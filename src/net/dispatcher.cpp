@@ -392,6 +392,7 @@ void Dispatcher::write_loop() {
     if (stream->span) {
       stream->span->annotate("reply_bytes",
                              static_cast<std::uint64_t>(reply.size()));
+      // lint: allow(finalizer-purity) deliberate: send_reply() already put the reply on the wire, so emission here cannot perturb it
       stream->span->finish();
     }
     metrics.stream_wall_us.observe(static_cast<std::uint64_t>(

@@ -139,6 +139,7 @@ const cpg::Graph& QueryEngine::graph() const {
   const auto* graph_backend =
       dynamic_cast<const GraphQueryBackend*>(backend_.get());
   if (graph_backend == nullptr) {
+    // lint: allow(no-throw-across-boundary) documented throwing accessor; calling it on a non-graph engine is a programming error, not a request failure
     throw std::logic_error("QueryEngine::graph(): engine is not graph-backed");
   }
   return graph_backend->graph();
@@ -148,6 +149,7 @@ std::shared_ptr<const cpg::Graph> QueryEngine::snapshot() const {
   const auto* graph_backend =
       dynamic_cast<const GraphQueryBackend*>(backend_.get());
   if (graph_backend == nullptr) {
+    // lint: allow(no-throw-across-boundary) documented throwing accessor; calling it on a non-graph engine is a programming error, not a request failure
     throw std::logic_error(
         "QueryEngine::snapshot(): engine is not graph-backed");
   }

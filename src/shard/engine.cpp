@@ -101,6 +101,7 @@ class Pins {
           degraded_.hit.store(true, std::memory_order_relaxed);
           return nullptr;
         }
+        // lint: allow(no-throw-across-boundary) internal StatusError; the backend boundary catches it and returns the typed Status
         throw StatusError(loaded.status());
       }
       held_[index] = std::move(loaded).value();
@@ -114,6 +115,7 @@ class Pins {
     if (!local) {
       // The manifest routed here but the file disagrees: mixed or
       // corrupt store files. A typed failure, never UB.
+      // lint: allow(no-throw-across-boundary) internal StatusError; the backend boundary catches it and returns the typed Status
       throw StatusError(Status(
           StatusCode::kDataLoss,
           "sharded store is inconsistent: the manifest places node " +

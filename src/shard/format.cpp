@@ -96,6 +96,7 @@ std::vector<FrontierEdge> read_frontier_v3(ByteReader& r) {
   const std::vector<std::uint64_t> from = r.zigzag_u64();
   const std::vector<std::uint64_t> to = r.zigzag_u64();
   if (from.size() != indices.size() || to.size() != indices.size()) {
+    // lint: allow(no-throw-across-boundary) SerializeError is internal; the deserialize_*_checked wrappers catch it into a typed Status
     throw cpg::detail::SerializeError(
         "frontier columns disagree on the edge count");
   }
@@ -103,6 +104,7 @@ std::vector<FrontierEdge> read_frontier_v3(ByteReader& r) {
   for (std::size_t i = 0; i < edges.size(); ++i) {
     edges[i].edge_index = indices[i];
     if (from[i] > 0xFFFFFFFFu || to[i] > 0xFFFFFFFFu) {
+      // lint: allow(no-throw-across-boundary) SerializeError is internal; the deserialize_*_checked wrappers catch it into a typed Status
       throw cpg::detail::SerializeError(
           "frontier endpoint does not fit a node id");
     }
@@ -112,6 +114,7 @@ std::vector<FrontierEdge> read_frontier_v3(ByteReader& r) {
   }
   const std::vector<std::uint64_t> objects = r.zigzag_u64();
   if (objects.size() != edges.size()) {
+    // lint: allow(no-throw-across-boundary) SerializeError is internal; the deserialize_*_checked wrappers catch it into a typed Status
     throw cpg::detail::SerializeError(
         "frontier columns disagree on the edge count");
   }
@@ -136,6 +139,7 @@ void narrow_into(const std::vector<std::uint64_t>& v, Vec& out,
   out.reserve(v.size());
   for (std::uint64_t x : v) {
     if (x > 0xFFFFFFFFu) {
+      // lint: allow(no-throw-across-boundary) SerializeError is internal; the deserialize_*_checked wrappers catch it into a typed Status
       throw cpg::detail::SerializeError(std::string(what) +
                                         " value does not fit 32 bits");
     }
@@ -148,6 +152,7 @@ void narrow_into(const std::vector<std::uint64_t>& v, Vec& out,
 std::vector<std::uint8_t> serialize_manifest(const Manifest& m,
                                              std::uint32_t version) {
   if (version < kManifestMinReadVersion || version > kManifestFormatVersion) {
+    // lint: allow(no-throw-across-boundary) SerializeError is internal; the deserialize_*_checked wrappers catch it into a typed Status
     throw cpg::detail::SerializeError(
         "shard manifest: cannot write format version " +
         std::to_string(version));
@@ -365,6 +370,7 @@ std::vector<std::uint8_t> serialize_shard(const ShardData& s,
                                           std::uint64_t* decoded_bytes,
                                           std::uint32_t version) {
   if (version < kShardMinReadVersion || version > kShardFormatVersion) {
+    // lint: allow(no-throw-across-boundary) SerializeError is internal; the deserialize_*_checked wrappers catch it into a typed Status
     throw cpg::detail::SerializeError(
         "CPG shard: cannot write format version " + std::to_string(version));
   }
@@ -561,6 +567,7 @@ Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
     return Status(StatusCode::kUnavailable,
                   "injected read failure: " + path);
   }
+  // lint: allow(failpoint-seam) this is the read seam itself, guarded by the shard.read_file failpoint above
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return Status(StatusCode::kNotFound, "cannot open " + path);
@@ -596,13 +603,15 @@ Status write_file_bytes(const std::string& path,
   // POSIX I/O rather than ofstream so the bytes can be fsynced: the
   // store's manifest-commit protocol orders shard data before the
   // manifest rename, which only holds if writes actually reach disk.
-  const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  // lint: allow(failpoint-seam) this is the write seam itself, guarded by the shard.write_file failpoint above
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status(StatusCode::kInternal, "cannot open " + path);
   }
   std::size_t off = 0;
   while (off < limit) {
+    // lint: allow(failpoint-seam) the write seam itself (shard.write_file)
     const ssize_t n = ::write(fd, bytes.data() + off, limit - off);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -615,6 +624,7 @@ Status write_file_bytes(const std::string& path,
     ::close(fd);
     return Status(StatusCode::kInternal, "injected torn write: " + path);
   }
+  // lint: allow(failpoint-seam) the write seam itself (shard.write_file)
   if (::fsync(fd) != 0) {
     ::close(fd);
     return Status(StatusCode::kInternal, "fsync failed: " + path);
@@ -630,10 +640,12 @@ Status sync_directory(const std::string& dir) {
     return Status(StatusCode::kInternal,
                   "injected directory sync failure: " + dir);
   }
+  // lint: allow(failpoint-seam) the directory-sync seam itself (shard.sync_dir)
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) {
     return Status(StatusCode::kInternal, "cannot open directory " + dir);
   }
+  // lint: allow(failpoint-seam) the directory-sync seam itself (shard.sync_dir)
   const int rc = ::fsync(fd);
   ::close(fd);
   if (rc != 0) {
@@ -660,6 +672,7 @@ Status replace_file_bytes(const std::string& path,
                   "injected replace failure: " + path);
   }
   std::error_code ec;
+  // lint: allow(failpoint-seam) the atomic-replace seam itself, guarded by the shard.replace_file failpoint above
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     // Capture the rename failure before the cleanup can clear it.

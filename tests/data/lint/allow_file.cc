@@ -1,0 +1,24 @@
+// LINT-PATH: src/shard/fixture_allowfile.cpp
+//
+// lint: allow-file(failpoint-seam) fixture: this file plays the designated seam-helper role
+//
+// allow-file covers every instance of its one rule -- and nothing
+// else: the throw below is still a finding.
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+int helper_a(const std::string& path) { return ::open(path.c_str(), 0); }
+
+void helper_b(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  (void)in;
+}
+
+void other_rule(bool ok) {
+  if (!ok) throw std::runtime_error("not covered");  // EXPECT: no-throw-across-boundary
+}
+
+}  // namespace fixture

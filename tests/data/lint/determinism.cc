@@ -1,0 +1,56 @@
+// LINT-PATH: src/query/fixture_det.cpp
+//
+// determinism-hygiene: reply-producing paths may not depend on hash
+// order, randomness, or wall clocks -- replies must be bit-identical.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+int hash_order(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [k, v] : counts) {  // EXPECT: determinism-hygiene
+    total += v + static_cast<int>(k.size());
+  }
+  return total;
+}
+
+int sources() {
+  int x = rand();  // EXPECT: determinism-hygiene
+  std::mt19937 gen(42);  // EXPECT: determinism-hygiene
+  const auto now = std::chrono::system_clock::now();  // EXPECT: determinism-hygiene
+  (void)now;
+  const auto t = time(nullptr);  // EXPECT: determinism-hygiene
+  return x + static_cast<int>(gen() % 7) + static_cast<int>(t);
+}
+
+// None of these are findings: ordered containers, classic loops,
+// steady_clock durations, and member calls named like the banned
+// free functions.
+int clean(const std::map<std::string, int>& ordered,
+          const std::unordered_map<std::string, int>& counts,
+          Source& src) {
+  int total = 0;
+  for (const auto& [k, v] : ordered) total += v + static_cast<int>(k.size());
+  std::vector<std::string> keys;
+  keys.reserve(counts.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) total += 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  total += src.rand();
+  (void)t0;
+  return total;
+}
+
+int allowed(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  // lint: allow(determinism-hygiene) order-independent sum; the fold is commutative
+  for (const auto& [k, v] : counts) total += v + static_cast<int>(k.size());
+  return total;
+}
+
+}  // namespace fixture

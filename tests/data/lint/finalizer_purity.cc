@@ -1,0 +1,53 @@
+// LINT-PATH: src/net/fixture_writer.cpp
+//
+// finalizer-purity: stdout belongs to reply bytes only, and blocking
+// emission may not run inside the finalizer phase (write_loop /
+// *finalize* functions) before the reply is on the wire.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace fixture {
+
+struct Span {
+  void finish() {}
+  void annotate(const char*) {}
+};
+
+struct Stream {
+  Span* span = nullptr;
+};
+
+void debug_dump(const std::string& s) {
+  std::cout << s;  // EXPECT: finalizer-purity
+  printf("%s", s.c_str());  // EXPECT: finalizer-purity
+  fwrite(s.data(), 1, s.size(), stdout);  // EXPECT: finalizer-purity
+}
+
+// stderr diagnostics outside the finalizer phase are fine.
+void warn(const std::string& s) { fprintf(stderr, "%s\n", s.c_str()); }
+
+// Emission inside the finalizer phase, before send: a finding even
+// through a member call.
+void write_loop(Stream& stream) {
+  stream.span->finish();  // EXPECT: finalizer-purity
+  fflush(stderr);  // EXPECT: finalizer-purity
+}
+
+// Same calls outside any finalizer-named function: not findings.
+void teardown(Stream& stream) {
+  stream.span->finish();
+  fflush(stderr);
+}
+
+// Non-blocking recording is always fine, even in the finalizer phase.
+void run_finalizers(Stream& stream) {
+  stream.span->annotate("ok");
+  // lint: allow(finalizer-purity) deliberate: the reply bytes are already on the wire at this point
+  stream.span->finish();
+}
+
+// "cout" in a string literal is not a finding.
+const char* kDoc = "never write to std::cout from src/";
+
+}  // namespace fixture

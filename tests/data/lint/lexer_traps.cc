@@ -1,0 +1,27 @@
+// LINT-PATH: src/shard/fixture_traps.cpp
+//
+// Lexer traps: rule patterns inside comments, string literals, raw
+// strings, char literals, and preprocessor directives are invisible to
+// the token stream -- only the two real syscalls below are findings.
+#include <string>
+
+#define FIXTURE_OPEN_ALIAS ::open
+
+namespace fixture {
+
+// ::open( and throw in prose -- not findings.
+const char* kPlain = "call ::open( then throw, says this string";
+const char* kRaw = R"(::rename(a, b) and std::ifstream in a raw string)";
+const char* kRawDelim = R"delim(even )" inside: ::fsync(fd))delim";
+const char kQuote = '"';
+const char* kMulti = R"(a raw string
+spanning lines with ::write(fd, p, n) inside)";
+
+int real_findings(const std::string& tmp, int fd) {
+  const long big = 1'000'000;
+  ::unlink(tmp.c_str());  // EXPECT: failpoint-seam
+  ::fsync(fd);  // EXPECT: failpoint-seam
+  return static_cast<int>(big);
+}
+
+}  // namespace fixture

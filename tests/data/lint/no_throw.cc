@@ -1,0 +1,34 @@
+// LINT-PATH: src/query/fixture_no_throw.cpp
+//
+// no-throw-across-boundary: `throw` anywhere in the exception-free
+// boundary directories is a finding unless annotated.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+int parse(const std::string& s) {
+  if (s.empty()) {
+    throw std::runtime_error("empty");  // EXPECT: no-throw-across-boundary
+  }
+  return static_cast<int>(s.size());
+}
+
+// A `throw` in prose or in a string literal is not a finding: the
+// linter sees tokens, not text.
+std::string describe() {
+  return "this engine never calls throw across the boundary";
+}
+
+// `rethrow_exception` is a different identifier, not the keyword.
+void reraise();
+
+int accessor(bool have) {
+  if (!have) {
+    // lint: allow(no-throw-across-boundary) documented programming-error accessor; callers must check first
+    throw std::logic_error("accessor on empty");
+  }
+  return 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// LINT-PATH: src/cpg/fixture_scope.cpp
+//
+// Scoping: src/cpg/ is outside the no-throw, failpoint-seam, and
+// determinism boundaries, so none of these are findings here. (The
+// finalizer-purity stdout rule still covers all of src/; this file
+// deliberately writes nothing to stdout.)
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fixture {
+
+int build(int fd, bool ok) {
+  if (!ok) throw std::runtime_error("cpg may throw internally");
+  ::write(fd, "x", 1);
+  return rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// LINT-PATH: src/cpg/serialize.cpp
+//
+// Pretend working tree for the *.diff fixtures: the diff rule resolves
+// touched files against this fixture's function extents. No findings
+// of its own.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline constexpr std::uint32_t kCpgFormatVersion = 7;
+
+std::vector<std::uint8_t> serialize_graph(const std::vector<int>& nodes) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kCpgFormatVersion);
+  for (const int n : nodes) {
+    out.push_back(static_cast<std::uint8_t>(n));
+    out.push_back(static_cast<std::uint8_t>(n >> 8));
+  }
+  return out;
+}
+
+std::vector<int> deserialize_graph(const std::vector<std::uint8_t>& bytes) {
+  std::vector<int> nodes;
+  for (std::size_t i = 1; i + 1 < bytes.size(); i += 2) {
+    nodes.push_back(bytes[i] | (bytes[i + 1] << 8));
+  }
+  return nodes;
+}
+
+bool validate_graph(const std::vector<int>& nodes) {
+  int prev = -1;
+  for (const int n : nodes) {
+    if (n < prev) return false;
+    prev = n;
+  }
+  return true;
+}
+
+}  // namespace fixture

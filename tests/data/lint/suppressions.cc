@@ -1,0 +1,40 @@
+// LINT-PATH: src/query/fixture_suppress.cpp
+//
+// Annotation machinery: trailing and whole-line allows suppress;
+// missing justifications and unknown rule names are themselves
+// findings (lint-annotation), and the underlying finding survives.
+#include <stdexcept>
+
+namespace fixture {
+
+struct Internal {};
+
+int trailing_allow(bool ok) {
+  if (!ok) throw Internal{};  // lint: allow(no-throw-across-boundary) internal type; caught at the boundary
+  return 0;
+}
+
+int whole_line_allow(bool ok) {
+  if (!ok) {
+    // lint: allow(no-throw-across-boundary) internal type; caught at the boundary
+    throw Internal{};
+  }
+  return 0;
+}
+
+int missing_justification(bool ok) {
+  if (!ok) throw Internal{};  /* EXPECT: no-throw-across-boundary */ /* EXPECT: lint-annotation */ // lint: allow(no-throw-across-boundary)
+  return 0;
+}
+
+int unknown_rule(bool ok) {
+  if (!ok) throw Internal{};  /* EXPECT: no-throw-across-boundary */ /* EXPECT: lint-annotation */ // lint: allow(no-such-rule) because reasons
+  return 0;
+}
+
+// Prose that merely mentions the lint: allow(...) syntax mid-comment
+// is not an annotation, and doc-comment examples keep their slashes:
+/// // lint: allow(no-throw-across-boundary) nested example, inert
+int prose() { return 0; }
+
+}  // namespace fixture

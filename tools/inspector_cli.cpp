@@ -12,6 +12,8 @@
 //   --scale F          op-count scale factor (default 1.0)
 //   --seed N           schedule seed (0 = no jitter)
 //   --compare          also run natively and print the overhead
+//
+// lint: allow-file(finalizer-purity) report printer; stdout is its UI, it never serves query replies
 //   --verify-pt        decode the PT trace and cross-check the thunks
 //   --races            run the happens-before race detector
 //   --taint            DIFT: taint the input, report tainted sinks

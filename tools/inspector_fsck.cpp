@@ -9,6 +9,8 @@
 // an interrupted commit legitimately leaves behind -- stranded *.tmp
 // files and shard files no manifest entry references.
 //
+// lint: allow-file(finalizer-purity) fsck report prints to stdout; offline tool, never a serving path
+//
 // --repair removes that debris (and nothing else): the committed
 // manifest is already the rollback target, so repairing a crashed
 // append is a sweep, never a rewrite. Damage to referenced files is

@@ -13,6 +13,8 @@
 // line-delimited JSON requests (query/wire.h) from stdin or a request
 // file. Replies are bit-identical between the storage forms.
 //
+// lint: allow-file(finalizer-purity) THE designated reply-emission site: this tool's stdout carries the canonical reply bytes
+//
 //   inspector_query <cpg.bin> [options]
 //   inspector_query --store <dir> [--shard-budget BYTES]
 //                   [--allow-degraded] [options]

@@ -8,6 +8,8 @@
 // threading-library journal, binary image), decodes the per-process
 // AUX streams against the image, rebuilds the Concurrent Provenance
 // Graph, validates it, and prints a summary.
+//
+// lint: allow-file(finalizer-purity) report printer; stdout is its UI, it never serves query replies
 #include <fstream>
 #include <iostream>
 #include <map>
